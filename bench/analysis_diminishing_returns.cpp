@@ -1,0 +1,95 @@
+// ANA-DR: per-mechanism diminishing-returns analysis (paper §5.3).
+//
+// "The results of our experiments are useful for locating the point of
+// diminishing returns for each individual response mechanism, the
+// point where implementing a faster or more accurate response
+// mechanism does not much improve the success rate." This bench runs
+// that analysis for the four mechanisms with a natural strength axis,
+// each against the virus its paper figure uses, and marks every
+// strengthening step as "worth it" or "diminishing".
+#include "bench_common.h"
+
+#include "analysis/diminishing_returns.h"
+#include "analysis/sweep.h"
+
+using namespace mvsim;
+using namespace mvsim::bench;
+
+namespace {
+
+double baseline_final(const virus::VirusProfile& profile) {
+  return core::run_experiment(core::baseline_scenario(profile), default_options())
+      .final_infections.mean();
+}
+
+void run_study(const std::string& title, const analysis::SweepResult& sweep, double baseline) {
+  std::cout << "== " << title << " ==\n";
+  analysis::DiminishingReturnsReport report =
+      analysis::analyze_diminishing_returns(sweep, baseline);
+  std::cout << analysis::to_table(report);
+  if (report.has_knee()) {
+    const analysis::MarginalGain& knee = report.gains[report.knee_index];
+    std::cout << "  knee: strengthening beyond " << fmt(knee.from_parameter, 2)
+              << " buys little (" << fmt(knee.infections_avoided)
+              << " infections for that step)\n";
+  } else if (report.returns_still_increasing()) {
+    std::cout << "  returns still increasing at the strongest setting studied: this\n"
+                 "  mechanism only starts biting near its top end — buy strength\n";
+  } else {
+    std::cout << "  no knee inside the studied range: every step still pays\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "mvsim ANA-DR: diminishing returns per mechanism (paper section 5.3)\n\n";
+  core::RunnerOptions options = default_options();
+
+  // Gateway scan vs Virus 1: strength = response speed. Parameterize by
+  // -delay so "stronger" is increasing (faster signature turnaround).
+  run_study("gateway scan vs Virus 1 (parameter: -activation delay, hours)",
+            analysis::run_sweep(
+                "scan speed (-delay h)", {-48.0, -24.0, -12.0, -6.0, -3.0},
+                [](double negative_delay) {
+                  return core::fig2_scan_scenario(SimTime::hours(-negative_delay));
+                },
+                options),
+            baseline_final(virus::virus1()));
+
+  // Detection accuracy vs Virus 2: outcome at day 10 via final level.
+  run_study("gateway detection vs Virus 2 (parameter: accuracy)",
+            analysis::run_sweep(
+                "accuracy", {0.80, 0.85, 0.90, 0.95, 0.99},
+                [](double accuracy) { return core::fig3_detection_scenario(accuracy); },
+                options),
+            baseline_final(virus::virus2()));
+
+  // Immunization rollout speed vs Virus 4 (24 h development fixed).
+  run_study("immunization rollout vs Virus 4 (parameter: -rollout hours)",
+            analysis::run_sweep(
+                "rollout speed (-h)", {-48.0, -24.0, -6.0, -1.0},
+                [](double negative_hours) {
+                  return core::fig5_immunization_scenario(SimTime::hours(24.0),
+                                                          SimTime::hours(-negative_hours));
+                },
+                options),
+            baseline_final(virus::virus4()));
+
+  // Blacklist threshold vs Virus 3: strength = -threshold.
+  run_study("blacklist vs Virus 3 (parameter: -threshold messages)",
+            analysis::run_sweep(
+                "tightening (-threshold)", {-40.0, -30.0, -20.0, -10.0},
+                [](double negative_threshold) {
+                  return core::fig7_blacklist_scenario(
+                      static_cast<std::uint32_t>(-negative_threshold));
+                },
+                options),
+            baseline_final(virus::virus3()));
+
+  std::cout << "Reading: a 'diminishing' row is capacity the provider can skip buying —\n"
+               "e.g. signature turnaround faster than ~6 h, or detector accuracy beyond\n"
+               "the low nineties, no longer moves the outcome much (cf. paper section 5.3).\n";
+  return 0;
+}

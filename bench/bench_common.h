@@ -1,0 +1,66 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every fig*_ binary runs a sweep of scenarios, prints the series the
+// corresponding paper figure plots (Hours vs mean infection count, one
+// column per configuration), then prints the shape metrics the paper's
+// prose quotes next to what we measured. Replication count defaults to
+// 10 and can be overridden with MVSIM_REPS.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/presets.h"
+#include "core/runner.h"
+#include "stats/summary.h"
+
+namespace mvsim::bench {
+
+struct NamedRun {
+  std::string label;
+  core::ExperimentResult result;
+};
+
+inline core::RunnerOptions default_options() {
+  core::RunnerOptions options;
+  options.replications = core::replications_from_env(10);
+  options.master_seed = 0xD5A7'2007ULL;  // fixed: benches are reproducible
+  options.keep_replications = false;
+  options.threads = 0;  // replications parallelize; results are thread-count-invariant
+  return options;
+}
+
+inline NamedRun run_labelled(std::string label, const core::ScenarioConfig& config) {
+  return NamedRun{std::move(label), core::run_experiment(config, default_options())};
+}
+
+/// Prints the figure table plus per-curve summaries.
+inline void print_figure(const std::string& title, const std::vector<NamedRun>& runs,
+                         SimTime row_step) {
+  std::vector<stats::LabelledSeries> curves;
+  curves.reserve(runs.size());
+  for (const auto& r : runs) curves.push_back({r.label, &r.result.curve});
+  stats::print_figure_table(std::cout, title, curves, row_step);
+  std::cout << "-- curve summaries --\n";
+  stats::print_curve_summaries(std::cout, curves);
+}
+
+/// One "paper says X, we measured Y" line.
+inline void report(const std::string& claim, const std::string& measured) {
+  std::cout << "  paper: " << claim << "\n    ours: " << measured << "\n";
+}
+
+inline std::string fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_hours(SimTime t) {
+  if (!t.is_finite()) return "never";
+  return fmt(t.to_hours()) + " h";
+}
+
+}  // namespace mvsim::bench

@@ -1,0 +1,96 @@
+// EXT-BT: Bluetooth-worm extension (paper §6 future work).
+//
+// The paper closes by noting the same modeling approach applies to
+// viruses "that spread using the Bluetooth interface on a phone".
+// This bench runs that study: a Cabir-style proximity worm over a
+// mobility grid, and the subset of the six response mechanisms that
+// still function when there is no MMS gateway in the loop.
+//
+// Headline finding: the provider's entire reception- and
+// dissemination-point arsenal (signature scan, detection algorithm,
+// monitoring, blacklisting) is structurally blind to Bluetooth
+// traffic; only the infection-point mechanisms — user education and
+// handset patching — remain, which inverts the paper's §5.3 ranking
+// for fast viruses.
+#include "bench_common.h"
+
+#include "mobility/bluetooth.h"
+
+using namespace mvsim;
+using namespace mvsim::bench;
+
+namespace {
+
+mobility::BluetoothExperimentResult run_bt(const mobility::BluetoothScenarioConfig& config) {
+  return mobility::run_bluetooth_experiment(config, core::replications_from_env(10),
+                                            0xB1'0E'00'07ULL);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "mvsim EXT-BT: Bluetooth proximity worm (paper section 6 extension)\n";
+
+  mobility::BluetoothScenarioConfig base;  // 1000 phones, 16x16 grid
+  mobility::BluetoothExperimentResult baseline = run_bt(base);
+
+  mobility::BluetoothScenarioConfig educated = base;
+  response::UserEducationConfig education;
+  education.eventual_acceptance = 0.20;
+  educated.user_education = education;
+  mobility::BluetoothExperimentResult with_education = run_bt(educated);
+
+  mobility::BluetoothScenarioConfig patched = base;
+  patched.immunization = mobility::BluetoothImmunizationConfig{};  // 24h detect + 24h dev + 6h
+  mobility::BluetoothExperimentResult with_patches = run_bt(patched);
+
+  mobility::BluetoothScenarioConfig fast_patched = base;
+  mobility::BluetoothImmunizationConfig fast;
+  fast.detection_time = SimTime::hours(12.0);
+  fast.development_time = SimTime::hours(12.0);
+  fast.deployment_duration = SimTime::hours(1.0);
+  fast_patched.immunization = fast;
+  mobility::BluetoothExperimentResult with_fast_patches = run_bt(fast_patched);
+
+  std::cout << "== Bluetooth worm: infection curves ==\n";
+  std::cout << "Hours,Baseline,User Education 0.20,Patch 24h+24h+6h,Patch 12h+12h+1h\n";
+  for (SimTime t = SimTime::zero(); t <= base.horizon; t += SimTime::hours(6.0)) {
+    std::cout << fmt(t.to_hours()) << ',' << fmt(baseline.curve.mean_at(t)) << ','
+              << fmt(with_education.curve.mean_at(t)) << ','
+              << fmt(with_patches.curve.mean_at(t)) << ','
+              << fmt(with_fast_patches.curve.mean_at(t)) << '\n';
+  }
+
+  std::cout << "-- findings --\n";
+  double base_final = baseline.final_infections.mean();
+  report("MMS-only mechanisms (scan/detection/monitoring/blacklist) see no Bluetooth traffic",
+         "structural: the worm never transits a gateway, so those four cannot engage");
+  report("the consent plateau carries over from the MMS model (1000 x 0.8 x 0.40 = 320)",
+         "baseline final = " + fmt(base_final) + " infected");
+  report("user education remains universally effective (paper section 5.2)",
+         "eventual acceptance 0.20 -> final " + fmt(with_education.final_infections.mean()) +
+             " (" + fmt(100.0 * with_education.final_infections.mean() / base_final) +
+             "% of baseline)");
+  report("handset patching remains effective and its delay dominates (as in Figure 5)",
+         "48h+6h cycle -> " + fmt(with_patches.final_infections.mean()) + "; 24h+1h cycle -> " +
+             fmt(with_fast_patches.final_infections.mean()));
+
+  // Density sweep: proximity spread is gated by encounters, a knob MMS
+  // propagation does not have.
+  std::cout << "-- density sweep (phones per cell) --\n";
+  std::cout << "grid,phones_per_cell,final_infected,half_plateau_hours\n";
+  for (std::uint32_t side : {8u, 16u, 32u}) {
+    mobility::BluetoothScenarioConfig config = base;
+    config.grid_width = side;
+    config.grid_height = side;
+    mobility::BluetoothExperimentResult result = run_bt(config);
+    SimTime half = result.curve.mean_first_time_at_or_above(160.0);
+    std::cout << side << "x" << side << ","
+              << fmt(1000.0 / (static_cast<double>(side) * side), 2) << ","
+              << fmt(result.final_infections.mean()) << ","
+              << fmt(half.is_finite() ? half.to_hours() : -1.0) << "\n";
+  }
+  report("a proximity worm is density-limited (no analogue in MMS propagation)",
+         "sparser grids spread strictly slower at equal population (table above)");
+  return 0;
+}

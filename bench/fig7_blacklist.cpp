@@ -1,0 +1,65 @@
+// FIG-7: Blacklisting phones suspected of infection — varying the
+// activation threshold.
+//
+// Reproduces Figure 7: Virus 3 against the blacklist mechanism, which
+// cuts MMS service entirely after 10/20/30/40 suspected-infected
+// messages. Shape claims: blacklisting is most effective against the
+// random-dialing virus because invalid-number messages count toward
+// the threshold (threshold 30 vs random dialing ~ threshold 10 vs
+// contact-list propagation); blacklisting at threshold 10 restricts
+// Viruses 1/4 to ~60% of baseline; Virus 2 evades any threshold.
+#include "bench_common.h"
+
+using namespace mvsim;
+using namespace mvsim::bench;
+
+int main() {
+  std::cout << "mvsim FIG-7: blacklisting, threshold sweep (Figure 7)\n";
+  std::vector<NamedRun> runs;
+  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus3())));
+  for (std::uint32_t threshold : {10u, 20u, 30u, 40u}) {
+    runs.push_back(run_labelled(std::to_string(threshold) + " Messages",
+                                core::fig7_blacklist_scenario(threshold)));
+  }
+  print_figure("Figure 7: Blacklisting, Varying the Activation Threshold (Virus 3)", runs,
+               SimTime::hours(1.0));
+
+  std::cout << "-- paper-vs-measured --\n";
+  double base = runs[0].result.final_infections.mean();
+  report("low thresholds strongly restrict the random-dialing virus",
+         "finals as % of baseline: 10msg = " +
+             fmt(100.0 * runs[1].result.final_infections.mean() / base) + "%, 20msg = " +
+             fmt(100.0 * runs[2].result.final_infections.mean() / base) + "%, 30msg = " +
+             fmt(100.0 * runs[3].result.final_infections.mean() / base) + "%, 40msg = " +
+             fmt(100.0 * runs[4].result.final_infections.mean() / base) + "%");
+
+  // Equivalence claim: threshold 30 vs random dialing ~ threshold 10 vs
+  // contact-list propagation (only 1/3 of dialed numbers are valid).
+  core::ScenarioConfig v1_bl10 = core::baseline_scenario(virus::virus1());
+  response::BlacklistConfig bl10;
+  bl10.message_threshold = 10;
+  v1_bl10.responses.blacklist = bl10;
+  core::ExperimentResult v1_blacklisted = core::run_experiment(v1_bl10, default_options());
+  core::ExperimentResult v1_base =
+      core::run_experiment(core::baseline_scenario(virus::virus1()), default_options());
+  double v1_ratio = v1_blacklisted.final_infections.mean() / v1_base.final_infections.mean();
+  double v3_ratio30 = runs[3].result.final_infections.mean() / base;
+  report("threshold 30 vs random dialing is equivalent to threshold 10 vs contact lists",
+         "Virus 3 @30 reaches " + fmt(100.0 * v3_ratio30) + "% of baseline; Virus 1 @10 reaches " +
+             fmt(100.0 * v1_ratio) + "%");
+  report("blacklisting at threshold 10 restricts Viruses 1/4 to ~60% of baseline penetration",
+         "Virus 1 @10: " + fmt(100.0 * v1_ratio) + "% of baseline");
+
+  // Evasion claim: Virus 2's multi-recipient messages defeat counting.
+  core::ScenarioConfig v2_bl = core::baseline_scenario(virus::virus2());
+  v2_bl.responses.blacklist = bl10;
+  core::ExperimentResult v2_blacklisted = core::run_experiment(v2_bl, default_options());
+  core::ExperimentResult v2_base =
+      core::run_experiment(core::baseline_scenario(virus::virus2()), default_options());
+  report("blacklisting is completely ineffective for Virus 2 at any threshold",
+         "Virus 2 @10 reaches " +
+             fmt(100.0 * v2_blacklisted.final_infections.mean() /
+                 v2_base.final_infections.mean()) +
+             "% of its baseline");
+  return 0;
+}

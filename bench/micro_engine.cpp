@@ -1,0 +1,86 @@
+// MICRO: engine microbenchmarks (google-benchmark).
+//
+// Not a paper figure — these guard the substrate's performance so the
+// figure benches stay fast: scheduler throughput, graph generation,
+// consent math, and whole-replication cost for each virus preset.
+#include <benchmark/benchmark.h>
+
+#include "core/presets.h"
+#include "core/simulation.h"
+#include "des/scheduler.h"
+#include "graph/generators.h"
+#include "phone/consent.h"
+#include "rng/stream.h"
+
+namespace {
+
+using namespace mvsim;
+
+void BM_SchedulerScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(SimTime::minutes(static_cast<double>(i % 97)), [] {});
+    }
+    sched.run_to_quiescence();
+    benchmark::DoNotOptimize(sched.executed_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleFire);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Scheduler sched;
+    std::vector<des::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(
+          sched.schedule_at(SimTime::minutes(static_cast<double>(i)), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) sched.cancel(handles[i]);
+    sched.run_to_quiescence();
+    benchmark::DoNotOptimize(sched.cancelled_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_PowerLawGraph(benchmark::State& state) {
+  auto n = static_cast<graph::PhoneId>(state.range(0));
+  rng::Stream stream(42);
+  graph::PowerLawConfig config;
+  config.node_count = n;
+  config.target_mean_degree = 80.0;
+  for (auto _ : state) {
+    graph::ContactGraph g = graph::generate_power_law(config, stream);
+    benchmark::DoNotOptimize(g.edge_count());
+  }
+}
+BENCHMARK(BM_PowerLawGraph)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_ConsentSolver(benchmark::State& state) {
+  for (auto _ : state) {
+    double af = phone::ConsentModel::solve_acceptance_factor(0.40);
+    benchmark::DoNotOptimize(af);
+  }
+}
+BENCHMARK(BM_ConsentSolver);
+
+void BM_FullReplication(benchmark::State& state) {
+  const auto suite = virus::paper_virus_suite();
+  const auto& profile = suite[static_cast<std::size_t>(state.range(0))];
+  core::ScenarioConfig config = core::baseline_scenario(profile);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    core::Simulation sim(config, seed++);
+    core::ReplicationResult r = sim.run();
+    benchmark::DoNotOptimize(r.total_infected);
+  }
+  state.SetLabel(profile.name);
+}
+BENCHMARK(BM_FullReplication)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// SCALE: population-size scaling check (paper §5.3).
+//
+// "Although the results presented here use a population size of 1000
+// phones, additional experiments with a 2000-phone population
+// demonstrate that our results scale nicely to larger population
+// sizes." This bench runs every virus at 1000 and 2000 phones and
+// compares penetration fractions and half-plateau times.
+#include "bench_common.h"
+
+using namespace mvsim;
+using namespace mvsim::bench;
+
+int main() {
+  std::cout << "mvsim SCALE: population scaling (paper section 5.3)\n";
+  std::cout << "virus,population,final_infected,penetration_of_susceptible,half_plateau_hours\n";
+  for (const auto& profile : virus::paper_virus_suite()) {
+    double fractions[2] = {0.0, 0.0};
+    int slot = 0;
+    for (graph::PhoneId population : {1000u, 2000u}) {
+      core::ScenarioConfig config = core::baseline_scenario(profile);
+      config.population = population;
+      core::ExperimentResult result = core::run_experiment(config, default_options());
+      double susceptible = static_cast<double>(population) * config.susceptible_fraction;
+      double fraction = result.final_infections.mean() / susceptible;
+      fractions[slot++] = fraction;
+      SimTime half = result.curve.mean_first_time_at_or_above(
+          config.expected_unrestrained_plateau() / 2.0);
+      std::cout << profile.name << "," << population << ","
+                << fmt(result.final_infections.mean()) << "," << fmt(100.0 * fraction) << "%,"
+                << fmt(half.is_finite() ? half.to_hours() : -1.0) << "\n";
+    }
+    report(profile.name + ": results scale nicely to larger population sizes",
+           "penetration " + fmt(100.0 * fractions[0]) + "% at 1000 phones vs " +
+               fmt(100.0 * fractions[1]) + "% at 2000 phones");
+  }
+  return 0;
+}

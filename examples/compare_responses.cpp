@@ -1,0 +1,95 @@
+// Compare all six response mechanisms against one virus.
+//
+//   $ ./compare_responses [1|2|3|4]
+//
+// Runs the chosen paper virus (default: Virus 3, the hardest case)
+// against each response mechanism at its paper-default settings and
+// prints an effectiveness table: final infection level, percentage of
+// baseline, and how long the mechanism kept the outbreak under half of
+// the baseline plateau. This is the paper's §5.3 "optimal response
+// strategy" discussion in executable form.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/presets.h"
+#include "core/runner.h"
+
+using namespace mvsim;
+
+namespace {
+
+struct Row {
+  std::string mechanism;
+  core::ExperimentResult result;
+};
+
+core::ExperimentResult run(const core::ScenarioConfig& config) {
+  core::RunnerOptions options;
+  options.replications = 8;
+  options.master_seed = 424242;
+  return core::run_experiment(config, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int virus_index = 3;
+  if (argc > 1) virus_index = std::atoi(argv[1]);
+  if (virus_index < 1 || virus_index > 4) {
+    std::cerr << "usage: compare_responses [1|2|3|4]\n";
+    return 1;
+  }
+  const auto suite = virus::paper_virus_suite();
+  const virus::VirusProfile& profile = suite[static_cast<std::size_t>(virus_index - 1)];
+  core::ScenarioConfig base = core::baseline_scenario(profile);
+
+  std::vector<Row> rows;
+  rows.push_back({"none (baseline)", run(base)});
+
+  core::ScenarioConfig scenario = base;
+  scenario.responses.gateway_scan = response::GatewayScanConfig{};
+  rows.push_back({"gateway virus scan (6h signature)", run(scenario)});
+
+  scenario = base;
+  scenario.responses.gateway_detection = response::GatewayDetectionConfig{};
+  rows.push_back({"gateway detection (95% accuracy)", run(scenario)});
+
+  scenario = base;
+  scenario.responses.user_education = response::UserEducationConfig{};
+  rows.push_back({"user education (acceptance 0.40 -> 0.20)", run(scenario)});
+
+  scenario = base;
+  scenario.responses.immunization = response::ImmunizationConfig{};
+  rows.push_back({"immunization (24h patch + 6h rollout)", run(scenario)});
+
+  scenario = base;
+  scenario.responses.monitoring = response::MonitoringConfig{};
+  rows.push_back({"monitoring (30-min forced wait)", run(scenario)});
+
+  scenario = base;
+  scenario.responses.blacklist = response::BlacklistConfig{};
+  rows.push_back({"blacklist (10-message threshold)", run(scenario)});
+
+  double baseline_final = rows[0].result.final_infections.mean();
+  double half_level = baseline_final / 2.0;
+
+  std::printf("Response mechanisms vs %s (horizon %s, %zu replications)\n",
+              profile.name.c_str(), base.horizon.to_string().c_str(),
+              rows[0].result.curve.replication_count());
+  std::printf("%-44s %10s %8s %16s\n", "mechanism", "final", "% base", "under-half until");
+  for (const Row& row : rows) {
+    double final_mean = row.result.final_infections.mean();
+    SimTime half = row.result.curve.mean_first_time_at_or_above(half_level);
+    std::printf("%-44s %10.1f %7.1f%% %16s\n", row.mechanism.c_str(), final_mean,
+                100.0 * final_mean / baseline_final,
+                half.is_finite() ? (std::to_string(static_cast<int>(half.to_hours())) + " h").c_str()
+                                 : "forever");
+  }
+  std::printf(
+      "\nReading the table: mechanisms that merely slow the virus show a late\n"
+      "'under-half until'; mechanisms that stop it also show a low final level.\n"
+      "Rerun with a different virus index to see how the best response changes.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Define a novel virus with the public API and sweep one parameter.
+//
+//   $ ./custom_virus
+//
+// The paper's model is "highly parameterized, enabling representation
+// of a wide range of potential MMS virus behavior" (§4.1). This
+// example builds a hypothetical next-generation worm the paper never
+// evaluated — random-dialing like Virus 3 but stealthy like Virus 4 —
+// and asks which of two cheap responses handles it better while its
+// send rate is swept.
+#include <cstdio>
+#include <vector>
+
+#include "core/presets.h"
+#include "core/runner.h"
+
+using namespace mvsim;
+
+namespace {
+
+/// "Virus 5": dials random numbers (no contact list to exhaust), but
+/// throttles itself to stay under monitoring thresholds and waits out
+/// a dormancy period to defeat fast signature turnaround.
+virus::VirusProfile make_virus5(SimTime message_gap) {
+  virus::VirusProfile p;
+  p.name = "Virus 5 (stealthy dialer)";
+  p.targeting = virus::TargetingMode::kRandomDialing;
+  p.valid_number_fraction = 1.0 / 3.0;
+  p.min_message_gap = message_gap;
+  p.extra_gap_mean = message_gap * 0.25;
+  p.recipients_per_message = 1;
+  p.budget = virus::BudgetKind::kUnlimited;
+  p.dormancy = SimTime::hours(12.0);
+  p.trigger = virus::SendTrigger::kActive;
+  return p;
+}
+
+core::ExperimentResult run(const core::ScenarioConfig& config) {
+  core::RunnerOptions options;
+  options.replications = 6;
+  options.master_seed = 99;
+  return core::run_experiment(config, options);
+}
+
+/// Hours until the mean curve reaches 150 infected ("outbreak declared").
+std::string hours_to_150(const core::ExperimentResult& result) {
+  SimTime t = result.curve.mean_first_time_at_or_above(150.0);
+  if (!t.is_finite()) return "never";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f h", t.to_hours());
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Custom virus study: stealthy random dialer, send-gap sweep (7-day horizon)\n");
+  std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "", "baseline", "", "monitored", "",
+              "blacklist", "@10");
+  std::printf("%-10s | %9s %9s | %9s %9s | %9s %9s\n", "gap (min)", "final", "t(150)", "final",
+              "t(150)", "final", "t(150)");
+  for (double gap_minutes : {2.0, 10.0, 30.0, 60.0}) {
+    core::ScenarioConfig base;
+    base.name = "virus5";
+    base.virus = make_virus5(SimTime::minutes(gap_minutes));
+    base.horizon = SimTime::days(7.0);
+    base.sample_step = SimTime::hours(1.0);
+
+    core::ScenarioConfig monitored = base;
+    monitored.responses.monitoring = response::MonitoringConfig{};
+
+    core::ScenarioConfig blacklisted = base;
+    response::BlacklistConfig blacklist;
+    blacklist.message_threshold = 10;
+    blacklisted.responses.blacklist = blacklist;
+
+    core::ExperimentResult r_base = run(base);
+    core::ExperimentResult r_mon = run(monitored);
+    core::ExperimentResult r_black = run(blacklisted);
+    std::printf("%-10.0f | %9.1f %9s | %9.1f %9s | %9.1f %9s\n", gap_minutes,
+                r_base.final_infections.mean(), hours_to_150(r_base).c_str(),
+                r_mon.final_infections.mean(), hours_to_150(r_mon).c_str(),
+                r_black.final_infections.mean(), hours_to_150(r_black).c_str());
+  }
+  std::printf(
+      "\nThe sweep shows the attacker/defender trade-off of the paper's §5.3\n"
+      "discussion. Monitoring only bites while the dialer sends faster than the\n"
+      "5-messages/hour threshold (gap <= 12 min), and even then only delays the\n"
+      "outbreak. The cumulative blacklist count catches the dialer at ANY rate —\n"
+      "invalid numbers pile up regardless of speed — so a random-dialing virus\n"
+      "cannot throttle its way past it; its only escape is the contact list.\n");
+  return 0;
+}

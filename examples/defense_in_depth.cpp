@@ -1,0 +1,80 @@
+// Layered response strategies — the paper's future-work extension.
+//
+//   $ ./defense_in_depth
+//
+// Paper §6: "This work can be extended with an evaluation of
+// combinations of reaction mechanisms, particularly when a response
+// mechanism that only slows virus propagation requires a secondary
+// mechanism to completely halt virus spread." This example runs that
+// evaluation for Virus 3 (which defeats every single slow-to-activate
+// mechanism on its own): a slowing first responder (monitoring) paired
+// with a halting second responder (gateway scan).
+#include <cstdio>
+
+#include "core/presets.h"
+#include "core/runner.h"
+
+using namespace mvsim;
+
+namespace {
+
+core::ExperimentResult run(const core::ScenarioConfig& config) {
+  core::RunnerOptions options;
+  options.replications = 8;
+  options.master_seed = 31337;
+  return core::run_experiment(config, options);
+}
+
+void print_row(const char* label, const core::ExperimentResult& result, double baseline) {
+  std::printf("%-40s %10.1f %8.1f%% %12.1f\n", label, result.final_infections.mean(),
+              100.0 * result.final_infections.mean() / baseline,
+              result.curve.mean_at(SimTime::hours(12.0)));
+}
+
+}  // namespace
+
+int main() {
+  core::ScenarioConfig base = core::baseline_scenario(virus::virus3());
+
+  // Single mechanisms, paper-default parameters.
+  core::ScenarioConfig monitoring_only = base;
+  monitoring_only.responses.monitoring = response::MonitoringConfig{};
+
+  core::ScenarioConfig scan_only = base;
+  scan_only.responses.gateway_scan = response::GatewayScanConfig{};  // 6 h signature
+
+  // The layered strategy: monitoring buys time, the scan then halts.
+  core::ScenarioConfig layered = base;
+  layered.responses.monitoring = response::MonitoringConfig{};
+  layered.responses.gateway_scan = response::GatewayScanConfig{};
+
+  // A maximal stack: every mechanism at once.
+  core::ScenarioConfig everything = layered;
+  everything.responses.gateway_detection = response::GatewayDetectionConfig{};
+  everything.responses.user_education = response::UserEducationConfig{};
+  everything.responses.immunization = response::ImmunizationConfig{};
+  everything.responses.blacklist = response::BlacklistConfig{};
+
+  core::ExperimentResult r_base = run(base);
+  core::ExperimentResult r_mon = run(monitoring_only);
+  core::ExperimentResult r_scan = run(scan_only);
+  core::ExperimentResult r_layered = run(layered);
+  core::ExperimentResult r_all = run(everything);
+
+  double baseline = r_base.final_infections.mean();
+  std::printf("Layered defenses vs Virus 3 (rapid random dialer)\n");
+  std::printf("%-40s %10s %9s %12s\n", "strategy", "final", "% base", "level @ 12h");
+  print_row("none (baseline)", r_base, baseline);
+  print_row("monitoring only (slows)", r_mon, baseline);
+  print_row("gateway scan only (halts, but late)", r_scan, baseline);
+  print_row("monitoring + scan (buy time, then halt)", r_layered, baseline);
+  print_row("all six mechanisms", r_all, baseline);
+
+  std::printf(
+      "\nThe scan alone activates ~6 h after detection — Virus 3 has already\n"
+      "penetrated the population. Monitoring alone only stretches the same\n"
+      "outbreak over more hours. Layered, the forced wait keeps the virus slow\n"
+      "enough that the signature lands while most phones are still clean:\n"
+      "the combination contains what neither mechanism contains alone.\n");
+  return 0;
+}

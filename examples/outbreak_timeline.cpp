@@ -1,0 +1,81 @@
+// Narrate one outbreak end to end, with uncertainty bands.
+//
+//   $ ./outbreak_timeline
+//
+// Uses the two observability features the aggregate figures don't show:
+// the per-event trace (who got infected when, when the provider
+// detected the virus, when each patch landed) and quantile bands across
+// replications (the median trajectory and its 10-90% envelope — epidemic
+// curves are skewed, so the mean alone misleads).
+#include <cstdio>
+
+#include "core/event_trace.h"
+#include "core/presets.h"
+#include "core/simulation.h"
+#include "stats/quantiles.h"
+
+using namespace mvsim;
+
+int main() {
+  core::ScenarioConfig scenario = core::baseline_scenario(virus::virus1());
+  response::ImmunizationConfig immunization;
+  immunization.development_time = SimTime::hours(24.0);
+  immunization.deployment_duration = SimTime::hours(6.0);
+  scenario.responses.immunization = immunization;
+  scenario.horizon = SimTime::days(7.0);
+
+  // --- One traced replication: the narrative. ---
+  core::EventTrace trace;
+  core::Simulation sim(scenario, 2007, &trace);
+  core::ReplicationResult result = sim.run();
+
+  std::printf("One replication of '%s' (seed 2007):\n", scenario.name.c_str());
+  std::printf("  t=0: patient zero infected\n");
+  int shown = 0;
+  for (const core::TraceEvent& event : trace.events()) {
+    switch (event.kind) {
+      case core::TraceEventKind::kInfection:
+        if (++shown <= 5 && event.time > SimTime::zero()) {
+          std::printf("  t=%-8s phone %u infected (#%d)\n",
+                      event.time.to_string().c_str(), event.phone, shown);
+        }
+        break;
+      case core::TraceEventKind::kVirusDetected:
+        std::printf("  t=%-8s gateways cross the detectability threshold\n",
+                    event.time.to_string().c_str());
+        break;
+      case core::TraceEventKind::kPatchApplied:
+      default:
+        break;
+    }
+  }
+  SimTime first_patch = trace.first_time(core::TraceEventKind::kPatchApplied);
+  SimTime last_patch = trace.last_time(core::TraceEventKind::kPatchApplied);
+  std::printf("  t=%-8s first immunization patch lands\n", first_patch.to_string().c_str());
+  std::printf("  t=%-8s rollout complete (%zu patches)\n", last_patch.to_string().c_str(),
+              trace.count(core::TraceEventKind::kPatchApplied));
+  std::printf("  final: %lu phones infected (%zu infection events traced)\n\n",
+              static_cast<unsigned long>(result.total_infected),
+              trace.count(core::TraceEventKind::kInfection));
+
+  // --- Twenty replications: the uncertainty envelope. ---
+  stats::QuantileSeries quantiles(SimTime::hours(6.0), scenario.horizon);
+  for (std::uint64_t rep = 0; rep < 20; ++rep) {
+    core::Simulation replication(scenario, 3000 + rep);
+    quantiles.add_replication(replication.run().infections);
+  }
+  std::printf("Across 20 replications (median and 10-90%% band):\n");
+  std::printf("%8s %10s %10s %10s\n", "hours", "p10", "median", "p90");
+  for (const auto& band : quantiles.band(0.1, 0.9)) {
+    if (static_cast<long>(band.time.to_hours()) % 24 != 0) continue;
+    std::printf("%8.0f %10.1f %10.1f %10.1f\n", band.time.to_hours(), band.lower, band.median,
+                band.upper);
+  }
+  std::printf(
+      "\nP(outbreak contained under 50 infected at 48 h) = %.2f\n"
+      "The band shows why single runs mislead: detection time inherits the\n"
+      "randomness of the early spread, so the patch window — and with it the\n"
+      "whole outcome — shifts by many hours between replications.\n",
+      quantiles.fraction_at_or_below(SimTime::hours(48.0), 50.0));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Diminishing-returns analysis (paper §5.3).
+//
+// "We can still assume that there are increasing costs associated with
+// implementing a stronger version of the same response mechanism.
+// Given this, the results of our experiments are useful for locating
+// the point of diminishing returns for each individual response
+// mechanism, the point where implementing a faster or more accurate
+// response mechanism does not much improve the success rate."
+//
+// Given a sweep ordered from weakest to strongest response, this
+// module computes the infections avoided by each strengthening step
+// (normalized per unit of parameter change) and locates the knee: the
+// first step whose per-unit gain falls below a fraction of the best
+// per-unit gain seen so far.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/sweep.h"
+
+namespace mvsim::analysis {
+
+struct MarginalGain {
+  double from_parameter = 0.0;
+  double to_parameter = 0.0;
+  double from_final = 0.0;
+  double to_final = 0.0;
+  /// Infections avoided by this strengthening step (can be negative
+  /// when noise dominates a saturated mechanism).
+  double infections_avoided = 0.0;
+  /// Avoided per unit of |parameter change|.
+  double avoided_per_unit = 0.0;
+};
+
+struct DiminishingReturnsReport {
+  std::string parameter_name;
+  double baseline_final = 0.0;  ///< no-response final level for context
+  std::vector<MarginalGain> gains;
+  /// Index of the step with the best per-unit rate. Low-rate steps
+  /// *before* it are "ramp-up" (the mechanism has not started biting
+  /// yet — e.g. a detector below ~0.9 accuracy barely matters), not
+  /// diminishing returns.
+  std::size_t peak_index = 0;
+  /// Index into `gains` of the first step past the knee — the first
+  /// low-rate step at or after the peak (== gains.size() when every
+  /// step from the peak onward still pays off).
+  std::size_t knee_index = 0;
+  /// True when some step lies past the knee.
+  [[nodiscard]] bool has_knee() const { return knee_index < gains.size(); }
+  /// True when the strongest settings studied still earn at full rate —
+  /// the response is convex (returns increase with strength) and the
+  /// provider should buy as much strength as it can afford.
+  [[nodiscard]] bool returns_still_increasing() const {
+    return !gains.empty() && peak_index == gains.size() - 1 && !has_knee();
+  }
+};
+
+/// `sweep` must be ordered weakest -> strongest response (its `points`
+/// order is taken as given). `knee_fraction` is the cutoff relative to
+/// the best per-unit gain (default: a step earning less than 20% of
+/// the best step's rate is past the point of diminishing returns).
+[[nodiscard]] DiminishingReturnsReport analyze_diminishing_returns(const SweepResult& sweep,
+                                                                   double baseline_final,
+                                                                   double knee_fraction = 0.2);
+
+/// Renders the report as an aligned text table (for benches/CLI).
+[[nodiscard]] std::string to_table(const DiminishingReturnsReport& report);
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,93 @@
+#include "analysis/sensitivity.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mvsim::analysis {
+
+std::vector<SensitivityRow> one_at_a_time(const core::ScenarioConfig& base,
+                                          const std::vector<Perturbation>& perturbations,
+                                          const core::RunnerOptions& options) {
+  if (perturbations.empty()) {
+    throw std::invalid_argument("one_at_a_time: no perturbations");
+  }
+  base.validate().throw_if_invalid();
+  double base_final = core::run_experiment(base, options).final_infections.mean();
+
+  std::vector<SensitivityRow> rows;
+  rows.reserve(perturbations.size());
+  for (const Perturbation& perturbation : perturbations) {
+    if (!perturbation.apply) {
+      throw std::invalid_argument("one_at_a_time: perturbation '" + perturbation.name +
+                                  "' has no apply function");
+    }
+    SensitivityRow row;
+    row.parameter = perturbation.name;
+    row.base_final = base_final;
+
+    core::ScenarioConfig low = base;
+    perturbation.apply(low, 0.5);
+    row.low_final = core::run_experiment(low, options).final_infections.mean();
+
+    core::ScenarioConfig high = base;
+    perturbation.apply(high, 2.0);
+    row.high_final = core::run_experiment(high, options).final_infections.mean();
+
+    // Central difference on the log-log scale across the 4x span
+    // (factor 0.5 to factor 2): elasticity = dln(out)/dln(param).
+    if (row.low_final > 0.0 && row.high_final > 0.0) {
+      row.elasticity = std::log(row.high_final / row.low_final) / std::log(4.0);
+    } else if (row.high_final != row.low_final) {
+      row.elasticity = row.high_final > row.low_final ? 1.0 : -1.0;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Perturbation> standard_perturbations(const core::ScenarioConfig& base) {
+  std::vector<Perturbation> knobs;
+  knobs.push_back({"read_delay_mean", [](core::ScenarioConfig& c, double f) {
+                     c.read_delay_mean = c.read_delay_mean * f;
+                   }});
+  knobs.push_back({"delivery_delay_mean", [](core::ScenarioConfig& c, double f) {
+                     c.delivery_delay_mean = c.delivery_delay_mean * f;
+                   }});
+  knobs.push_back({"contact_list_size", [](core::ScenarioConfig& c, double f) {
+                     c.topology.mean_degree = c.topology.mean_degree * f;
+                   }});
+  if (base.virus.min_message_gap > SimTime::zero()) {
+    knobs.push_back({"virus_min_message_gap", [](core::ScenarioConfig& c, double f) {
+                       c.virus.min_message_gap = c.virus.min_message_gap * f;
+                     }});
+  }
+  if (base.virus.extra_gap_mean > SimTime::zero()) {
+    knobs.push_back({"virus_extra_gap_mean", [](core::ScenarioConfig& c, double f) {
+                       c.virus.extra_gap_mean = c.virus.extra_gap_mean * f;
+                     }});
+  }
+  if (base.virus.trigger == virus::SendTrigger::kPiggyback) {
+    knobs.push_back({"legit_traffic_gap_mean", [](core::ScenarioConfig& c, double f) {
+                       c.virus.legit_traffic_gap_mean = c.virus.legit_traffic_gap_mean * f;
+                     }});
+  }
+  return knobs;
+}
+
+std::string to_table(const std::vector<SensitivityRow>& rows) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-24s %10s %10s %10s %12s\n", "parameter", "x0.5", "x1",
+                "x2", "elasticity");
+  out += line;
+  for (const SensitivityRow& row : rows) {
+    std::snprintf(line, sizeof line, "%-24s %10.1f %10.1f %10.1f %12.3f\n",
+                  row.parameter.c_str(), row.low_final, row.base_final, row.high_final,
+                  row.elasticity);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mvsim::analysis

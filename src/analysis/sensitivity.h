@@ -1,0 +1,52 @@
+// One-at-a-time parameter sensitivity.
+//
+// The paper fixes many behavioral constants without justification
+// (read delay, delivery delay, contact-list size, gap jitter, ...).
+// This module quantifies how much each one actually matters: each
+// parameter is halved and doubled around the base scenario and the
+// elasticity of the outcome (final infections, or time to a level) is
+// reported — the standard one-at-a-time (OAT) screening design.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/scenario.h"
+
+namespace mvsim::analysis {
+
+/// A named way to scale one scenario parameter by a factor.
+struct Perturbation {
+  std::string name;
+  /// Applies `factor` to the parameter inside the config (e.g. halve /
+  /// double the read delay).
+  std::function<void(core::ScenarioConfig&, double factor)> apply;
+};
+
+struct SensitivityRow {
+  std::string parameter;
+  double low_final = 0.0;   ///< outcome with the parameter halved
+  double base_final = 0.0;
+  double high_final = 0.0;  ///< outcome with the parameter doubled
+  /// Central-difference elasticity: d(log outcome) / d(log parameter),
+  /// ~0 = insensitive, |1| = proportional response.
+  double elasticity = 0.0;
+};
+
+/// Runs base plus low/high variants per perturbation (2n+1 experiments).
+[[nodiscard]] std::vector<SensitivityRow> one_at_a_time(
+    const core::ScenarioConfig& base, const std::vector<Perturbation>& perturbations,
+    const core::RunnerOptions& options = {});
+
+/// The standard knob set: read delay, delivery delay, contact-list
+/// size, virus gap, extra-gap jitter, legit-traffic rate (piggyback
+/// viruses only).
+[[nodiscard]] std::vector<Perturbation> standard_perturbations(
+    const core::ScenarioConfig& base);
+
+/// Text table for benches/CLI.
+[[nodiscard]] std::string to_table(const std::vector<SensitivityRow>& rows);
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,122 @@
+#include "analysis/strategy.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace mvsim::analysis {
+
+namespace {
+struct BitName {
+  std::uint32_t bit;
+  const char* name;
+};
+constexpr BitName kBitNames[] = {
+    {kGatewayScan, "scan"},     {kGatewayDetection, "detect"}, {kUserEducation, "educate"},
+    {kImmunization, "patch"},   {kMonitoring, "monitor"},      {kBlacklist, "blacklist"},
+};
+}  // namespace
+
+std::string strategy_name(std::uint32_t mask) {
+  if (mask == 0) return "none";
+  std::string name;
+  for (const BitName& entry : kBitNames) {
+    if (mask & entry.bit) {
+      if (!name.empty()) name += '+';
+      name += entry.name;
+    }
+  }
+  return name;
+}
+
+int mechanism_count(std::uint32_t mask) { return std::popcount(mask & kAllMechanisms); }
+
+response::ResponseSuiteConfig select_mechanisms(const response::ResponseSuiteConfig& kit,
+                                                std::uint32_t mask) {
+  response::ResponseSuiteConfig selected;
+  selected.detectability_threshold = kit.detectability_threshold;
+  if ((mask & kGatewayScan) && kit.gateway_scan) selected.gateway_scan = kit.gateway_scan;
+  if ((mask & kGatewayDetection) && kit.gateway_detection) {
+    selected.gateway_detection = kit.gateway_detection;
+  }
+  if ((mask & kUserEducation) && kit.user_education) {
+    selected.user_education = kit.user_education;
+  }
+  if ((mask & kImmunization) && kit.immunization) selected.immunization = kit.immunization;
+  if ((mask & kMonitoring) && kit.monitoring) selected.monitoring = kit.monitoring;
+  if ((mask & kBlacklist) && kit.blacklist) selected.blacklist = kit.blacklist;
+  return selected;
+}
+
+StrategyStudy evaluate_strategies(const core::ScenarioConfig& base,
+                                  const response::ResponseSuiteConfig& kit, int max_mechanisms,
+                                  const core::RunnerOptions& options) {
+  if (max_mechanisms < 0) {
+    throw std::invalid_argument("evaluate_strategies: max_mechanisms must be >= 0");
+  }
+  // The kit defines which bits are meaningful.
+  std::uint32_t kit_mask = 0;
+  if (kit.gateway_scan) kit_mask |= kGatewayScan;
+  if (kit.gateway_detection) kit_mask |= kGatewayDetection;
+  if (kit.user_education) kit_mask |= kUserEducation;
+  if (kit.immunization) kit_mask |= kImmunization;
+  if (kit.monitoring) kit_mask |= kMonitoring;
+  if (kit.blacklist) kit_mask |= kBlacklist;
+  if (kit_mask == 0) {
+    throw std::invalid_argument("evaluate_strategies: the kit has no mechanisms configured");
+  }
+
+  StrategyStudy study;
+  for (std::uint32_t mask = 0; mask <= kAllMechanisms; ++mask) {
+    if ((mask & ~kit_mask) != 0) continue;  // selects unconfigured mechanisms
+    if (mechanism_count(mask) > max_mechanisms) continue;
+    core::ScenarioConfig scenario = base;
+    scenario.responses = select_mechanisms(kit, mask);
+    scenario.name = base.name + "/" + strategy_name(mask);
+    core::ExperimentResult result = core::run_experiment(scenario, options);
+    StrategyOutcome outcome;
+    outcome.mask = mask;
+    outcome.name = strategy_name(mask);
+    outcome.mechanisms = mechanism_count(mask);
+    outcome.final_infections = result.final_infections.mean();
+    study.outcomes.push_back(outcome);
+  }
+
+  std::sort(study.outcomes.begin(), study.outcomes.end(),
+            [](const StrategyOutcome& a, const StrategyOutcome& b) {
+              if (a.mechanisms != b.mechanisms) return a.mechanisms < b.mechanisms;
+              return a.mask < b.mask;
+            });
+
+  // Containment relative to the empty-set baseline (always present:
+  // mask 0 passes every filter).
+  study.baseline_final = study.outcomes.front().final_infections;
+  for (StrategyOutcome& outcome : study.outcomes) {
+    if (study.baseline_final > 0.0) {
+      outcome.containment =
+          std::clamp(1.0 - outcome.final_infections / study.baseline_final, 0.0, 1.0);
+    }
+  }
+
+  // Pareto front over (minimize mechanisms, minimize final level): an
+  // outcome survives iff no other outcome is at least as good on both
+  // axes and strictly better on one. O(n^2) with n <= 64.
+  for (std::size_t i = 0; i < study.outcomes.size(); ++i) {
+    const StrategyOutcome& candidate = study.outcomes[i];
+    bool dominated = false;
+    for (const StrategyOutcome& other : study.outcomes) {
+      bool as_good = other.mechanisms <= candidate.mechanisms &&
+                     other.final_infections <= candidate.final_infections;
+      bool strictly_better = other.mechanisms < candidate.mechanisms ||
+                             other.final_infections < candidate.final_infections;
+      if (as_good && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) study.pareto.push_back(i);
+  }
+  return study;
+}
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,74 @@
+// Combination-strategy evaluation (paper §6 future work).
+//
+// "This work can be extended with an evaluation of combinations of
+// reaction mechanisms, particularly when a response mechanism that
+// only slows virus propagation requires a secondary mechanism to
+// completely halt virus spread."
+//
+// Given a base scenario and a fully-populated "kit" of mechanism
+// configurations, this module evaluates every subset (up to a size
+// limit), reports containment per subset, and extracts the Pareto
+// front over (mechanism count, final infections) — the cheapest
+// strategies that are not dominated by a smaller-or-equal one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/scenario.h"
+
+namespace mvsim::analysis {
+
+/// Bitmask over the six mechanisms, in the paper's presentation order.
+enum MechanismBit : std::uint32_t {
+  kGatewayScan = 1u << 0,
+  kGatewayDetection = 1u << 1,
+  kUserEducation = 1u << 2,
+  kImmunization = 1u << 3,
+  kMonitoring = 1u << 4,
+  kBlacklist = 1u << 5,
+};
+inline constexpr std::uint32_t kAllMechanisms = (1u << 6) - 1;
+
+/// Short display name ("scan+monitor"); "none" for the empty set.
+[[nodiscard]] std::string strategy_name(std::uint32_t mask);
+
+/// Number of mechanisms in the mask.
+[[nodiscard]] int mechanism_count(std::uint32_t mask);
+
+/// Applies the masked subset of `kit` (a suite with every mechanism
+/// the caller wants considered configured) onto a copy of `base`'s
+/// responses. Mechanisms missing from the kit are skipped even if the
+/// mask selects them.
+[[nodiscard]] response::ResponseSuiteConfig select_mechanisms(
+    const response::ResponseSuiteConfig& kit, std::uint32_t mask);
+
+struct StrategyOutcome {
+  std::uint32_t mask = 0;
+  std::string name;
+  int mechanisms = 0;
+  double final_infections = 0.0;
+  /// 1 - final/baseline_final, clamped to [0, 1]; 1 = complete
+  /// containment relative to the no-response baseline.
+  double containment = 0.0;
+};
+
+struct StrategyStudy {
+  double baseline_final = 0.0;
+  std::vector<StrategyOutcome> outcomes;  ///< ascending by (mechanisms, mask)
+  /// Indices into `outcomes` forming the Pareto front over
+  /// (mechanism count asc, final infections asc).
+  std::vector<std::size_t> pareto;
+};
+
+/// Evaluates every subset of the kit's configured mechanisms with at
+/// most `max_mechanisms` members (the empty set is the baseline and is
+/// always included). Cost grows as C(n, <=k) experiments.
+[[nodiscard]] StrategyStudy evaluate_strategies(const core::ScenarioConfig& base,
+                                                const response::ResponseSuiteConfig& kit,
+                                                int max_mechanisms,
+                                                const core::RunnerOptions& options = {});
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,21 @@
+#include "analysis/sweep.h"
+
+#include <stdexcept>
+
+namespace mvsim::analysis {
+
+SweepResult run_sweep(const std::string& parameter_name, const std::vector<double>& values,
+                      const std::function<core::ScenarioConfig(double)>& make_scenario,
+                      const core::RunnerOptions& options) {
+  if (values.empty()) throw std::invalid_argument("run_sweep: no parameter values");
+  if (!make_scenario) throw std::invalid_argument("run_sweep: empty scenario factory");
+  SweepResult sweep;
+  sweep.parameter_name = parameter_name;
+  sweep.points.reserve(values.size());
+  for (double value : values) {
+    sweep.points.push_back({value, core::run_experiment(make_scenario(value), options)});
+  }
+  return sweep;
+}
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,37 @@
+// One-dimensional parameter sweeps.
+//
+// Every response-mechanism study in the paper is a sweep (activation
+// delay, accuracy, acceptance, rollout time, forced wait, threshold).
+// SweepResult is the common substrate the diminishing-returns analysis
+// (§5.3) consumes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/scenario.h"
+
+namespace mvsim::analysis {
+
+struct SweepPoint {
+  double parameter = 0.0;
+  core::ExperimentResult result;
+};
+
+struct SweepResult {
+  std::string parameter_name;
+  std::vector<SweepPoint> points;  ///< in the order the values were given
+};
+
+/// Runs `make_scenario(value)` for each value. The factory returns the
+/// full scenario (so a sweep can vary anything — virus, response or
+/// population parameters). Values need not be sorted; they are run and
+/// reported in the given order.
+[[nodiscard]] SweepResult run_sweep(const std::string& parameter_name,
+                                    const std::vector<double>& values,
+                                    const std::function<core::ScenarioConfig(double)>& make_scenario,
+                                    const core::RunnerOptions& options = {});
+
+}  // namespace mvsim::analysis

@@ -1,0 +1,317 @@
+#include "cli/cli.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "cli/preset_registry.h"
+#include "config/results_io.h"
+#include "config/scenario_io.h"
+#include "core/runner.h"
+#include "util/json.h"
+
+namespace mvsim::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(mvsim — mobile phone virus response simulator (DSN'07 reproduction)
+
+usage:
+  mvsim run <scenario.json | preset-name> [options]
+      --reps N             replications (default 10)
+      --seed N             master seed (default 3735928559)
+      --threads N          worker threads (default: all cores; results identical)
+      --curve-csv PATH     write the mean infection curve as CSV ('-' = stdout)
+      --summary-json PATH  write the result summary as JSON ('-' = stdout)
+      --quiet              suppress the human-readable summary
+  mvsim compare <a> <b> [...] [--reps N] [--seed N]
+                           run several scenarios/presets, print a comparison table
+  mvsim preset <name>      print a preset scenario as JSON (edit & rerun)
+  mvsim presets            list available presets
+  mvsim validate <file>    parse and validate a scenario file
+  mvsim help               this text
+)";
+
+struct RunOptions {
+  std::string target;
+  int replications = 10;
+  std::uint64_t seed = 0xDEADBEEFULL;
+  int threads = 0;
+  std::string curve_csv;
+  std::string summary_json;
+  bool quiet = false;
+};
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool looks_like_file(const std::string& target) {
+  return target.find('.') != std::string::npos || target.find('/') != std::string::npos;
+}
+
+int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
+                      std::ostream& err) {
+  if (args.empty()) {
+    err << "run: missing scenario file or preset name\n";
+    return 1;
+  }
+  options.target = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* flag) -> const std::string* {
+      if (i + 1 >= args.size()) {
+        err << flag << ": missing value\n";
+        return nullptr;
+      }
+      return &args[++i];
+    };
+    if (arg == "--reps") {
+      const std::string* v = next("--reps");
+      if (v == nullptr) return 1;
+      std::uint64_t reps = 0;
+      if (!parse_u64(*v, reps) || reps == 0 || reps > 100000) {
+        err << "--reps: expected a positive integer, got '" << *v << "'\n";
+        return 1;
+      }
+      options.replications = static_cast<int>(reps);
+    } else if (arg == "--seed") {
+      const std::string* v = next("--seed");
+      if (v == nullptr) return 1;
+      if (!parse_u64(*v, options.seed)) {
+        err << "--seed: expected an integer, got '" << *v << "'\n";
+        return 1;
+      }
+    } else if (arg == "--threads") {
+      const std::string* v = next("--threads");
+      if (v == nullptr) return 1;
+      std::uint64_t threads = 0;
+      if (!parse_u64(*v, threads) || threads > 1024) {
+        err << "--threads: expected an integer in [0, 1024], got '" << *v << "'\n";
+        return 1;
+      }
+      options.threads = static_cast<int>(threads);
+    } else if (arg == "--curve-csv") {
+      const std::string* v = next("--curve-csv");
+      if (v == nullptr) return 1;
+      options.curve_csv = *v;
+    } else if (arg == "--summary-json") {
+      const std::string* v = next("--summary-json");
+      if (v == nullptr) return 1;
+      options.summary_json = *v;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else {
+      err << "run: unknown option '" << arg << "'\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int resolve_scenario(const std::string& target, core::ScenarioConfig& config,
+                     std::ostream& err) {
+  if (auto preset = find_preset(target)) {
+    config = *preset;
+    return 0;
+  }
+  if (!looks_like_file(target)) {
+    err << "unknown preset '" << target << "' (see `mvsim presets`), and it does not look "
+        << "like a file path\n";
+    return 1;
+  }
+  try {
+    config = config::load_scenario_file(target);
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << '\n';
+    return 2;
+  }
+}
+
+int write_to(const std::string& path, const std::string& content, std::ostream& out,
+             std::ostream& err) {
+  if (path == "-") {
+    out << content;
+    return 0;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    err << "cannot write '" << path << "'\n";
+    return 2;
+  }
+  file << content;
+  return 0;
+}
+
+int command_run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  RunOptions options;
+  if (int rc = parse_run_options(args, options, err); rc != 0) return rc;
+
+  core::ScenarioConfig scenario;
+  if (int rc = resolve_scenario(options.target, scenario, err); rc != 0) return rc;
+
+  core::RunnerOptions runner;
+  runner.replications = options.replications;
+  runner.master_seed = options.seed;
+  runner.keep_replications = false;
+  runner.threads = options.threads;
+  core::ExperimentResult result = core::run_experiment(scenario, runner);
+
+  if (!options.quiet) {
+    out << "scenario: " << scenario.name << "\n"
+        << "replications: " << options.replications << " (seed " << options.seed << ")\n"
+        << "final infections: " << result.final_infections.mean() << " +/- "
+        << result.final_infections.ci95_half_width() << " (expected unrestrained plateau "
+        << scenario.expected_unrestrained_plateau() << ")\n"
+        << "messages submitted: " << result.messages_submitted.mean()
+        << ", blocked: " << result.messages_blocked.mean() << "\n";
+  }
+  if (!options.summary_json.empty()) {
+    std::string text = json::stringify(config::results_to_json(scenario, result), 2) + "\n";
+    if (int rc = write_to(options.summary_json, text, out, err); rc != 0) return rc;
+  }
+  if (!options.curve_csv.empty()) {
+    std::ostringstream csv;
+    config::write_curve_csv(result, csv);
+    if (int rc = write_to(options.curve_csv, csv.str(), out, err); rc != 0) return rc;
+  }
+  return 0;
+}
+
+int command_compare(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  std::vector<std::string> targets;
+  int replications = 10;
+  std::uint64_t seed = 0xDEADBEEFULL;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--reps" || args[i] == "--seed") {
+      if (i + 1 >= args.size()) {
+        err << args[i] << ": missing value\n";
+        return 1;
+      }
+      std::uint64_t value = 0;
+      if (!parse_u64(args[i + 1], value)) {
+        err << args[i] << ": expected an integer, got '" << args[i + 1] << "'\n";
+        return 1;
+      }
+      if (args[i] == "--reps") {
+        if (value == 0) {
+          err << "--reps: must be positive\n";
+          return 1;
+        }
+        replications = static_cast<int>(value);
+      } else {
+        seed = value;
+      }
+      ++i;
+    } else {
+      targets.push_back(args[i]);
+    }
+  }
+  if (targets.size() < 2) {
+    err << "compare: need at least two scenarios or presets\n";
+    return 1;
+  }
+
+  struct Row {
+    std::string name;
+    double final_mean;
+    double final_ci;
+    double messages;
+  };
+  std::vector<Row> rows;
+  for (const std::string& target : targets) {
+    core::ScenarioConfig scenario;
+    if (int rc = resolve_scenario(target, scenario, err); rc != 0) return rc;
+    core::RunnerOptions runner;
+    runner.replications = replications;
+    runner.master_seed = seed;
+    runner.keep_replications = false;
+    runner.threads = 0;
+    core::ExperimentResult result = core::run_experiment(scenario, runner);
+    rows.push_back({scenario.name, result.final_infections.mean(),
+                    result.final_infections.ci95_half_width(),
+                    result.messages_submitted.mean()});
+  }
+
+  double baseline = rows.front().final_mean;
+  out << "scenario,final_infected,ci95,pct_of_first,messages_per_rep\n";
+  for (const Row& row : rows) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%s,%.1f,%.1f,%.1f%%,%.0f\n", row.name.c_str(),
+                  row.final_mean, row.final_ci,
+                  baseline > 0.0 ? 100.0 * row.final_mean / baseline : 0.0, row.messages);
+    out << line;
+  }
+  return 0;
+}
+
+int command_preset(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.size() != 1) {
+    err << "preset: expected exactly one preset name\n";
+    return 1;
+  }
+  auto preset = find_preset(args[0]);
+  if (!preset) {
+    err << "unknown preset '" << args[0] << "' (see `mvsim presets`)\n";
+    return 1;
+  }
+  out << json::stringify(config::to_json(*preset), 2) << '\n';
+  return 0;
+}
+
+int command_presets(std::ostream& out) {
+  for (const PresetEntry& entry : list_presets()) {
+    out << "  " << entry.name;
+    for (std::size_t pad = entry.name.size(); pad < 20; ++pad) out << ' ';
+    out << entry.description << '\n';
+  }
+  return 0;
+}
+
+int command_validate(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err) {
+  if (args.size() != 1) {
+    err << "validate: expected exactly one file path\n";
+    return 1;
+  }
+  try {
+    core::ScenarioConfig config = config::load_scenario_file(args[0]);
+    out << "OK: " << config.name << " (" << config.population << " phones, virus '"
+        << config.virus.name << "', " << config.responses.enabled_count()
+        << " response mechanism(s))\n";
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" || args[0] == "-h") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (command == "run") return command_run(rest, out, err);
+    if (command == "compare") return command_compare(rest, out, err);
+    if (command == "preset") return command_preset(rest, out, err);
+    if (command == "presets") return command_presets(out);
+    if (command == "validate") return command_validate(rest, out, err);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  }
+  err << "unknown command '" << command << "'\n\n" << kUsage;
+  return 1;
+}
+
+}  // namespace mvsim::cli

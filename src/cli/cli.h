@@ -1,0 +1,24 @@
+// Command-line driver, implemented as a library so it is unit-testable
+// (the tools/mvsim binary is a three-line main).
+//
+// Commands:
+//   mvsim run <scenario.json | preset-name> [--reps N] [--seed N]
+//         [--curve-csv PATH] [--summary-json PATH] [--quiet]
+//   mvsim preset <name>         print a preset as scenario JSON
+//   mvsim presets               list preset names
+//   mvsim validate <file>       parse + validate a scenario file
+//   mvsim help
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mvsim::cli {
+
+/// Runs one CLI invocation. `args` excludes the program name. Output
+/// goes to `out`, diagnostics to `err`. Returns the process exit code
+/// (0 success, 1 usage error, 2 runtime failure).
+int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostream& err);
+
+}  // namespace mvsim::cli

@@ -1,0 +1,28 @@
+// Named scenario presets addressable from the command line.
+//
+// `mvsim run virus3-baseline` and `mvsim preset fig6-monitoring >
+// my.json` both resolve through this registry; the names cover the
+// paper's baselines and one representative configuration per figure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace mvsim::cli {
+
+struct PresetEntry {
+  std::string name;
+  std::string description;
+};
+
+/// All registered preset names with one-line descriptions, in display
+/// order.
+[[nodiscard]] std::vector<PresetEntry> list_presets();
+
+/// Resolves a preset name; std::nullopt when unknown.
+[[nodiscard]] std::optional<core::ScenarioConfig> find_preset(const std::string& name);
+
+}  // namespace mvsim::cli

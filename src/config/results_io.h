@@ -1,0 +1,26 @@
+// Experiment results -> JSON / CSV export.
+//
+// The CLI writes results in two shapes: a JSON summary document (final
+// levels, counters, per-claim metrics) and a CSV of the mean infection
+// curve (one row per grid point) suitable for any plotting tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/runner.h"
+#include "core/scenario.h"
+#include "util/json.h"
+
+namespace mvsim::config {
+
+/// Summary document: scenario name, replication count, final
+/// infections (mean/ci95/min/max), message counters, response
+/// activity, time-to-level landmarks.
+[[nodiscard]] json::Value results_to_json(const core::ScenarioConfig& scenario,
+                                          const core::ExperimentResult& result);
+
+/// Curve CSV: hours, mean, stddev, ci95, min, max.
+void write_curve_csv(const core::ExperimentResult& result, std::ostream& out);
+
+}  // namespace mvsim::config

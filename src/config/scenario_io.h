@@ -1,0 +1,46 @@
+// Scenario <-> JSON bindings.
+//
+// Every knob of ScenarioConfig (including the virus profile and the
+// response suite) maps to a JSON document, so experiments can live in
+// version-controlled files and be driven by tools/mvsim. Decoding is
+// strict: unknown keys are errors (catching typos like "acceptence"),
+// absent keys take the C++ default, durations are unit-tagged strings
+// ("30min", "6h"), and the decoded config is validate()d before being
+// returned.
+//
+// Example scenario file:
+//   {
+//     "name": "fig2-like",
+//     "population": 1000,
+//     "virus": {"preset": "virus1", "min_message_gap": "45min"},
+//     "responses": {"gateway_scan": {"activation_delay": "6h"}}
+//   }
+#pragma once
+
+#include <string>
+
+#include "core/scenario.h"
+#include "util/json.h"
+
+namespace mvsim::config {
+
+[[nodiscard]] json::Value to_json(const core::ScenarioConfig& config);
+[[nodiscard]] json::Value to_json(const virus::VirusProfile& profile);
+[[nodiscard]] json::Value to_json(const response::ResponseSuiteConfig& suite);
+[[nodiscard]] json::Value to_json(const core::TopologyConfig& topology);
+
+/// Throws std::invalid_argument with a "$.path: reason" message on any
+/// structural problem; the result has passed validate().
+[[nodiscard]] core::ScenarioConfig scenario_from_json(const json::Value& value);
+[[nodiscard]] virus::VirusProfile virus_from_json(const json::Value& value);
+[[nodiscard]] response::ResponseSuiteConfig responses_from_json(const json::Value& value);
+[[nodiscard]] core::TopologyConfig topology_from_json(const json::Value& value);
+
+/// File helpers (throw std::runtime_error on I/O failure).
+[[nodiscard]] core::ScenarioConfig load_scenario_file(const std::string& path);
+void save_scenario_file(const core::ScenarioConfig& config, const std::string& path);
+
+/// Parses a scenario from JSON text (convenience for tests/CLI).
+[[nodiscard]] core::ScenarioConfig scenario_from_text(const std::string& text);
+
+}  // namespace mvsim::config

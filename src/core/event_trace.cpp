@@ -1,0 +1,53 @@
+#include "core/event_trace.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace mvsim::core {
+
+const char* to_string(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kInfection: return "infection";
+    case TraceEventKind::kPatchApplied: return "patch";
+    case TraceEventKind::kVirusDetected: return "detected";
+  }
+  return "?";
+}
+
+void EventTrace::record(SimTime time, TraceEventKind kind, graph::PhoneId phone) {
+  events_.push_back({time, kind, phone});
+}
+
+std::size_t EventTrace::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+SimTime EventTrace::first_time(TraceEventKind kind) const {
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) return e.time;
+  }
+  return SimTime::infinity();
+}
+
+SimTime EventTrace::last_time(TraceEventKind kind) const {
+  SimTime last = SimTime::infinity();
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) last = e.time;
+  }
+  return last;
+}
+
+void EventTrace::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"hours", "kind", "phone"});
+  for (const TraceEvent& e : events_) {
+    csv.row(e.time.to_hours(), to_string(e.kind), e.phone);
+  }
+}
+
+}  // namespace mvsim::core

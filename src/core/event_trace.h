@@ -1,0 +1,55 @@
+// Structured event trace of one replication.
+//
+// The aggregate curves answer "how many"; the trace answers "what
+// happened when": each infection, each patch landing, the detection
+// instant. Useful for debugging a scenario, for timeline narratives
+// (examples/outbreak_timeline) and for exporting to external analysis.
+// Tracing is opt-in (pass an EventTrace to the Simulation constructor)
+// and costs one vector push per recorded event.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/contact_graph.h"
+#include "util/sim_time.h"
+
+namespace mvsim::core {
+
+enum class TraceEventKind : std::uint8_t {
+  kInfection,      ///< a phone became infected (phone = victim)
+  kPatchApplied,   ///< immunization patch landed (phone = target)
+  kVirusDetected,  ///< the gateways crossed the detectability threshold
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime time;
+  TraceEventKind kind;
+  /// The phone concerned; meaningless for kVirusDetected (set to 0).
+  graph::PhoneId phone;
+};
+
+class EventTrace {
+ public:
+  void record(SimTime time, TraceEventKind kind, graph::PhoneId phone);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t count(TraceEventKind kind) const;
+  /// First event of `kind`; SimTime::infinity() if none occurred.
+  [[nodiscard]] SimTime first_time(TraceEventKind kind) const;
+  [[nodiscard]] SimTime last_time(TraceEventKind kind) const;
+
+  /// hours,kind,phone rows (events are already in time order — the
+  /// simulation records them as they happen).
+  void write_csv(std::ostream& out) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace mvsim::core

@@ -1,0 +1,51 @@
+// Experiment presets: the paper's scenarios, one helper per figure.
+//
+// Each preset returns a fully-validated ScenarioConfig; the bench
+// binaries sweep the single parameter their figure varies. Horizons
+// follow §5.1: Viruses 1 and 4 are tracked over 18 days, Virus 2 over
+// 10 days, Virus 3 over about a day.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "virus/profile.h"
+
+namespace mvsim::core {
+
+/// Observation horizon the paper uses for each of the four viruses.
+[[nodiscard]] SimTime paper_horizon_for(const virus::VirusProfile& profile);
+
+/// Sampling step sized to the virus's time scale (fine for Virus 3).
+[[nodiscard]] SimTime paper_sample_step_for(const virus::VirusProfile& profile);
+
+/// Baseline scenario (no response mechanisms) for a given virus —
+/// the Figure 1 setup.
+[[nodiscard]] ScenarioConfig baseline_scenario(const virus::VirusProfile& profile);
+
+/// Figure 2: gateway virus scan against Virus 1 with the given
+/// signature activation delay.
+[[nodiscard]] ScenarioConfig fig2_scan_scenario(SimTime activation_delay);
+
+/// Figure 3: gateway detection algorithm against Virus 2 at the given
+/// detection accuracy.
+[[nodiscard]] ScenarioConfig fig3_detection_scenario(double accuracy);
+
+/// Figure 4: user education lowering eventual acceptance, for any of
+/// the four viruses.
+[[nodiscard]] ScenarioConfig fig4_education_scenario(const virus::VirusProfile& profile,
+                                                     double eventual_acceptance);
+
+/// Figure 5: immunization against Virus 4 with the given development
+/// time and rollout duration.
+[[nodiscard]] ScenarioConfig fig5_immunization_scenario(SimTime development_time,
+                                                        SimTime deployment_duration);
+
+/// Figure 6: monitoring against Virus 3 with the given forced wait.
+[[nodiscard]] ScenarioConfig fig6_monitoring_scenario(SimTime forced_wait);
+
+/// Figure 7: blacklisting against Virus 3 at the given message
+/// threshold.
+[[nodiscard]] ScenarioConfig fig7_blacklist_scenario(std::uint32_t threshold);
+
+}  // namespace mvsim::core

@@ -1,0 +1,88 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "rng/seed.h"
+
+namespace mvsim::core {
+
+namespace {
+
+/// Runs replications [0, count) into `slots`, pulling indices from a
+/// shared counter. Each replication is a fully independent Simulation;
+/// the only shared state is the index counter and the output slot
+/// owned exclusively by the replication that claimed it.
+void run_worker(const ScenarioConfig& config, std::uint64_t master_seed, int count,
+                std::atomic<int>& next, std::vector<ReplicationResult>& slots) {
+  for (;;) {
+    int rep = next.fetch_add(1, std::memory_order_relaxed);
+    if (rep >= count) return;
+    Simulation sim(config, rng::derive_seed(master_seed, static_cast<std::uint64_t>(rep)));
+    slots[static_cast<std::size_t>(rep)] = sim.run();
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOptions& options) {
+  if (options.replications < 1) {
+    throw std::invalid_argument("run_experiment: replications must be >= 1");
+  }
+  if (options.threads < 0) {
+    throw std::invalid_argument("run_experiment: threads must be >= 0");
+  }
+  config.validate().throw_if_invalid();
+
+  int thread_count = options.threads;
+  if (thread_count == 0) {
+    thread_count = static_cast<int>(std::thread::hardware_concurrency());
+    if (thread_count < 1) thread_count = 1;
+  }
+  thread_count = std::min(thread_count, options.replications);
+
+  std::vector<ReplicationResult> slots(static_cast<std::size_t>(options.replications));
+  if (thread_count <= 1) {
+    std::atomic<int> next{0};
+    run_worker(config, options.master_seed, options.replications, next, slots);
+  } else {
+    std::atomic<int> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(thread_count));
+    for (int t = 0; t < thread_count; ++t) {
+      workers.emplace_back(run_worker, std::cref(config), options.master_seed,
+                           options.replications, std::ref(next), std::ref(slots));
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  // Aggregation in replication order makes the result independent of
+  // the scheduling above.
+  ExperimentResult result(stats::AggregatedSeries(config.sample_step, config.horizon));
+  for (ReplicationResult& r : slots) {
+    result.curve.add_replication(r.infections);
+    result.final_infections.add(static_cast<double>(r.total_infected));
+    result.messages_submitted.add(static_cast<double>(r.gateway.messages_submitted));
+    result.messages_blocked.add(static_cast<double>(r.gateway.messages_blocked));
+    result.phones_blacklisted.add(static_cast<double>(r.phones_blacklisted));
+    result.phones_flagged.add(static_cast<double>(r.phones_flagged));
+    result.patches_applied.add(static_cast<double>(r.immunized_healthy + r.patched_infected));
+    result.bluetooth_push_attempts.add(static_cast<double>(r.bluetooth_push_attempts));
+    if (options.keep_replications) result.replications.push_back(std::move(r));
+  }
+  return result;
+}
+
+int replications_from_env(int fallback) {
+  const char* raw = std::getenv("MVSIM_REPS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(std::clamp(value, 1L, 1000L));
+}
+
+}  // namespace mvsim::core

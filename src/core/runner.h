@@ -1,0 +1,54 @@
+// Replication runner: many independent runs of one scenario,
+// aggregated into the mean curve the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "stats/aggregate.h"
+
+namespace mvsim::core {
+
+struct ExperimentResult {
+  /// Mean infected-count curve across replications (plus spread).
+  stats::AggregatedSeries curve;
+  /// Distribution of per-replication totals at the horizon.
+  stats::Accumulator final_infections;
+  stats::Accumulator messages_submitted;
+  stats::Accumulator messages_blocked;
+  stats::Accumulator phones_blacklisted;
+  stats::Accumulator phones_flagged;
+  stats::Accumulator patches_applied;
+  stats::Accumulator bluetooth_push_attempts;
+  /// Per-replication results, in replication order.
+  std::vector<ReplicationResult> replications;
+
+  explicit ExperimentResult(stats::AggregatedSeries aggregated) : curve(std::move(aggregated)) {}
+};
+
+struct RunnerOptions {
+  int replications = 10;
+  std::uint64_t master_seed = 0x5eed'0000'0001ULL;
+  /// Keep the per-replication results (memory is tiny; on by default).
+  bool keep_replications = true;
+  /// Worker threads. Replications are independent simulations, so they
+  /// parallelize perfectly; results are aggregated in replication order
+  /// afterwards, so the outcome is bit-identical for any thread count.
+  /// 0 = use the hardware concurrency.
+  int threads = 1;
+};
+
+/// Runs `options.replications` independent replications of `config`.
+/// Replication i uses seed derive_seed(master_seed, i); the same
+/// (config, options) pair always produces identical results, regardless
+/// of `options.threads`.
+[[nodiscard]] ExperimentResult run_experiment(const ScenarioConfig& config,
+                                              const RunnerOptions& options = {});
+
+/// Reads the replication count for benches from MVSIM_REPS (falls back
+/// to `fallback`; clamped to [1, 1000]).
+[[nodiscard]] int replications_from_env(int fallback);
+
+}  // namespace mvsim::core

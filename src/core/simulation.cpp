@@ -1,0 +1,263 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "response/user_education.h"
+#include "rng/seed.h"
+
+namespace mvsim::core {
+
+namespace {
+// Sub-stream indices under the replication seed; distinct constants
+// keep every component's randomness independent of the others.
+enum StreamIndex : std::uint64_t {
+  kTopologyStream = 1,
+  kUserStream = 2,
+  kVirusStream = 3,
+  kNetStream = 4,
+  kResponseStream = 5,
+  kMobilityStream = 6,
+  kProximityStream = 7,
+};
+
+phone::ConsentModel make_consent(const ScenarioConfig& config) {
+  if (config.responses.user_education) {
+    return response::apply_user_education(*config.responses.user_education);
+  }
+  return phone::ConsentModel::for_eventual_acceptance(config.eventual_acceptance);
+}
+}  // namespace
+
+Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
+                       EventTrace* trace)
+    : config_(config),
+      topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
+      user_stream_(rng::derive_seed(replication_seed, kUserStream)),
+      virus_stream_(rng::derive_seed(replication_seed, kVirusStream)),
+      net_stream_(rng::derive_seed(replication_seed, kNetStream)),
+      response_stream_(rng::derive_seed(replication_seed, kResponseStream)),
+      mobility_stream_(rng::derive_seed(replication_seed, kMobilityStream)),
+      proximity_stream_(rng::derive_seed(replication_seed, kProximityStream)),
+      consent_(make_consent(config)),
+      trace_(trace) {
+  config.validate().throw_if_invalid();
+
+  build_topology();
+
+  gateway_ = std::make_unique<net::Gateway>(scheduler_, net_stream_,
+                                            config_.delivery_delay_mean);
+  gateway_->set_delivery_callback([this](graph::PhoneId recipient, const net::MmsMessage&) {
+    phones_[recipient].receive_infected_message();
+  });
+
+  build_phones();
+  build_responses();
+  build_proximity_channel();
+  seed_patient_zero();
+
+  if (trace_ != nullptr) {
+    detector_->on_detected(
+        [this](SimTime at) { trace_->record(at, TraceEventKind::kVirusDetected, 0); });
+  }
+}
+
+void Simulation::build_proximity_channel() {
+  if (!config_.proximity) return;
+  const ProximityChannelConfig& proximity = *config_.proximity;
+  proximity_grid_ = std::make_unique<mobility::MobilityGrid>(
+      proximity.grid_width, proximity.grid_height, config_.population);
+  proximity_grid_->place_all_uniform(mobility_stream_);
+  movement_ = std::make_unique<mobility::MovementProcess>(scheduler_, *proximity_grid_,
+                                                          mobility_stream_,
+                                                          proximity.dwell_mean);
+}
+
+void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
+  scheduler_.schedule_after(
+      proximity_stream_.exponential(config_.proximity->scan_interval_mean), [this, id] {
+        // A patch kills the worm outright. Blacklisting and monitoring
+        // do NOT apply: the provider's MMS-side levers cannot touch
+        // point-to-point Bluetooth transfers.
+        if (phones_[id].propagation_stopped()) return;
+        graph::PhoneId victim = 0;
+        if (proximity_grid_->sample_co_located(id, proximity_stream_, victim)) {
+          ++bluetooth_push_attempts_;
+          phones_[victim].receive_infected_message();
+        }
+        schedule_bluetooth_scan(id);
+      });
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::build_topology() {
+  switch (config_.topology.kind) {
+    case TopologyConfig::Kind::kPowerLaw: {
+      graph::PowerLawConfig plc;
+      plc.node_count = config_.population;
+      plc.target_mean_degree = config_.topology.mean_degree;
+      plc.alpha = config_.topology.alpha;
+      plc.locality_jitter = config_.topology.locality_jitter;
+      graph_ = std::make_unique<graph::ContactGraph>(
+          graph::generate_power_law(plc, topology_stream_));
+      break;
+    }
+    case TopologyConfig::Kind::kErdosRenyi:
+      graph_ = std::make_unique<graph::ContactGraph>(graph::generate_erdos_renyi(
+          config_.population, config_.topology.mean_degree, topology_stream_));
+      break;
+    case TopologyConfig::Kind::kBarabasiAlbert: {
+      auto m = static_cast<std::uint32_t>(std::llround(config_.topology.mean_degree / 2.0));
+      graph_ = std::make_unique<graph::ContactGraph>(graph::generate_barabasi_albert(
+          config_.population, std::max(1u, m), topology_stream_));
+      break;
+    }
+    case TopologyConfig::Kind::kRegularRing: {
+      auto k = static_cast<std::uint32_t>(std::llround(config_.topology.mean_degree));
+      if (k % 2 == 1) ++k;  // ring lattice needs an even neighbour count
+      graph_ = std::make_unique<graph::ContactGraph>(
+          graph::generate_regular_ring(config_.population, k));
+      break;
+    }
+  }
+}
+
+void Simulation::build_phones() {
+  phone_env_.scheduler = &scheduler_;
+  phone_env_.user_stream = &user_stream_;
+  phone_env_.consent = &consent_;
+  phone_env_.read_delay_mean = config_.read_delay_mean;
+  phone_env_.decision_cutoff = config_.decision_cutoff;
+  phone_env_.on_infected = [this](graph::PhoneId id) { on_phone_infected(id); };
+
+  // "800 are randomly designated as susceptible": sample without
+  // replacement from the whole population.
+  auto susceptible_target = static_cast<std::uint64_t>(
+      std::llround(config_.susceptible_fraction * static_cast<double>(config_.population)));
+  auto chosen = topology_stream_.sample_without_replacement(config_.population,
+                                                            susceptible_target);
+  std::vector<bool> susceptible(config_.population, false);
+  for (auto id : chosen) susceptible[static_cast<std::size_t>(id)] = true;
+
+  phones_.reserve(config_.population);  // never reallocated: phones self-reference via events
+  for (graph::PhoneId id = 0; id < config_.population; ++id) {
+    phones_.emplace_back(id, susceptible[id], &phone_env_);
+    if (susceptible[id]) susceptible_ids_.push_back(id);
+  }
+  processes_.resize(config_.population);
+}
+
+void Simulation::build_responses() {
+  const response::ResponseSuiteConfig& suite = config_.responses;
+
+  // The detectability monitor exists whenever something activates off
+  // it; harmless to build unconditionally and useful for metrics.
+  detector_ = std::make_unique<response::DetectabilityMonitor>(suite.detectability_threshold);
+  gateway_->add_observer(*detector_);
+
+  if (suite.gateway_scan) {
+    scan_ = std::make_unique<response::GatewayScan>(*suite.gateway_scan, scheduler_, *detector_);
+    gateway_->add_filter(*scan_);
+  }
+  if (suite.gateway_detection) {
+    detection_ = std::make_unique<response::GatewayDetection>(*suite.gateway_detection,
+                                                              scheduler_, response_stream_,
+                                                              *detector_);
+    gateway_->add_filter(*detection_);
+  }
+  if (suite.immunization) {
+    std::vector<graph::PhoneId> targets = susceptible_ids_;
+    immunization_ = std::make_unique<response::Immunization>(
+        *suite.immunization, scheduler_, response_stream_, *detector_, std::move(targets),
+        [this](graph::PhoneId id) { on_patch_applied(id); });
+  }
+  if (suite.monitoring) {
+    monitoring_ = std::make_unique<response::Monitoring>(*suite.monitoring);
+    gateway_->add_observer(*monitoring_);
+  }
+  if (suite.blacklist) {
+    blacklist_ = std::make_unique<response::Blacklist>(*suite.blacklist);
+    gateway_->add_observer(*blacklist_);
+  }
+  // (user_education is folded into the ConsentModel at construction.)
+
+  sending_env_.scheduler = &scheduler_;
+  sending_env_.virus_stream = &virus_stream_;
+  sending_env_.gateway = gateway_.get();
+  if (monitoring_) sending_env_.policies.push_back(monitoring_.get());
+  if (blacklist_) sending_env_.policies.push_back(blacklist_.get());
+}
+
+void Simulation::seed_patient_zero() {
+  // Patient zero: uniformly random susceptible phones, infected at t=0.
+  auto picks = topology_stream_.sample_without_replacement(susceptible_ids_.size(),
+                                                           config_.initial_infected);
+  for (auto pick : picks) {
+    graph::PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
+    scheduler_.schedule_at(SimTime::zero(), [this, id] { phones_[id].force_infect(); });
+  }
+}
+
+void Simulation::on_phone_infected(graph::PhoneId id) {
+  ++infected_count_;
+  infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
+  if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kInfection, id);
+
+  std::unique_ptr<virus::Targeter> targeter;
+  if (config_.virus.targeting == virus::TargetingMode::kContactList) {
+    targeter = std::make_unique<virus::ContactListTargeter>(graph_->contacts(id), virus_stream_);
+  } else {
+    targeter = std::make_unique<virus::RandomDialTargeter>(
+        id, config_.population, config_.virus.valid_number_fraction, virus_stream_);
+  }
+  processes_[id] = std::make_unique<virus::SendingProcess>(sending_env_, config_.virus,
+                                                           phones_[id], std::move(targeter));
+  processes_[id]->start();
+
+  if (config_.proximity) {
+    scheduler_.schedule_after(config_.virus.dormancy,
+                              [this, id] { schedule_bluetooth_scan(id); });
+  }
+}
+
+void Simulation::on_patch_applied(graph::PhoneId id) {
+  bool was_infected = phones_[id].infected();
+  bool was_patched = phones_[id].patched();
+  phones_[id].apply_patch();
+  if (was_patched) return;
+  if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kPatchApplied, id);
+  if (was_infected) {
+    ++patched_infected_;
+    if (processes_[id]) processes_[id]->stop();  // stop immediately, not at next attempt
+  } else if (phones_[id].state() == phone::HealthState::kImmunized) {
+    ++immunized_healthy_;
+  }
+}
+
+void Simulation::run_until(SimTime t) { scheduler_.run_until(t); }
+
+ReplicationResult Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run called twice");
+  ran_ = true;
+  run_until(config_.horizon);
+  return result();
+}
+
+ReplicationResult Simulation::result() const {
+  ReplicationResult r;
+  r.infections = infections_;
+  r.total_infected = infected_count_;
+  r.immunized_healthy = immunized_healthy_;
+  r.patched_infected = patched_infected_;
+  r.phones_blacklisted = blacklist_ ? blacklist_->blacklisted_count() : 0;
+  r.phones_flagged = monitoring_ ? monitoring_->flagged_count() : 0;
+  r.bluetooth_push_attempts = bluetooth_push_attempts_;
+  r.gateway = gateway_->counters();
+  r.detected_at = detector_->detected_at();
+  return r;
+}
+
+}  // namespace mvsim::core

@@ -1,0 +1,140 @@
+// One simulation replication: wires the whole system together.
+//
+// Simulation owns the scheduler, the RNG streams, the contact graph,
+// the 1000 phone submodels, the gateway, the virus sending processes
+// and whatever response mechanisms the scenario enables, then runs the
+// event loop to the horizon. One Simulation = one replication; the
+// ReplicationRunner aggregates many.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/event_trace.h"
+#include "core/scenario.h"
+#include "des/scheduler.h"
+#include "graph/contact_graph.h"
+#include "mobility/grid.h"
+#include "mobility/movement.h"
+#include "net/gateway.h"
+#include "phone/phone.h"
+#include "response/blacklist.h"
+#include "response/detectability.h"
+#include "response/gateway_detection.h"
+#include "response/gateway_scan.h"
+#include "response/immunization.h"
+#include "response/monitoring.h"
+#include "rng/stream.h"
+#include "stats/time_series.h"
+#include "virus/sending_process.h"
+
+namespace mvsim::core {
+
+/// Everything a replication reports back.
+struct ReplicationResult {
+  /// Step series of the infected-phone count over time (the quantity
+  /// every figure in the paper plots).
+  stats::TimeSeries infections;
+  std::uint64_t total_infected = 0;
+  std::uint64_t immunized_healthy = 0;   ///< phones patched while healthy
+  std::uint64_t patched_infected = 0;    ///< infected phones silenced by a patch
+  std::uint64_t phones_blacklisted = 0;
+  std::uint64_t phones_flagged = 0;
+  /// Bluetooth infection offers made (dual-vector scenarios only);
+  /// this traffic never transits the gateway.
+  std::uint64_t bluetooth_push_attempts = 0;
+  net::GatewayCounters gateway;
+  /// When the virus crossed the detectability threshold (infinity if
+  /// never, e.g. a virus contained before reaching it).
+  SimTime detected_at = SimTime::infinity();
+};
+
+class Simulation {
+ public:
+  /// Validates `config`; the replication seed makes runs reproducible
+  /// and replications independent. When `trace` is non-null, every
+  /// infection/patch/detection event is recorded into it (the trace
+  /// must outlive the simulation).
+  Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
+             EventTrace* trace = nullptr);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Runs to the configured horizon and returns the result. May be
+  /// called once.
+  ReplicationResult run();
+
+  // ---- Fine-grained access for tests and interactive drivers ----
+
+  /// Advance the clock; run() is equivalent to run_until(horizon) +
+  /// result(). Monotone across calls.
+  void run_until(SimTime t);
+
+  [[nodiscard]] ReplicationResult result() const;
+
+  [[nodiscard]] SimTime now() const { return scheduler_.now(); }
+  [[nodiscard]] std::uint64_t infected_count() const { return infected_count_; }
+  [[nodiscard]] const graph::ContactGraph& contact_graph() const { return *graph_; }
+  [[nodiscard]] const phone::Phone& phone_at(graph::PhoneId id) const { return phones_[id]; }
+  [[nodiscard]] std::size_t susceptible_count() const { return susceptible_ids_.size(); }
+  [[nodiscard]] const net::Gateway& gateway() const { return *gateway_; }
+  [[nodiscard]] des::Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  void build_topology();
+  void build_phones();
+  void build_responses();
+  void build_proximity_channel();
+  void seed_patient_zero();
+  void on_phone_infected(graph::PhoneId id);
+  void on_patch_applied(graph::PhoneId id);
+  void schedule_bluetooth_scan(graph::PhoneId id);
+
+  ScenarioConfig config_;
+
+  // RNG streams — one per concern, all derived from the replication
+  // seed, so no component's draws perturb another's sequence.
+  rng::Stream topology_stream_;
+  rng::Stream user_stream_;
+  rng::Stream virus_stream_;
+  rng::Stream net_stream_;
+  rng::Stream response_stream_;
+  rng::Stream mobility_stream_;
+  rng::Stream proximity_stream_;
+
+  des::Scheduler scheduler_;
+  std::unique_ptr<graph::ContactGraph> graph_;
+  std::unique_ptr<net::Gateway> gateway_;
+
+  phone::ConsentModel consent_;
+  phone::PhoneEnvironment phone_env_;
+  std::vector<phone::Phone> phones_;
+  std::vector<graph::PhoneId> susceptible_ids_;
+
+  virus::SendingEnvironment sending_env_;
+  std::vector<std::unique_ptr<virus::SendingProcess>> processes_;  // index = phone id
+
+  // Response mechanisms (present only when enabled by the scenario).
+  std::unique_ptr<response::DetectabilityMonitor> detector_;
+  std::unique_ptr<response::GatewayScan> scan_;
+  std::unique_ptr<response::GatewayDetection> detection_;
+  std::unique_ptr<response::Immunization> immunization_;
+  std::unique_ptr<response::Monitoring> monitoring_;
+  std::unique_ptr<response::Blacklist> blacklist_;
+
+  // Optional Bluetooth side channel (dual-vector viruses).
+  std::unique_ptr<mobility::MobilityGrid> proximity_grid_;
+  std::unique_ptr<mobility::MovementProcess> movement_;
+
+  stats::TimeSeries infections_;
+  std::uint64_t infected_count_ = 0;
+  std::uint64_t patched_infected_ = 0;
+  std::uint64_t immunized_healthy_ = 0;
+  std::uint64_t bluetooth_push_attempts_ = 0;
+  EventTrace* trace_ = nullptr;  // non-owning, may be null
+  bool ran_ = false;
+};
+
+}  // namespace mvsim::core

@@ -1,0 +1,29 @@
+#include "des/sampler.h"
+
+#include <stdexcept>
+
+namespace mvsim::des {
+
+PeriodicSampler::PeriodicSampler(Scheduler& scheduler, SimTime period, SimTime horizon,
+                                 Probe probe)
+    : scheduler_(&scheduler), period_(period), horizon_(horizon), probe_(std::move(probe)) {
+  if (!(period > SimTime::zero())) {
+    throw std::invalid_argument("PeriodicSampler: period must be positive");
+  }
+  if (!horizon.is_nonnegative()) {
+    throw std::invalid_argument("PeriodicSampler: horizon must be nonnegative");
+  }
+  if (!probe_) throw std::invalid_argument("PeriodicSampler: empty probe");
+  samples_.reserve(static_cast<std::size_t>(horizon / period) + 2);
+  scheduler_->schedule_at(scheduler_->now(), [this] { take_sample(); });
+}
+
+void PeriodicSampler::take_sample() {
+  samples_.emplace_back(scheduler_->now(), probe_());
+  SimTime next = scheduler_->now() + period_;
+  if (next <= horizon_) {
+    scheduler_->schedule_at(next, [this] { take_sample(); });
+  }
+}
+
+}  // namespace mvsim::des

@@ -1,0 +1,42 @@
+// Periodic metric sampler.
+//
+// The paper's figures plot infection count against hours; the sampler
+// reproduces that by polling a probe function on a fixed grid. Samples
+// are (time, value) pairs; the stats layer aggregates them across
+// replications.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "des/scheduler.h"
+#include "util/sim_time.h"
+
+namespace mvsim::des {
+
+class PeriodicSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  /// Polls `probe` at t = 0, period, 2*period, ... while the scheduler
+  /// runs, up to and including `horizon` (inclusive when aligned).
+  /// Must be constructed before the scheduler runs; registers its own
+  /// events. `period` must be positive and `horizon` nonnegative.
+  PeriodicSampler(Scheduler& scheduler, SimTime period, SimTime horizon, Probe probe);
+
+  [[nodiscard]] const std::vector<std::pair<SimTime, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void take_sample();
+
+  Scheduler* scheduler_;
+  SimTime period_;
+  SimTime horizon_;
+  Probe probe_;
+  std::vector<std::pair<SimTime, double>> samples_;
+};
+
+}  // namespace mvsim::des

@@ -1,0 +1,110 @@
+#include "des/scheduler.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mvsim::des {
+
+std::uint64_t Scheduler::allocate_record(Callback fn) {
+  std::uint64_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    records_.emplace_back();
+    id = records_.size();  // ids are 1-based so that a default handle is invalid
+  }
+  Record& rec = records_[id - 1];
+  rec.fn = std::move(fn);
+  rec.live = true;
+  return id;
+}
+
+EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+  if (!(at >= now_)) {
+    throw std::invalid_argument("Scheduler::schedule_at: time " + at.to_string() +
+                                " is before now " + now_.to_string());
+  }
+  if (!fn) throw std::invalid_argument("Scheduler::schedule_at: empty callback");
+  std::uint64_t id = allocate_record(std::move(fn));
+  std::uint64_t generation = records_[id - 1].generation;
+  queue_.push(HeapEntry{at, next_seq_++, id, generation});
+  ++live_events_;
+  return EventHandle{id, generation};
+}
+
+EventHandle Scheduler::schedule_after(SimTime delay, Callback fn) {
+  if (!delay.is_nonnegative()) {
+    throw std::invalid_argument("Scheduler::schedule_after: negative delay " + delay.to_string());
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::cancel(EventHandle handle) {
+  if (!pending(handle)) return false;
+  Record& rec = records_[handle.id_ - 1];
+  rec.live = false;
+  rec.fn = nullptr;
+  ++rec.generation;  // invalidate any copies of the handle
+  --live_events_;
+  ++cancelled_;
+  // The heap entry stays; step() skips it when its generation mismatches.
+  return true;
+}
+
+bool Scheduler::pending(EventHandle handle) const {
+  if (!handle.valid() || handle.id_ > records_.size()) return false;
+  const Record& rec = records_[handle.id_ - 1];
+  return rec.live && rec.generation == handle.generation_;
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    HeapEntry top = queue_.top();
+    Record& rec = records_[top.id - 1];
+    if (!rec.live || rec.generation != top.generation) {
+      // Lazily discard a cancelled/stale entry and reclaim the slot.
+      queue_.pop();
+      if (!rec.live) free_.push_back(top.id);
+      continue;
+    }
+    queue_.pop();
+    now_ = top.at;
+    Callback fn = std::move(rec.fn);
+    rec.live = false;
+    rec.fn = nullptr;
+    ++rec.generation;
+    free_.push_back(top.id);
+    --live_events_;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime until) {
+  if (!(until >= now_)) {
+    throw std::invalid_argument("Scheduler::run_until: horizon " + until.to_string() +
+                                " is before now " + now_.to_string());
+  }
+  while (!queue_.empty()) {
+    HeapEntry top = queue_.top();
+    const Record& rec = records_[top.id - 1];
+    if (!rec.live || rec.generation != top.generation) {
+      queue_.pop();
+      if (!rec.live) free_.push_back(top.id);
+      continue;
+    }
+    if (top.at > until) break;
+    step();
+  }
+  now_ = until;
+}
+
+void Scheduler::run_to_quiescence() {
+  while (step()) {
+  }
+}
+
+}  // namespace mvsim::des

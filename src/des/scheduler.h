@@ -1,0 +1,113 @@
+// Discrete-event scheduler.
+//
+// This is the substrate that replaces the Möbius simulation solver used
+// by the paper: a single-threaded event loop over a binary heap with
+// lazy cancellation. Determinism guarantees:
+//   * events fire in nondecreasing time order;
+//   * events scheduled for the same instant fire in scheduling order
+//     (FIFO tie-break via a monotone sequence number);
+//   * cancellation is O(1) and never perturbs the order of the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace mvsim::des {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+///
+/// Handles are generation-checked: a handle left over from an event
+/// that already fired (or was cancelled) is safely ignored.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Scheduler;
+  EventHandle(std::uint64_t id, std::uint64_t generation) : id_(id), generation_(generation) {}
+  std::uint64_t id_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time. Starts at zero.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  EventHandle schedule_at(SimTime at, Callback fn);
+
+  /// Schedule `fn` to run `delay` from now (delay must be >= 0).
+  EventHandle schedule_after(SimTime delay, Callback fn);
+
+  /// Cancel a pending event. Returns true if the event was still
+  /// pending; false if it already fired, was already cancelled, or the
+  /// handle is empty.
+  bool cancel(EventHandle handle);
+
+  /// True if the handle refers to a still-pending event.
+  [[nodiscard]] bool pending(EventHandle handle) const;
+
+  /// Run events until the queue is empty or the next event is after
+  /// `until`; the clock then rests at min(until, last event time...) —
+  /// specifically, the clock is advanced to `until` on return so that
+  /// now() reflects the full simulated horizon.
+  void run_until(SimTime until);
+
+  /// Run every remaining event (use with care: processes to quiescence).
+  void run_to_quiescence();
+
+  /// Number of events currently pending (cancelled entries excluded).
+  [[nodiscard]] std::size_t pending_count() const { return live_events_; }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+  /// Total events cancelled since construction.
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+
+ private:
+  struct Record {
+    Callback fn;
+    std::uint64_t generation = 0;  // bumped on fire/cancel to invalidate handles
+    bool live = false;
+  };
+
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::uint64_t id;
+    std::uint64_t generation;
+    // Min-heap by (at, seq): priority_queue is a max-heap, so invert.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and runs the top live event; returns false if queue empty.
+  bool step();
+
+  std::uint64_t allocate_record(Callback fn);
+
+  SimTime now_ = SimTime::zero();
+  std::priority_queue<HeapEntry> queue_;
+  std::vector<Record> records_;       // index = id - 1
+  std::vector<std::uint64_t> free_;   // recycled record slots
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
+}  // namespace mvsim::des

@@ -1,0 +1,67 @@
+#include "graph/contact_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mvsim::graph {
+
+ContactGraph::ContactGraph(PhoneId node_count) : offsets_(node_count + 1ULL, 0) {}
+
+ContactGraph::ContactGraph(PhoneId node_count, std::span<const Edge> edges)
+    : offsets_(node_count + 1ULL, 0) {
+  // Two-pass CSR build: count degrees, then fill.
+  for (const Edge& e : edges) {
+    if (e.a >= node_count || e.b >= node_count) {
+      throw std::invalid_argument("ContactGraph: edge endpoint out of range (" +
+                                  std::to_string(e.a) + "," + std::to_string(e.b) + ")");
+    }
+    if (e.a == e.b) {
+      throw std::invalid_argument("ContactGraph: self-loop at phone " + std::to_string(e.a));
+    }
+    ++offsets_[e.a + 1ULL];
+    ++offsets_[e.b + 1ULL];
+  }
+  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  adjacency_.resize(edges.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency_[cursor[e.a]++] = e.b;
+    adjacency_[cursor[e.b]++] = e.a;
+  }
+  for (PhoneId p = 0; p < node_count; ++p) {
+    auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[p]);
+    auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[p + 1ULL]);
+    std::sort(begin, end);
+    if (std::adjacent_find(begin, end) != end) {
+      throw std::invalid_argument("ContactGraph: duplicate edge at phone " + std::to_string(p));
+    }
+  }
+}
+
+std::span<const PhoneId> ContactGraph::contacts(PhoneId phone) const {
+  check_node(phone);
+  return {adjacency_.data() + offsets_[phone], offsets_[phone + 1ULL] - offsets_[phone]};
+}
+
+bool ContactGraph::connected(PhoneId a, PhoneId b) const {
+  check_node(a);
+  check_node(b);
+  auto list = contacts(a);
+  return std::binary_search(list.begin(), list.end(), b);
+}
+
+double ContactGraph::average_degree() const {
+  if (node_count() == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(node_count());
+}
+
+void ContactGraph::check_node(PhoneId phone) const {
+  if (phone >= node_count()) {
+    throw std::out_of_range("ContactGraph: phone " + std::to_string(phone) + " >= node count " +
+                            std::to_string(node_count()));
+  }
+}
+
+}  // namespace mvsim::graph

@@ -1,0 +1,56 @@
+// Reciprocal contact-list graph.
+//
+// The paper's phones are connected by reciprocal contact lists ("if
+// phone 22 is in the contact list of phone 83, then phone 83 is in the
+// contact list of phone 22"), i.e. an undirected simple graph.
+// ContactGraph enforces that invariant at construction: adjacency is
+// symmetric, self-loop-free and duplicate-free by the time a graph is
+// handed to the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mvsim::graph {
+
+using PhoneId = std::uint32_t;
+
+class ContactGraph {
+ public:
+  /// An undirected edge; normalized so a <= b is not required on input.
+  struct Edge {
+    PhoneId a;
+    PhoneId b;
+  };
+
+  /// Builds the graph from an edge list. Throws std::invalid_argument
+  /// on self-loops, duplicate edges (in either orientation) or
+  /// endpoints >= node_count.
+  ContactGraph(PhoneId node_count, std::span<const Edge> edges);
+
+  /// An empty graph (no edges) over `node_count` phones.
+  explicit ContactGraph(PhoneId node_count);
+
+  [[nodiscard]] PhoneId node_count() const { return static_cast<PhoneId>(offsets_.size() - 1); }
+  [[nodiscard]] std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  /// The contact list of `phone`, sorted ascending.
+  [[nodiscard]] std::span<const PhoneId> contacts(PhoneId phone) const;
+
+  [[nodiscard]] std::size_t degree(PhoneId phone) const { return contacts(phone).size(); }
+
+  /// True if `a` and `b` are in each other's contact lists.
+  [[nodiscard]] bool connected(PhoneId a, PhoneId b) const;
+
+  [[nodiscard]] double average_degree() const;
+
+ private:
+  void check_node(PhoneId phone) const;
+
+  // CSR layout: contacts of phone p are adjacency_[offsets_[p] .. offsets_[p+1]).
+  std::vector<std::size_t> offsets_;
+  std::vector<PhoneId> adjacency_;
+};
+
+}  // namespace mvsim::graph

@@ -1,0 +1,329 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace mvsim::graph {
+
+namespace {
+
+/// Packs an undirected edge into one key for duplicate detection.
+std::uint64_t edge_key(PhoneId a, PhoneId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct EdgeAccumulator {
+  explicit EdgeAccumulator(std::size_t expected) { seen.reserve(expected * 2); }
+
+  bool try_add(PhoneId a, PhoneId b) {
+    if (a == b) return false;
+    if (!seen.insert(edge_key(a, b)).second) return false;
+    edges.push_back({a, b});
+    return true;
+  }
+
+  bool contains(PhoneId a, PhoneId b) const { return seen.count(edge_key(a, b)) > 0; }
+
+  void replace(std::size_t index, PhoneId a, PhoneId b) {
+    const ContactGraph::Edge& old = edges[index];
+    seen.erase(edge_key(old.a, old.b));
+    seen.insert(edge_key(a, b));
+    edges[index] = {a, b};
+  }
+
+  void remove(std::size_t index) {
+    seen.erase(edge_key(edges[index].a, edges[index].b));
+    edges[index] = edges.back();
+    edges.pop_back();
+  }
+
+  std::vector<ContactGraph::Edge> edges;
+  std::unordered_set<std::uint64_t> seen;
+};
+
+/// The bounded power-law pmf the degree sampler draws from, kept
+/// locally so the scale calibration can evaluate clamped expectations.
+struct DegreeLaw {
+  DegreeLaw(std::uint64_t k_min, std::uint64_t k_max, double alpha) : k_min_(k_min) {
+    double total = 0.0;
+    pmf_.reserve(k_max - k_min + 1);
+    for (std::uint64_t k = k_min; k <= k_max; ++k) {
+      double w = std::pow(static_cast<double>(k), -alpha);
+      pmf_.push_back(w);
+      total += w;
+    }
+    for (double& p : pmf_) p /= total;
+  }
+
+  /// E[clamp(scale * K, 1, cap)] — strictly increasing in scale until
+  /// every mass point saturates at the cap.
+  [[nodiscard]] double clamped_mean(double scale, double cap) const {
+    double expectation = 0.0;
+    for (std::size_t i = 0; i < pmf_.size(); ++i) {
+      double value = scale * static_cast<double>(k_min_ + i);
+      expectation += pmf_[i] * std::clamp(value, 1.0, cap);
+    }
+    return expectation;
+  }
+
+  /// Smallest scale whose clamped mean reaches `target` (bisection).
+  [[nodiscard]] double solve_scale(double target, double cap) const {
+    double lo = 0.0, hi = 1.0;
+    while (clamped_mean(hi, cap) < target && hi < 1e9) hi *= 2.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      if (clamped_mean(mid, cap) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  }
+
+  std::uint64_t k_min_;
+  std::vector<double> pmf_;
+};
+
+}  // namespace
+
+ValidationErrors PowerLawConfig::validate() const {
+  ValidationErrors errors("PowerLawConfig");
+  errors.require(node_count >= 2, "node_count must be >= 2");
+  errors.require(target_mean_degree > 0.0, "target_mean_degree must be positive");
+  errors.require(target_mean_degree < static_cast<double>(node_count),
+                 "target_mean_degree must be < node_count");
+  errors.require(alpha > 0.0, "alpha must be positive");
+  errors.require(min_degree >= 1, "min_degree must be >= 1");
+  errors.require(locality_jitter >= 0.0, "locality_jitter must be >= 0");
+  if (max_degree != 0) {
+    errors.require(max_degree >= min_degree, "max_degree must be >= min_degree");
+    errors.require(max_degree < node_count, "max_degree must be < node_count");
+  }
+  return errors;
+}
+
+ContactGraph generate_power_law(const PowerLawConfig& config, rng::Stream& stream) {
+  config.validate().throw_if_invalid();
+  const PhoneId n = config.node_count;
+  std::uint32_t max_degree = config.max_degree;
+  if (max_degree == 0) max_degree = std::max<std::uint32_t>(config.min_degree, n / 3);
+  max_degree = std::min<std::uint32_t>(max_degree, n - 1);
+
+  // Draw raw power-law degrees, then rescale so the expected mean hits
+  // the target. Rescaling preserves the heavy-tailed *shape* — which is
+  // all the paper relies on — while pinning the mean contact-list size
+  // (80 in the paper's setup). The scale is calibrated against the
+  // clamped expectation: naive scaling undershoots whenever the tail
+  // would exceed the n-1 degree cap.
+  rng::PowerLawTable table(config.min_degree, max_degree, config.alpha);
+  DegreeLaw law(config.min_degree, max_degree, config.alpha);
+  // max_degree caps the *final* contact-list size: nobody's address
+  // book holds a third of the subscriber base. Without this cap the
+  // scaled tail produces degree-(n-1) super-hubs that let a burst virus
+  // cover the whole network in one generation.
+  const double cap = static_cast<double>(max_degree);
+  const double scale = law.solve_scale(config.target_mean_degree, cap);
+
+  std::vector<std::uint32_t> degrees(n);
+  for (auto& d : degrees) {
+    double scaled = std::clamp(static_cast<double>(table.sample(stream)) * scale, 1.0, cap);
+    // Stochastic rounding keeps the mean unbiased.
+    auto floor_part = static_cast<std::uint32_t>(scaled);
+    double frac = scaled - floor_part;
+    std::uint32_t value = floor_part + (stream.bernoulli(frac) ? 1U : 0U);
+    d = std::clamp<std::uint32_t>(value, 1U, max_degree);
+  }
+
+  // The stub count must be even for pairing.
+  std::uint64_t stub_total = std::accumulate(degrees.begin(), degrees.end(), std::uint64_t{0});
+  if (stub_total % 2 == 1) {
+    auto bump = static_cast<std::size_t>(stream.uniform_index(n));
+    if (degrees[bump] < n - 1) {
+      ++degrees[bump];
+    } else {
+      --degrees[bump];
+    }
+    ++stub_total;  // parity flipped either way; value only used for reserve below
+  }
+
+  // Configuration model: one stub per degree unit, paired after either
+  // a uniform shuffle (locality_jitter == 0) or a sort by ring position
+  // plus positional noise. The latter pairs stubs of nearby phones, so
+  // contact lists overlap locally and the graph acquires the triadic
+  // clustering of real social networks while keeping the exact degree
+  // sequence.
+  std::vector<PhoneId> stubs;
+  stubs.reserve(static_cast<std::size_t>(stub_total));
+  for (PhoneId p = 0; p < n; ++p) {
+    stubs.insert(stubs.end(), degrees[p], p);
+  }
+  if (config.locality_jitter <= 0.0) {
+    stream.shuffle(std::span<PhoneId>(stubs));
+  } else {
+    std::vector<std::pair<double, PhoneId>> keyed;
+    keyed.reserve(stubs.size());
+    for (PhoneId p : stubs) {
+      double position = static_cast<double>(p) / static_cast<double>(n);
+      double key = position + config.locality_jitter * stream.uniform(-0.5, 0.5);
+      key -= std::floor(key);  // wrap around the ring
+      keyed.emplace_back(key, p);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 0; i < keyed.size(); ++i) stubs[i] = keyed[i].second;
+  }
+
+  EdgeAccumulator acc(stubs.size() / 2);
+  std::vector<PhoneId> leftovers;  // stubs whose pairing collided
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (!acc.try_add(stubs[i], stubs[i + 1])) {
+      leftovers.push_back(stubs[i]);
+      leftovers.push_back(stubs[i + 1]);
+    }
+  }
+
+  // Repair pass: rewire collided stub pairs through random edge swaps.
+  // For leftover pair (u, v) pick an existing edge (x, y) and replace it
+  // with (u, x) and (v, y) when all constraints hold. A bounded number
+  // of attempts per pair keeps generation O(edges) with high probability;
+  // irreparable pairs are dropped (shaves < 1% off the mean degree).
+  constexpr int kMaxAttemptsPerPair = 64;
+  for (std::size_t i = 0; i + 1 < leftovers.size(); i += 2) {
+    PhoneId u = leftovers[i];
+    PhoneId v = leftovers[i + 1];
+    if (acc.try_add(u, v)) continue;
+    bool repaired = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerPair && !acc.edges.empty(); ++attempt) {
+      auto index = static_cast<std::size_t>(stream.uniform_index(acc.edges.size()));
+      ContactGraph::Edge e = acc.edges[index];
+      PhoneId x = e.a, y = e.b;
+      if (u == x || u == y || v == x || v == y) continue;
+      if (acc.contains(u, x) || acc.contains(v, y)) continue;
+      acc.replace(index, u, x);
+      acc.try_add(v, y);  // cannot collide: checked above and (x,y) removed
+      repaired = true;
+      break;
+    }
+    if (!repaired) {
+      // Drop the pair; realized degree of u and v falls short by one.
+    }
+  }
+
+  // Exact-mean pass: collisions (dense graphs, hub-heavy sequences)
+  // bleed a few percent of edges; top up with uniform random edges —
+  // or trim — until the realized mean degree matches the target. The
+  // correction is a small fraction of the edge set, so the power-law
+  // shape is untouched.
+  const auto target_edges = static_cast<std::size_t>(
+      std::llround(config.target_mean_degree * static_cast<double>(n) / 2.0));
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 200ULL * (target_edges + 16);
+  while (acc.edges.size() < target_edges && attempts++ < max_attempts) {
+    auto a = static_cast<PhoneId>(stream.uniform_index(n));
+    auto b = static_cast<PhoneId>(stream.uniform_index(n));
+    acc.try_add(a, b);
+  }
+  while (acc.edges.size() > target_edges) {
+    acc.remove(static_cast<std::size_t>(stream.uniform_index(acc.edges.size())));
+  }
+
+  return ContactGraph(n, acc.edges);
+}
+
+ContactGraph generate_erdos_renyi(PhoneId node_count, double target_mean_degree,
+                                  rng::Stream& stream) {
+  if (node_count < 2) throw std::invalid_argument("generate_erdos_renyi: node_count must be >= 2");
+  if (!(target_mean_degree > 0.0) || target_mean_degree >= static_cast<double>(node_count)) {
+    throw std::invalid_argument("generate_erdos_renyi: mean degree out of range");
+  }
+  // In G(n, p) the mean degree is p * (n - 1).
+  const double p = target_mean_degree / static_cast<double>(node_count - 1);
+  std::vector<ContactGraph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(target_mean_degree) * node_count / 2 + 16);
+  // Geometric skipping: iterate only over present edges, O(edges).
+  const double log1mp = std::log1p(-p);
+  std::uint64_t total_pairs = static_cast<std::uint64_t>(node_count) * (node_count - 1) / 2;
+  std::uint64_t position = 0;
+  while (true) {
+    double u = stream.uniform01();
+    auto skip = static_cast<std::uint64_t>(std::floor(std::log1p(-u) / log1mp));
+    position += skip;
+    if (position >= total_pairs) break;
+    // Unrank `position` into (a, b), a < b: row a has (n-1-a) pairs.
+    std::uint64_t remaining = position;
+    PhoneId a = 0;
+    std::uint64_t row = node_count - 1;
+    while (remaining >= row) {
+      remaining -= row;
+      --row;
+      ++a;
+    }
+    PhoneId b = static_cast<PhoneId>(a + 1 + remaining);
+    edges.push_back({a, b});
+    ++position;
+  }
+  return ContactGraph(node_count, edges);
+}
+
+ContactGraph generate_barabasi_albert(PhoneId node_count, std::uint32_t edges_per_node,
+                                      rng::Stream& stream) {
+  if (edges_per_node == 0) {
+    throw std::invalid_argument("generate_barabasi_albert: edges_per_node must be >= 1");
+  }
+  if (node_count <= edges_per_node) {
+    throw std::invalid_argument("generate_barabasi_albert: node_count must exceed edges_per_node");
+  }
+  // Seed graph: a clique over the first m+1 nodes, so every early node
+  // has nonzero degree and attachment is well-defined.
+  const std::uint32_t m = edges_per_node;
+  EdgeAccumulator acc(static_cast<std::size_t>(node_count) * m);
+  // The repeated-endpoints trick: sampling a uniform entry of this list
+  // IS degree-proportional sampling.
+  std::vector<PhoneId> endpoints;
+  endpoints.reserve(2ULL * node_count * m);
+  for (PhoneId a = 0; a <= m; ++a) {
+    for (PhoneId b = a + 1; b <= m; ++b) {
+      acc.try_add(a, b);
+      endpoints.push_back(a);
+      endpoints.push_back(b);
+    }
+  }
+  for (PhoneId arrival = m + 1; arrival < node_count; ++arrival) {
+    std::uint32_t attached = 0;
+    // Rejection keeps targets distinct; with m far below the graph
+    // size the expected retry count is negligible.
+    std::uint32_t guard = 0;
+    while (attached < m && guard++ < 100 * m) {
+      PhoneId target = endpoints[static_cast<std::size_t>(stream.uniform_index(endpoints.size()))];
+      if (acc.try_add(arrival, target)) {
+        endpoints.push_back(arrival);
+        endpoints.push_back(target);
+        ++attached;
+      }
+    }
+  }
+  return ContactGraph(node_count, acc.edges);
+}
+
+ContactGraph generate_regular_ring(PhoneId node_count, std::uint32_t k) {
+  if (node_count < 3) throw std::invalid_argument("generate_regular_ring: node_count must be >= 3");
+  if (k % 2 != 0) throw std::invalid_argument("generate_regular_ring: k must be even");
+  if (k >= node_count) throw std::invalid_argument("generate_regular_ring: k must be < node_count");
+  std::vector<ContactGraph::Edge> edges;
+  edges.reserve(static_cast<std::size_t>(node_count) * k / 2);
+  for (PhoneId p = 0; p < node_count; ++p) {
+    for (std::uint32_t offset = 1; offset <= k / 2; ++offset) {
+      PhoneId q = static_cast<PhoneId>((p + offset) % node_count);
+      edges.push_back({p, q});
+    }
+  }
+  return ContactGraph(node_count, edges);
+}
+
+}  // namespace mvsim::graph

@@ -1,0 +1,90 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace mvsim::graph {
+
+DegreeStats degree_stats(const ContactGraph& graph) {
+  DegreeStats stats;
+  const PhoneId n = graph.node_count();
+  if (n == 0) return stats;
+  stats.min = graph.degree(0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (PhoneId p = 0; p < n; ++p) {
+    std::size_t d = graph.degree(p);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+    if (d >= stats.histogram.size()) stats.histogram.resize(d + 1, 0);
+    ++stats.histogram[d];
+  }
+  stats.mean = sum / n;
+  double variance = std::max(0.0, sum_sq / n - stats.mean * stats.mean);
+  stats.stddev = std::sqrt(variance);
+  return stats;
+}
+
+std::vector<std::uint32_t> component_labels(const ContactGraph& graph) {
+  const PhoneId n = graph.node_count();
+  constexpr std::uint32_t kUnvisited = ~0U;
+  std::vector<std::uint32_t> labels(n, kUnvisited);
+  std::uint32_t next_label = 0;
+  std::queue<PhoneId> frontier;
+  for (PhoneId start = 0; start < n; ++start) {
+    if (labels[start] != kUnvisited) continue;
+    labels[start] = next_label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      PhoneId p = frontier.front();
+      frontier.pop();
+      for (PhoneId q : graph.contacts(p)) {
+        if (labels[q] == kUnvisited) {
+          labels[q] = next_label;
+          frontier.push(q);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return labels;
+}
+
+ComponentStats component_stats(const ContactGraph& graph) {
+  ComponentStats stats;
+  auto labels = component_labels(graph);
+  if (labels.empty()) return stats;
+  std::vector<std::size_t> sizes;
+  for (std::uint32_t label : labels) {
+    if (label >= sizes.size()) sizes.resize(label + 1ULL, 0);
+    ++sizes[label];
+  }
+  stats.component_count = sizes.size();
+  stats.largest_size = *std::max_element(sizes.begin(), sizes.end());
+  stats.largest_fraction = static_cast<double>(stats.largest_size) /
+                           static_cast<double>(graph.node_count());
+  return stats;
+}
+
+double global_clustering_coefficient(const ContactGraph& graph) {
+  const PhoneId n = graph.node_count();
+  std::uint64_t closed = 0;  // ordered triangles (each triangle counted 6x)
+  std::uint64_t triads = 0;  // ordered open+closed paths of length 2
+  for (PhoneId p = 0; p < n; ++p) {
+    auto list = graph.contacts(p);
+    std::size_t d = list.size();
+    if (d < 2) continue;
+    triads += static_cast<std::uint64_t>(d) * (d - 1);
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) {
+        if (graph.connected(list[i], list[j])) closed += 2;
+      }
+    }
+  }
+  if (triads == 0) return 0.0;
+  return static_cast<double>(closed) / static_cast<double>(triads);
+}
+
+}  // namespace mvsim::graph

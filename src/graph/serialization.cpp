@@ -1,0 +1,112 @@
+#include "graph/serialization.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mvsim::graph {
+
+void write_contact_lists(const ContactGraph& graph, std::ostream& out) {
+  out << "# mvsim contact lists: " << graph.node_count() << " phones, " << graph.edge_count()
+      << " reciprocal links\n";
+  for (PhoneId p = 0; p < graph.node_count(); ++p) {
+    out << p << ':';
+    for (PhoneId q : graph.contacts(p)) out << ' ' << q;
+    out << '\n';
+  }
+}
+
+ContactGraph read_contact_lists(std::istream& in) {
+  std::vector<std::vector<PhoneId>> lists;
+  std::vector<bool> defined;
+  std::string line;
+  long line_number = 0;
+
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("contact-list line " + std::to_string(line_number) + ": " + why);
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Strip comments and whitespace-only lines.
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    auto colon = line.find(':');
+    if (colon == std::string::npos) fail("missing ':'");
+    std::uint64_t id = 0;
+    try {
+      std::size_t consumed = 0;
+      id = std::stoull(line.substr(0, colon), &consumed);
+      if (line.substr(0, colon).find_first_not_of(" \t", consumed) != std::string::npos) {
+        fail("trailing characters in phone id");
+      }
+    } catch (const std::exception&) {
+      fail("unparsable phone id");
+    }
+    if (id >= lists.size()) {
+      lists.resize(id + 1);
+      defined.resize(id + 1, false);
+    }
+    if (defined[id]) fail("phone " + std::to_string(id) + " defined twice");
+    defined[id] = true;
+
+    std::istringstream rest(line.substr(colon + 1));
+    std::uint64_t contact = 0;
+    while (rest >> contact) {
+      if (contact == id) fail("self-loop at phone " + std::to_string(id));
+      lists[id].push_back(static_cast<PhoneId>(contact));
+    }
+    if (!rest.eof()) fail("unparsable contact id");
+  }
+
+  const auto n = static_cast<PhoneId>(lists.size());
+  for (PhoneId p = 0; p < n; ++p) {
+    if (!defined[p]) {
+      throw std::invalid_argument("contact-list file: phone " + std::to_string(p) +
+                                  " missing (ids must be dense 0..n-1)");
+    }
+    for (PhoneId q : lists[p]) {
+      if (q >= n) {
+        throw std::invalid_argument("contact-list file: phone " + std::to_string(p) +
+                                    " references unknown phone " + std::to_string(q));
+      }
+    }
+  }
+
+  // Build edges from the lower endpoint only, verifying reciprocity.
+  std::vector<ContactGraph::Edge> edges;
+  for (PhoneId p = 0; p < n; ++p) {
+    std::sort(lists[p].begin(), lists[p].end());
+    for (PhoneId q : lists[p]) {
+      if (!std::binary_search(lists[q].begin(), lists[q].end(), p)) {
+        // lists[q] may be unsorted if q > p; sort on demand.
+        std::sort(lists[q].begin(), lists[q].end());
+        if (!std::binary_search(lists[q].begin(), lists[q].end(), p)) {
+          throw std::invalid_argument("contact-list file: link " + std::to_string(p) + "->" +
+                                      std::to_string(q) + " is not reciprocal");
+        }
+      }
+      if (p < q) edges.push_back({p, q});
+    }
+  }
+  return ContactGraph(n, edges);
+}
+
+std::string to_contact_list_string(const ContactGraph& graph) {
+  std::ostringstream out;
+  write_contact_lists(graph, out);
+  return out.str();
+}
+
+ContactGraph from_contact_list_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_contact_lists(in);
+}
+
+}  // namespace mvsim::graph

@@ -1,0 +1,33 @@
+// NGCE-style contact-list file round-trip.
+//
+// The paper modified NGCE to emit a contact-list file that its Möbius
+// model read back. We reproduce that interchange format so generated
+// topologies can be saved, inspected, diffed and re-loaded:
+//
+//   # comment lines allowed
+//   <phone-id>: <contact> <contact> ...
+//
+// Every phone appears exactly once (possibly with an empty list); the
+// loader verifies reciprocity and rejects malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/contact_graph.h"
+
+namespace mvsim::graph {
+
+/// Writes the graph as one contact-list line per phone.
+void write_contact_lists(const ContactGraph& graph, std::ostream& out);
+
+/// Parses a contact-list stream. Throws std::invalid_argument with a
+/// line-numbered message on malformed input, missing reciprocity,
+/// self-loops or duplicate ids.
+[[nodiscard]] ContactGraph read_contact_lists(std::istream& in);
+
+/// Convenience: serialize to / parse from a string.
+[[nodiscard]] std::string to_contact_list_string(const ContactGraph& graph);
+[[nodiscard]] ContactGraph from_contact_list_string(const std::string& text);
+
+}  // namespace mvsim::graph

@@ -1,0 +1,183 @@
+#include "mobility/bluetooth.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/seed.h"
+
+namespace mvsim::mobility {
+
+namespace {
+enum StreamIndex : std::uint64_t {
+  kMobilityStream = 11,
+  kUserStream = 12,
+  kWormStream = 13,
+  kResponseStream = 14,
+};
+
+phone::ConsentModel make_consent(const BluetoothScenarioConfig& config) {
+  if (config.user_education) return response::apply_user_education(*config.user_education);
+  return phone::ConsentModel::for_eventual_acceptance(config.eventual_acceptance);
+}
+}  // namespace
+
+ValidationErrors BluetoothImmunizationConfig::validate() const {
+  ValidationErrors errors("BluetoothImmunizationConfig");
+  errors.require(detection_time >= SimTime::zero() && detection_time.is_finite(),
+                 "detection_time must be finite and >= 0");
+  errors.require(development_time >= SimTime::zero() && development_time.is_finite(),
+                 "development_time must be finite and >= 0");
+  errors.require(deployment_duration >= SimTime::zero() && deployment_duration.is_finite(),
+                 "deployment_duration must be finite and >= 0");
+  return errors;
+}
+
+ValidationErrors BluetoothScenarioConfig::validate() const {
+  ValidationErrors errors("BluetoothScenarioConfig(" + name + ")");
+  errors.require(population >= 2, "population must be >= 2");
+  errors.require(susceptible_fraction > 0.0 && susceptible_fraction <= 1.0,
+                 "susceptible_fraction must be in (0, 1]");
+  errors.require(initial_infected >= 1, "initial_infected must be >= 1");
+  errors.require(grid_width >= 1 && grid_height >= 1, "grid dimensions must be positive");
+  errors.require(dwell_mean > SimTime::zero(), "dwell_mean must be positive");
+  errors.require(scan_interval_mean > SimTime::zero(), "scan_interval_mean must be positive");
+  errors.require(dormancy >= SimTime::zero(), "dormancy must be >= 0");
+  errors.require(eventual_acceptance >= 0.0 && eventual_acceptance <= 0.70,
+                 "eventual_acceptance must be in [0, 0.70]");
+  errors.require(decision_delay_mean > SimTime::zero(), "decision_delay_mean must be positive");
+  errors.require(decision_cutoff >= 1, "decision_cutoff must be >= 1");
+  if (user_education) errors.merge(user_education->validate());
+  if (immunization) errors.merge(immunization->validate());
+  errors.require(horizon > SimTime::zero() && horizon.is_finite(),
+                 "horizon must be finite and positive");
+  errors.require(sample_step > SimTime::zero() && sample_step <= horizon,
+                 "sample_step must be positive and <= horizon");
+  return errors;
+}
+
+double BluetoothScenarioConfig::expected_unrestrained_plateau() const {
+  double acceptance =
+      user_education ? user_education->eventual_acceptance : eventual_acceptance;
+  return static_cast<double>(population) * susceptible_fraction * acceptance;
+}
+
+BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
+                                         std::uint64_t replication_seed)
+    : config_(config),
+      mobility_stream_(rng::derive_seed(replication_seed, kMobilityStream)),
+      user_stream_(rng::derive_seed(replication_seed, kUserStream)),
+      worm_stream_(rng::derive_seed(replication_seed, kWormStream)),
+      response_stream_(rng::derive_seed(replication_seed, kResponseStream)),
+      grid_(config.grid_width, config.grid_height, config.population),
+      consent_(make_consent(config)) {
+  config.validate().throw_if_invalid();
+
+  grid_.place_all_uniform(mobility_stream_);
+  movement_ = std::make_unique<MovementProcess>(scheduler_, grid_, mobility_stream_,
+                                                config_.dwell_mean);
+
+  phone_env_.scheduler = &scheduler_;
+  phone_env_.user_stream = &user_stream_;
+  phone_env_.consent = &consent_;
+  phone_env_.read_delay_mean = config_.decision_delay_mean;
+  phone_env_.decision_cutoff = config_.decision_cutoff;
+  phone_env_.on_infected = [this](PhoneId id) { on_phone_infected(id); };
+
+  auto susceptible_target = static_cast<std::uint64_t>(std::llround(
+      config_.susceptible_fraction * static_cast<double>(config_.population)));
+  auto chosen =
+      mobility_stream_.sample_without_replacement(config_.population, susceptible_target);
+  std::vector<bool> susceptible(config_.population, false);
+  for (auto id : chosen) susceptible[static_cast<std::size_t>(id)] = true;
+
+  phones_.reserve(config_.population);
+  for (PhoneId id = 0; id < config_.population; ++id) {
+    phones_.emplace_back(id, susceptible[id], &phone_env_);
+    if (susceptible[id]) susceptible_ids_.push_back(id);
+  }
+
+  auto picks = mobility_stream_.sample_without_replacement(susceptible_ids_.size(),
+                                                           config_.initial_infected);
+  for (auto pick : picks) {
+    PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
+    scheduler_.schedule_at(SimTime::zero(), [this, id] { phones_[id].force_infect(); });
+  }
+
+  if (config_.immunization) {
+    SimTime rollout_start =
+        config_.immunization->detection_time + config_.immunization->development_time;
+    scheduler_.schedule_at(rollout_start, [this] { begin_patch_rollout(); });
+  }
+}
+
+BluetoothSimulation::~BluetoothSimulation() = default;
+
+void BluetoothSimulation::on_phone_infected(PhoneId id) {
+  ++infected_count_;
+  infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
+  scheduler_.schedule_after(config_.dormancy, [this, id] { schedule_scan(id); });
+}
+
+void BluetoothSimulation::schedule_scan(PhoneId id) {
+  scheduler_.schedule_after(worm_stream_.exponential(config_.scan_interval_mean), [this, id] {
+    // A patch on an infected phone disables the worm (same semantics
+    // as the MMS sending process).
+    if (phones_[id].propagation_stopped()) return;
+    PhoneId victim = 0;
+    if (grid_.sample_co_located(id, worm_stream_, victim)) {
+      ++push_attempts_;
+      phones_[victim].receive_infected_message();
+    } else {
+      ++lonely_scans_;
+    }
+    schedule_scan(id);
+  });
+}
+
+void BluetoothSimulation::begin_patch_rollout() {
+  for (PhoneId target : susceptible_ids_) {
+    SimTime offset = config_.immunization->deployment_duration > SimTime::zero()
+                         ? response_stream_.uniform(SimTime::zero(),
+                                                    config_.immunization->deployment_duration)
+                         : SimTime::zero();
+    scheduler_.schedule_after(offset, [this, target] {
+      phones_[target].apply_patch();
+      ++patches_applied_;
+    });
+  }
+}
+
+BluetoothReplicationResult BluetoothSimulation::run() {
+  if (ran_) throw std::logic_error("BluetoothSimulation::run called twice");
+  ran_ = true;
+  scheduler_.run_until(config_.horizon);
+  BluetoothReplicationResult result;
+  result.infections = infections_;
+  result.total_infected = infected_count_;
+  result.push_attempts = push_attempts_;
+  result.lonely_scans = lonely_scans_;
+  result.patches_applied = patches_applied_;
+  return result;
+}
+
+BluetoothExperimentResult run_bluetooth_experiment(const BluetoothScenarioConfig& config,
+                                                   int replications,
+                                                   std::uint64_t master_seed) {
+  if (replications < 1) {
+    throw std::invalid_argument("run_bluetooth_experiment: replications must be >= 1");
+  }
+  config.validate().throw_if_invalid();
+  BluetoothExperimentResult result(
+      stats::AggregatedSeries(config.sample_step, config.horizon));
+  for (int rep = 0; rep < replications; ++rep) {
+    BluetoothSimulation sim(config,
+                            rng::derive_seed(master_seed, static_cast<std::uint64_t>(rep)));
+    BluetoothReplicationResult r = sim.run();
+    result.curve.add_replication(r.infections);
+    result.final_infections.add(static_cast<double>(r.total_infected));
+    result.push_attempts.add(static_cast<double>(r.push_attempts));
+  }
+  return result;
+}
+
+}  // namespace mvsim::mobility

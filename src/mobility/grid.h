@@ -1,0 +1,71 @@
+// Cell-grid occupancy model for proximity (Bluetooth) propagation.
+//
+// The paper's future work (§6) points at viruses "that spread using
+// the Bluetooth interface on a phone". Bluetooth only reaches phones
+// within radio range, so propagation is governed by physical
+// co-location. MobilityGrid discretizes space into a torus of cells —
+// one cell ~ one Bluetooth radio neighbourhood (a train car, a café) —
+// and maintains which phones currently occupy each cell, with O(1)
+// moves and uniform sampling of co-located phones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/message.h"
+#include "rng/stream.h"
+
+namespace mvsim::mobility {
+
+using net::PhoneId;
+
+/// Index of a grid cell (row-major).
+using CellId = std::uint32_t;
+
+class MobilityGrid {
+ public:
+  /// A `width x height` torus; phones are placed via place().
+  MobilityGrid(std::uint32_t width, std::uint32_t height, PhoneId phone_count);
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+  [[nodiscard]] std::uint32_t cell_count() const { return width_ * height_; }
+  [[nodiscard]] PhoneId phone_count() const { return static_cast<PhoneId>(cell_of_.size()); }
+
+  /// Put a phone into a cell (initial placement). A phone may be
+  /// placed only once; use move() afterwards.
+  void place(PhoneId phone, CellId cell);
+
+  /// Uniformly random initial placement of every phone.
+  void place_all_uniform(rng::Stream& stream);
+
+  /// Move a phone to an adjacent cell (4-neighbourhood, torus wrap),
+  /// chosen uniformly at random.
+  void move_to_random_neighbour(PhoneId phone, rng::Stream& stream);
+
+  [[nodiscard]] CellId cell_of(PhoneId phone) const;
+  [[nodiscard]] std::span<const PhoneId> phones_in(CellId cell) const;
+  [[nodiscard]] std::size_t occupancy(CellId cell) const { return cells_[cell].size(); }
+
+  /// A uniformly random phone sharing `phone`'s cell, excluding
+  /// `phone` itself; returns false if the phone is alone.
+  [[nodiscard]] bool sample_co_located(PhoneId phone, rng::Stream& stream, PhoneId& out) const;
+
+  /// Mean/max phones per cell (for tests and diagnostics).
+  [[nodiscard]] double mean_occupancy() const;
+  [[nodiscard]] std::size_t max_occupancy() const;
+
+ private:
+  void remove_from_cell(PhoneId phone);
+  void insert_into_cell(PhoneId phone, CellId cell);
+
+  std::uint32_t width_;
+  std::uint32_t height_;
+  std::vector<std::vector<PhoneId>> cells_;   // phones per cell
+  std::vector<CellId> cell_of_;               // current cell per phone
+  std::vector<std::uint32_t> slot_of_;        // index within the cell vector
+  static constexpr CellId kNowhere = ~0U;
+};
+
+}  // namespace mvsim::mobility

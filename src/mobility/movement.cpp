@@ -1,0 +1,24 @@
+#include "mobility/movement.h"
+
+#include <stdexcept>
+
+namespace mvsim::mobility {
+
+MovementProcess::MovementProcess(des::Scheduler& scheduler, MobilityGrid& grid,
+                                 rng::Stream& stream, SimTime dwell_mean)
+    : scheduler_(&scheduler), grid_(&grid), stream_(&stream), dwell_mean_(dwell_mean) {
+  if (!(dwell_mean > SimTime::zero())) {
+    throw std::invalid_argument("MovementProcess: dwell_mean must be positive");
+  }
+  for (PhoneId p = 0; p < grid_->phone_count(); ++p) schedule_move(p);
+}
+
+void MovementProcess::schedule_move(PhoneId phone) {
+  scheduler_->schedule_after(stream_->exponential(dwell_mean_), [this, phone] {
+    grid_->move_to_random_neighbour(phone, *stream_);
+    ++moves_;
+    schedule_move(phone);
+  });
+}
+
+}  // namespace mvsim::mobility

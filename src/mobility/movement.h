@@ -1,0 +1,33 @@
+// Per-phone movement process: random walk over the cell grid with
+// exponential dwell times (a standard coarse model of human mobility
+// between neighbourhoods/venues).
+#pragma once
+
+#include "des/scheduler.h"
+#include "mobility/grid.h"
+#include "rng/stream.h"
+#include "util/sim_time.h"
+
+namespace mvsim::mobility {
+
+class MovementProcess {
+ public:
+  /// Starts one move chain per phone: each phone independently moves
+  /// to a random neighbouring cell after an exponential dwell with the
+  /// given mean. All phones must already be placed on the grid.
+  MovementProcess(des::Scheduler& scheduler, MobilityGrid& grid, rng::Stream& stream,
+                  SimTime dwell_mean);
+
+  [[nodiscard]] std::uint64_t moves_performed() const { return moves_; }
+
+ private:
+  void schedule_move(PhoneId phone);
+
+  des::Scheduler* scheduler_;
+  MobilityGrid* grid_;
+  rng::Stream* stream_;
+  SimTime dwell_mean_;
+  std::uint64_t moves_ = 0;
+};
+
+}  // namespace mvsim::mobility

@@ -1,0 +1,60 @@
+#include "net/gateway.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace mvsim::net {
+
+Gateway::Gateway(des::Scheduler& scheduler, rng::Stream& stream, SimTime delivery_delay_mean)
+    : scheduler_(&scheduler), stream_(&stream), delivery_delay_mean_(delivery_delay_mean) {
+  if (!(delivery_delay_mean > SimTime::zero())) {
+    throw std::invalid_argument("Gateway: delivery_delay_mean must be positive");
+  }
+}
+
+void Gateway::add_filter(DeliveryFilter& filter) { filters_.push_back(&filter); }
+
+void Gateway::add_observer(GatewayObserver& observer) { observers_.push_back(&observer); }
+
+void Gateway::set_delivery_callback(DeliveryCallback callback) {
+  deliver_ = std::move(callback);
+}
+
+void Gateway::submit(MmsMessage message) {
+  message.sequence = next_sequence_++;
+  const SimTime now = scheduler_->now();
+
+  ++counters_.messages_submitted;
+  if (message.infected) ++counters_.infected_messages_submitted;
+  for (GatewayObserver* obs : observers_) obs->on_submitted(message, now);
+
+  for (DeliveryFilter* filter : filters_) {
+    if (filter->inspect(message, now) == DeliveryFilter::Decision::kBlock) {
+      ++counters_.messages_blocked;
+      for (GatewayObserver* obs : observers_) obs->on_blocked(message, now);
+      return;
+    }
+  }
+
+  if (!deliver_) return;  // no subscriber (unit tests exercising counters only)
+
+  // One transit event per message; recipients share the transit delay.
+  // Invalid numbers are dropped here — the provider's switch discovers
+  // at routing time that the dialed number has no subscriber.
+  std::size_t valid = message.valid_recipient_count();
+  counters_.invalid_recipients_dropped +=
+      static_cast<std::uint64_t>(message.recipients.size() - valid);
+  if (valid == 0) return;
+  counters_.recipients_delivered += valid;
+
+  SimTime delay = stream_->exponential(delivery_delay_mean_);
+  auto shared = std::make_shared<MmsMessage>(std::move(message));
+  scheduler_->schedule_after(delay, [this, shared] {
+    for (const DialedRecipient& r : shared->recipients) {
+      if (r.valid) deliver_(r.phone, *shared);
+    }
+  });
+}
+
+}  // namespace mvsim::net

@@ -1,0 +1,12 @@
+#include "net/message.h"
+
+#include <algorithm>
+
+namespace mvsim::net {
+
+std::size_t MmsMessage::valid_recipient_count() const {
+  return static_cast<std::size_t>(std::count_if(recipients.begin(), recipients.end(),
+                                                [](const DialedRecipient& r) { return r.valid; }));
+}
+
+}  // namespace mvsim::net

@@ -1,0 +1,38 @@
+// MMS message model.
+//
+// The simulator only carries the virus's MMS traffic (the paper's model
+// "does not track the delivery of legitimate messages"); a message is a
+// sender, a recipient list and an infected flag. Virus 3 dials random
+// numbers of which only a fraction are live subscribers, so recipients
+// carry a validity bit — invalid numbers consume the sender's sending
+// budget and count toward provider-side message counters, but deliver
+// nowhere (exactly the property that makes blacklisting potent against
+// random-dialing viruses, §5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contact_graph.h"
+
+namespace mvsim::net {
+
+using graph::PhoneId;
+
+/// One dialed destination of an MMS message.
+struct DialedRecipient {
+  PhoneId phone = 0;   ///< meaningful only when `valid`
+  bool valid = true;   ///< false = dialed number is not a live subscriber
+};
+
+struct MmsMessage {
+  PhoneId sender = 0;
+  std::vector<DialedRecipient> recipients;
+  bool infected = false;
+  /// Monotone per-simulation sequence number (assigned by the Gateway).
+  std::uint64_t sequence = 0;
+
+  [[nodiscard]] std::size_t valid_recipient_count() const;
+};
+
+}  // namespace mvsim::net

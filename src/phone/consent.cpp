@@ -1,0 +1,73 @@
+#include "phone/consent.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvsim::phone {
+
+namespace {
+double eventual_for_factor(double af) {
+  // The product converges fast: term n contributes AF/2^n. 64 terms
+  // puts the truncation error below 1e-19 even for AF near 1.
+  double log_survive = 0.0;
+  double p = af;
+  for (int n = 1; n <= 64; ++n) {
+    p /= 2.0;
+    log_survive += std::log1p(-p);
+  }
+  return -std::expm1(log_survive);
+}
+}  // namespace
+
+ConsentModel::ConsentModel(double acceptance_factor) : acceptance_factor_(acceptance_factor) {
+  if (!(acceptance_factor >= 0.0) || !(acceptance_factor < 1.0)) {
+    throw std::invalid_argument("ConsentModel: acceptance factor must be in [0, 1)");
+  }
+}
+
+double ConsentModel::acceptance_probability(int n) const {
+  if (n < 1) throw std::invalid_argument("ConsentModel: message index must be >= 1");
+  if (n > 1023) return 0.0;  // below double denormal range anyway
+  return acceptance_factor_ / std::exp2(static_cast<double>(n));
+}
+
+double ConsentModel::eventual_acceptance_probability() const {
+  return eventual_for_factor(acceptance_factor_);
+}
+
+int ConsentModel::negligible_after(double epsilon) const {
+  if (!(epsilon > 0.0)) throw std::invalid_argument("ConsentModel: epsilon must be positive");
+  int n = 1;
+  while (n < 1024 && acceptance_probability(n) >= epsilon) ++n;
+  return n;
+}
+
+double ConsentModel::solve_acceptance_factor(double target) {
+  if (!(target >= 0.0) || !(target >= 0.0 && target < 1.0)) {
+    throw std::invalid_argument("solve_acceptance_factor: target must be in [0, 1)");
+  }
+  if (target == 0.0) return 0.0;
+  // eventual_for_factor is strictly increasing in AF on [0, 1);
+  // its supremum as AF -> 1 is ~0.72, so high targets are infeasible.
+  double lo = 0.0, hi = 1.0 - 1e-12;
+  if (eventual_for_factor(hi) < target) {
+    throw std::invalid_argument(
+        "solve_acceptance_factor: target exceeds the AF/2^n family's maximum (~0.72)");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (eventual_for_factor(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-13) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConsentModel ConsentModel::for_eventual_acceptance(double target_eventual) {
+  return ConsentModel(solve_acceptance_factor(target_eventual));
+}
+
+}  // namespace mvsim::phone

@@ -1,0 +1,57 @@
+// User-consent model (paper §4.4).
+//
+// The probability that a user accepts the n-th infected attachment they
+// have ever received is AF / 2^n (users grow suspicious as infected
+// messages pile up). With the paper's Acceptance Factor AF = 0.468 the
+// probability of *eventually* accepting, 1 - prod_n (1 - AF/2^n), is
+// 0.40 — which is why the baseline plateau is 800 x 0.40 = 320 phones.
+//
+// The user-education response mechanism (§3.2) is modeled the way the
+// paper evaluates it: by lowering the eventual acceptance probability
+// (0.40 -> 0.20 -> 0.10). solve_acceptance_factor() inverts the product
+// so educated scenarios use the AF that produces the requested eventual
+// probability.
+#pragma once
+
+#include "util/validation.h"
+
+namespace mvsim::phone {
+
+/// The paper's Acceptance Factor.
+inline constexpr double kPaperAcceptanceFactor = 0.468;
+/// Eventual acceptance probability produced by kPaperAcceptanceFactor.
+inline constexpr double kPaperEventualAcceptance = 0.40;
+
+class ConsentModel {
+ public:
+  /// `acceptance_factor` must lie in [0, 1).
+  explicit ConsentModel(double acceptance_factor = kPaperAcceptanceFactor);
+
+  /// Probability of accepting the n-th received infected message
+  /// (n >= 1). Monotonically halves with each further message.
+  [[nodiscard]] double acceptance_probability(int n) const;
+
+  /// 1 - prod_{n>=1} (1 - AF/2^n), evaluated to double precision.
+  [[nodiscard]] double eventual_acceptance_probability() const;
+
+  [[nodiscard]] double acceptance_factor() const { return acceptance_factor_; }
+
+  /// The message index beyond which acceptance probability is below
+  /// `epsilon`; the simulator stops scheduling user decisions past this
+  /// point (pure optimization, bias below epsilon per message).
+  [[nodiscard]] int negligible_after(double epsilon) const;
+
+  /// Inverts eventual_acceptance_probability: finds AF in [0, 1) such
+  /// that the eventual acceptance equals `target` (in [0, 1)).
+  /// Bisection to 1e-12; throws std::invalid_argument outside range.
+  [[nodiscard]] static double solve_acceptance_factor(double target);
+
+  /// Model for an education campaign that reduces eventual acceptance
+  /// to `target_eventual` (the paper's 0.20 / 0.10 cases).
+  [[nodiscard]] static ConsentModel for_eventual_acceptance(double target_eventual);
+
+ private:
+  double acceptance_factor_;
+};
+
+}  // namespace mvsim::phone

@@ -1,0 +1,95 @@
+// Per-phone state machine (paper §4.1).
+//
+// A phone receives infected MMS messages into its inbox; after a random
+// read delay the user decides whether to accept the attachment using
+// the ConsentModel; an accepted attachment infects a susceptible,
+// unpatched phone. The "sending" half of an infected phone lives in
+// virus::SendingProcess — the split mirrors the paper's description of
+// the phone submodel as separate receive and send functionalities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/scheduler.h"
+#include "net/message.h"
+#include "phone/consent.h"
+#include "rng/stream.h"
+#include "util/sim_time.h"
+
+namespace mvsim::phone {
+
+using net::PhoneId;
+
+enum class HealthState : std::uint8_t {
+  kHealthy,    ///< uninfected, may be susceptible or not
+  kInfected,   ///< virus installed and (unless stopped) disseminating
+  kImmunized,  ///< patched before infection; can never be infected
+};
+
+[[nodiscard]] const char* to_string(HealthState state);
+
+/// Shared environment for all phones of one simulation replication.
+struct PhoneEnvironment {
+  des::Scheduler* scheduler = nullptr;
+  rng::Stream* user_stream = nullptr;  ///< randomness of user behavior
+  const ConsentModel* consent = nullptr;
+  /// Mean of the exponential delay between a message reaching the inbox
+  /// and the user deciding on it (paper: "how quickly a phone user
+  /// reads a new MMS message"; the constant is not given — see DESIGN.md).
+  SimTime read_delay_mean = SimTime::minutes(60.0);
+  /// Past this many received infected messages, per-message acceptance
+  /// probability is negligible and decisions are no longer simulated.
+  int decision_cutoff = 40;
+  /// Invoked exactly once when a phone transitions to kInfected.
+  std::function<void(PhoneId)> on_infected;
+};
+
+class Phone {
+ public:
+  Phone(PhoneId id, bool susceptible, const PhoneEnvironment* env);
+
+  [[nodiscard]] PhoneId id() const { return id_; }
+  [[nodiscard]] bool susceptible() const { return susceptible_; }
+  [[nodiscard]] HealthState state() const { return state_; }
+  [[nodiscard]] bool infected() const { return state_ == HealthState::kInfected; }
+
+  /// Number of infected messages this phone has received so far (the
+  /// "n" of the consent curve).
+  [[nodiscard]] int infected_messages_received() const { return received_count_; }
+  /// Infected messages sitting in the inbox awaiting a user decision.
+  [[nodiscard]] int pending_decisions() const { return pending_decisions_; }
+
+  /// An infected MMS reached this phone's inbox: schedules the user's
+  /// accept/reject decision.
+  void receive_infected_message();
+
+  /// Immunization patch arrives (paper §3.2). Healthy -> kImmunized;
+  /// infected phones stay infected but `propagation_stopped()` flips,
+  /// which the sending process observes. Idempotent.
+  void apply_patch();
+
+  /// True once a patch has landed on an infected phone.
+  [[nodiscard]] bool propagation_stopped() const { return patched_; }
+  [[nodiscard]] bool patched() const { return patched_; }
+
+  /// Directly infect (used to seed patient zero, and by tests).
+  /// Returns true if the phone transitioned to kInfected.
+  bool force_infect();
+
+  [[nodiscard]] SimTime infected_at() const { return infected_at_; }
+
+ private:
+  bool try_infect();
+
+  PhoneId id_;
+  bool susceptible_;
+  const PhoneEnvironment* env_;
+  HealthState state_ = HealthState::kHealthy;
+  bool patched_ = false;
+  int received_count_ = 0;
+  int pending_decisions_ = 0;
+  SimTime infected_at_ = SimTime::infinity();
+};
+
+}  // namespace mvsim::phone

@@ -1,0 +1,25 @@
+#include "response/blacklist.h"
+
+namespace mvsim::response {
+
+ValidationErrors BlacklistConfig::validate() const {
+  ValidationErrors errors("BlacklistConfig");
+  errors.require(message_threshold >= 1, "message_threshold must be >= 1");
+  return errors;
+}
+
+Blacklist::Blacklist(const BlacklistConfig& config) : config_(config) {
+  config.validate().throw_if_invalid();
+}
+
+void Blacklist::on_submitted(const net::MmsMessage& message, SimTime) {
+  // Only virus traffic transits the simulated network, so every
+  // infected message is a "suspected" one; clean traffic (none is
+  // simulated) would not be counted.
+  if (!message.infected) return;
+  std::uint32_t& count = suspected_counts_[message.sender];
+  ++count;
+  if (count >= config_.message_threshold) blacklisted_.insert(message.sender);
+}
+
+}  // namespace mvsim::response

@@ -1,0 +1,28 @@
+#include "response/detectability.h"
+
+#include <stdexcept>
+
+namespace mvsim::response {
+
+DetectabilityMonitor::DetectabilityMonitor(std::uint64_t threshold) : threshold_(threshold) {
+  if (threshold == 0) {
+    throw std::invalid_argument("DetectabilityMonitor: threshold must be >= 1");
+  }
+}
+
+void DetectabilityMonitor::on_detected(Callback callback) {
+  if (detected_) {
+    throw std::logic_error("DetectabilityMonitor: registration after detection fired");
+  }
+  callbacks_.push_back(std::move(callback));
+}
+
+void DetectabilityMonitor::on_submitted(const net::MmsMessage& message, SimTime now) {
+  if (!message.infected || detected_) return;
+  if (++seen_ < threshold_) return;
+  detected_ = true;
+  detected_at_ = now;
+  for (auto& cb : callbacks_) cb(now);
+}
+
+}  // namespace mvsim::response

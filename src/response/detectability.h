@@ -1,0 +1,49 @@
+// When does "the virus become detectable"?
+//
+// Three of the paper's mechanisms (gateway scan, gateway detection
+// algorithm, immunization) activate a fixed delay *after the virus
+// becomes detectable*, but the paper never defines the trigger. A
+// provider can only watch its own gateways, so mvsim operationalizes
+// detectability as: the cumulative number of infected messages that
+// have transited the gateways reaches a threshold (default 5). The
+// choice is a config knob and is ablated in bench/ablation_behavior.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/gateway.h"
+#include "util/sim_time.h"
+
+namespace mvsim::response {
+
+class DetectabilityMonitor final : public net::GatewayObserver {
+ public:
+  using Callback = std::function<void(SimTime detected_at)>;
+
+  /// Fires callbacks the moment the `threshold`-th infected message is
+  /// submitted. threshold >= 1.
+  explicit DetectabilityMonitor(std::uint64_t threshold);
+
+  /// Registers an activation callback. Registration is setup-time
+  /// only: register every mechanism before the simulation starts
+  /// (registering after detection has fired is a logic error).
+  void on_detected(Callback callback);
+
+  [[nodiscard]] bool detected() const { return detected_; }
+  [[nodiscard]] SimTime detected_at() const { return detected_at_; }
+  [[nodiscard]] std::uint64_t infected_messages_seen() const { return seen_; }
+
+  // GatewayObserver
+  void on_submitted(const net::MmsMessage& message, SimTime now) override;
+
+ private:
+  std::uint64_t threshold_;
+  std::uint64_t seen_ = 0;
+  bool detected_ = false;
+  SimTime detected_at_ = SimTime::infinity();
+  std::vector<Callback> callbacks_;
+};
+
+}  // namespace mvsim::response

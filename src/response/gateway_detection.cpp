@@ -1,0 +1,33 @@
+#include "response/gateway_detection.h"
+
+namespace mvsim::response {
+
+ValidationErrors GatewayDetectionConfig::validate() const {
+  ValidationErrors errors("GatewayDetectionConfig");
+  errors.require(accuracy >= 0.0 && accuracy <= 1.0, "accuracy must be in [0, 1]");
+  errors.require(analysis_period >= SimTime::zero() && analysis_period.is_finite(),
+                 "analysis_period must be finite and >= 0");
+  return errors;
+}
+
+GatewayDetection::GatewayDetection(const GatewayDetectionConfig& config,
+                                   des::Scheduler& scheduler, rng::Stream& stream,
+                                   DetectabilityMonitor& detector)
+    : config_(config), scheduler_(&scheduler), stream_(&stream) {
+  config.validate().throw_if_invalid();
+  detector.on_detected([this](SimTime) {
+    scheduler_->schedule_after(config_.analysis_period, [this] { active_ = true; });
+  });
+}
+
+net::DeliveryFilter::Decision GatewayDetection::inspect(const net::MmsMessage& message, SimTime) {
+  if (!active_ || !message.infected) return Decision::kDeliver;
+  if (stream_->bernoulli(config_.accuracy)) {
+    ++stopped_;
+    return Decision::kBlock;
+  }
+  ++missed_;
+  return Decision::kDeliver;
+}
+
+}  // namespace mvsim::response

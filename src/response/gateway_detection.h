@@ -1,0 +1,54 @@
+// Response mechanism 2 (paper §3.1): virus detection algorithm in the
+// MMS gateway.
+//
+// A behavioral detector needs no signature but is imperfect: after an
+// analysis period following first detection, it stops each subsequent
+// infected message with probability `accuracy` (the paper sweeps 0.80
+// to 0.99). The misses are what keep the virus alive, only slower.
+#pragma once
+
+#include <cstdint>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "response/detectability.h"
+#include "rng/stream.h"
+#include "util/sim_time.h"
+#include "util/validation.h"
+
+namespace mvsim::response {
+
+struct GatewayDetectionConfig {
+  /// Probability an infected message is recognized and stopped once
+  /// the algorithm is active.
+  double accuracy = 0.95;
+  /// Time the algorithm spends analyzing the first infected messages
+  /// before it can act, measured from the detectability instant.
+  SimTime analysis_period = SimTime::hours(6.0);
+
+  [[nodiscard]] ValidationErrors validate() const;
+};
+
+class GatewayDetection final : public net::DeliveryFilter {
+ public:
+  GatewayDetection(const GatewayDetectionConfig& config, des::Scheduler& scheduler,
+                   rng::Stream& stream, DetectabilityMonitor& detector);
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] std::uint64_t messages_stopped() const { return stopped_; }
+  [[nodiscard]] std::uint64_t messages_missed() const { return missed_; }
+
+  // DeliveryFilter
+  [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;
+  [[nodiscard]] const char* name() const override { return "gateway-detection-algorithm"; }
+
+ private:
+  GatewayDetectionConfig config_;
+  des::Scheduler* scheduler_;
+  rng::Stream* stream_;
+  bool active_ = false;
+  std::uint64_t stopped_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace mvsim::response

@@ -1,0 +1,33 @@
+#include "response/gateway_scan.h"
+
+namespace mvsim::response {
+
+ValidationErrors GatewayScanConfig::validate() const {
+  ValidationErrors errors("GatewayScanConfig");
+  errors.require(activation_delay >= SimTime::zero(), "activation_delay must be >= 0");
+  errors.require(activation_delay.is_finite(), "activation_delay must be finite");
+  return errors;
+}
+
+GatewayScan::GatewayScan(const GatewayScanConfig& config, des::Scheduler& scheduler,
+                         DetectabilityMonitor& detector)
+    : config_(config), scheduler_(&scheduler) {
+  config.validate().throw_if_invalid();
+  detector.on_detected([this](SimTime) {
+    scheduler_->schedule_after(config_.activation_delay,
+                               [this] { activate(scheduler_->now()); });
+  });
+}
+
+void GatewayScan::activate(SimTime now) {
+  active_ = true;
+  activated_at_ = now;
+}
+
+net::DeliveryFilter::Decision GatewayScan::inspect(const net::MmsMessage& message, SimTime) {
+  if (!active_ || !message.infected) return Decision::kDeliver;
+  ++stopped_;
+  return Decision::kBlock;
+}
+
+}  // namespace mvsim::response

@@ -1,0 +1,52 @@
+// Response mechanism 1 (paper §3.1): virus scan of all MMS attachments
+// in the MMS gateway.
+//
+// Signature scanning is perfect but late: once the new signature is on
+// the list (a configurable activation delay after the virus becomes
+// detectable), every infected message in transit is stopped. Before
+// that, everything passes.
+#pragma once
+
+#include <cstdint>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "response/detectability.h"
+#include "util/sim_time.h"
+#include "util/validation.h"
+
+namespace mvsim::response {
+
+struct GatewayScanConfig {
+  /// Time to identify the virus and push its signature to all
+  /// gateways, measured from the detectability instant (paper sweeps
+  /// 6 h / 12 h / 24 h).
+  SimTime activation_delay = SimTime::hours(6.0);
+
+  [[nodiscard]] ValidationErrors validate() const;
+};
+
+class GatewayScan final : public net::DeliveryFilter {
+ public:
+  GatewayScan(const GatewayScanConfig& config, des::Scheduler& scheduler,
+              DetectabilityMonitor& detector);
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] SimTime activated_at() const { return activated_at_; }
+  [[nodiscard]] std::uint64_t messages_stopped() const { return stopped_; }
+
+  // DeliveryFilter
+  [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;
+  [[nodiscard]] const char* name() const override { return "gateway-virus-scan"; }
+
+ private:
+  void activate(SimTime now);
+
+  GatewayScanConfig config_;
+  des::Scheduler* scheduler_;
+  bool active_ = false;
+  SimTime activated_at_ = SimTime::infinity();
+  std::uint64_t stopped_ = 0;
+};
+
+}  // namespace mvsim::response

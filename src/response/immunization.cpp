@@ -1,0 +1,50 @@
+#include "response/immunization.h"
+
+#include <stdexcept>
+
+namespace mvsim::response {
+
+ValidationErrors ImmunizationConfig::validate() const {
+  ValidationErrors errors("ImmunizationConfig");
+  errors.require(development_time >= SimTime::zero() && development_time.is_finite(),
+                 "development_time must be finite and >= 0");
+  errors.require(deployment_duration >= SimTime::zero() && deployment_duration.is_finite(),
+                 "deployment_duration must be finite and >= 0");
+  return errors;
+}
+
+Immunization::Immunization(const ImmunizationConfig& config, des::Scheduler& scheduler,
+                           rng::Stream& stream, DetectabilityMonitor& detector,
+                           std::vector<net::PhoneId> patch_targets,
+                           std::function<void(net::PhoneId)> apply_patch)
+    : config_(config),
+      scheduler_(&scheduler),
+      stream_(&stream),
+      targets_(std::move(patch_targets)),
+      apply_patch_(std::move(apply_patch)) {
+  config.validate().throw_if_invalid();
+  if (!apply_patch_) throw std::invalid_argument("Immunization: empty apply_patch callback");
+  detector.on_detected([this](SimTime) {
+    scheduler_->schedule_after(config_.development_time, [this] { begin_deployment(); });
+  });
+}
+
+void Immunization::begin_deployment() {
+  started_ = true;
+  begins_at_ = scheduler_->now();
+  ends_at_ = begins_at_ + config_.deployment_duration;
+  // "The patch is rolled out to the entire phone population uniformly
+  // over a period of time": each target gets an independent uniform
+  // arrival offset in [0, deployment_duration].
+  for (net::PhoneId target : targets_) {
+    SimTime offset = config_.deployment_duration > SimTime::zero()
+                         ? stream_->uniform(SimTime::zero(), config_.deployment_duration)
+                         : SimTime::zero();
+    scheduler_->schedule_after(offset, [this, target] {
+      apply_patch_(target);
+      ++applied_;
+    });
+  }
+}
+
+}  // namespace mvsim::response

@@ -1,0 +1,32 @@
+#include "response/suite.h"
+
+namespace mvsim::response {
+
+bool ResponseSuiteConfig::any_enabled() const { return enabled_count() > 0; }
+
+int ResponseSuiteConfig::enabled_count() const {
+  int count = 0;
+  count += gateway_scan.has_value();
+  count += gateway_detection.has_value();
+  count += user_education.has_value();
+  count += immunization.has_value();
+  count += monitoring.has_value();
+  count += blacklist.has_value();
+  return count;
+}
+
+ValidationErrors ResponseSuiteConfig::validate() const {
+  ValidationErrors errors("ResponseSuiteConfig");
+  errors.require(detectability_threshold >= 1, "detectability_threshold must be >= 1");
+  if (gateway_scan) errors.merge(gateway_scan->validate());
+  if (gateway_detection) errors.merge(gateway_detection->validate());
+  if (user_education) errors.merge(user_education->validate());
+  if (immunization) errors.merge(immunization->validate());
+  if (monitoring) errors.merge(monitoring->validate());
+  if (blacklist) errors.merge(blacklist->validate());
+  return errors;
+}
+
+ResponseSuiteConfig no_response() { return ResponseSuiteConfig{}; }
+
+}  // namespace mvsim::response

@@ -1,0 +1,44 @@
+// Response-suite configuration: which mechanisms are enabled for a
+// scenario, with their parameters.
+//
+// The paper evaluates each mechanism independently (§5.2) and names
+// combinations as future work (§6); ResponseSuiteConfig supports both —
+// any subset may be enabled at once, which is what the
+// defense_in_depth example exercises.
+#pragma once
+
+#include <optional>
+
+#include "response/blacklist.h"
+#include "response/gateway_detection.h"
+#include "response/gateway_scan.h"
+#include "response/immunization.h"
+#include "response/monitoring.h"
+#include "response/user_education.h"
+#include "util/validation.h"
+
+namespace mvsim::response {
+
+struct ResponseSuiteConfig {
+  std::optional<GatewayScanConfig> gateway_scan;
+  std::optional<GatewayDetectionConfig> gateway_detection;
+  std::optional<UserEducationConfig> user_education;
+  std::optional<ImmunizationConfig> immunization;
+  std::optional<MonitoringConfig> monitoring;
+  std::optional<BlacklistConfig> blacklist;
+
+  /// Cumulative infected messages the gateways must observe before
+  /// "the virus becomes detectable" (gates scan / detection /
+  /// immunization activation; see response/detectability.h).
+  std::uint64_t detectability_threshold = 5;
+
+  [[nodiscard]] bool any_enabled() const;
+  /// Number of mechanisms enabled.
+  [[nodiscard]] int enabled_count() const;
+  [[nodiscard]] ValidationErrors validate() const;
+};
+
+/// Named empty suite for baseline runs.
+[[nodiscard]] ResponseSuiteConfig no_response();
+
+}  // namespace mvsim::response

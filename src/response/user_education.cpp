@@ -1,0 +1,18 @@
+#include "response/user_education.h"
+
+namespace mvsim::response {
+
+ValidationErrors UserEducationConfig::validate() const {
+  ValidationErrors errors("UserEducationConfig");
+  // The AF/2^n family cannot realize eventual acceptance above ~0.72.
+  errors.require(eventual_acceptance >= 0.0 && eventual_acceptance <= 0.70,
+                 "eventual_acceptance must be in [0, 0.70]");
+  return errors;
+}
+
+phone::ConsentModel apply_user_education(const UserEducationConfig& config) {
+  config.validate().throw_if_invalid();
+  return phone::ConsentModel::for_eventual_acceptance(config.eventual_acceptance);
+}
+
+}  // namespace mvsim::response

@@ -1,0 +1,27 @@
+// Response mechanism 3 (paper §3.2): phone user education.
+//
+// Education makes users less likely to accept unsolicited attachments.
+// The paper evaluates it by lowering the *eventual* acceptance
+// probability from the baseline 0.40 to 0.20 or 0.10; UserEducation
+// produces the ConsentModel whose Acceptance Factor realizes the
+// requested eventual probability. Unlike the other mechanisms it is a
+// standing condition, not an event-triggered one.
+#pragma once
+
+#include "phone/consent.h"
+#include "util/validation.h"
+
+namespace mvsim::response {
+
+struct UserEducationConfig {
+  /// Target eventual acceptance probability after the campaign
+  /// (baseline is phone::kPaperEventualAcceptance = 0.40).
+  double eventual_acceptance = 0.20;
+
+  [[nodiscard]] ValidationErrors validate() const;
+};
+
+/// Builds the consent model an educated population uses.
+[[nodiscard]] phone::ConsentModel apply_user_education(const UserEducationConfig& config);
+
+}  // namespace mvsim::response

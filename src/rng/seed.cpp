@@ -1,0 +1,27 @@
+#include "rng/seed.h"
+
+namespace mvsim::rng {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) {
+  // Feed the index through the generator twice so that (m, i) and
+  // (m+delta, i') collisions require inverting the full avalanche.
+  std::uint64_t state = master;
+  std::uint64_t a = splitmix64_next(state);
+  state ^= index * 0xD1B54A32D192ED03ULL;
+  std::uint64_t b = splitmix64_next(state);
+  return a ^ (b + 0x2545F4914F6CDD1DULL);
+}
+
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index_a, std::uint64_t index_b) {
+  return derive_seed(derive_seed(master, index_a), index_b);
+}
+
+}  // namespace mvsim::rng

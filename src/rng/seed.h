@@ -1,0 +1,24 @@
+// Deterministic seed derivation.
+//
+// Every run of mvsim is reproducible from a single 64-bit master seed.
+// Per-replication and per-component sub-seeds are derived with
+// SplitMix64, the standard seeding mix for 64-bit PRNGs: it is a
+// bijective avalanche function, so distinct (seed, index) pairs map to
+// well-separated sub-seeds even for adjacent indices.
+#pragma once
+
+#include <cstdint>
+
+namespace mvsim::rng {
+
+/// One SplitMix64 step: returns the next output and advances `state`.
+[[nodiscard]] std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// Stateless mixing of a (seed, index) pair into an independent sub-seed.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index);
+
+/// Two-level derivation, e.g. (master, replication, component).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index_a,
+                                        std::uint64_t index_b);
+
+}  // namespace mvsim::rng

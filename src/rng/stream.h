@@ -1,0 +1,102 @@
+// Random-number stream with the samplers the simulator needs.
+//
+// A Stream owns one xoshiro256** engine seeded through SplitMix64.
+// Components never share streams: the Simulation derives one stream per
+// phone plus one per infrastructure component, so adding a sampler call
+// in one place cannot perturb the sequence seen elsewhere (a classic
+// reproducibility trap in DES codebases).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/seed.h"
+#include "util/sim_time.h"
+
+namespace mvsim::rng {
+
+/// xoshiro256** 1.0 — small, fast, passes BigCrush; state is 4x64 bits.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  using result_type = std::uint64_t;
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
+  result_type operator()();
+
+  /// 2^128 jump — advances as if 2^128 calls were made. Used by tests
+  /// to verify stream-splitting never overlaps in practice.
+  void jump();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// High-level sampler facade over Xoshiro256.
+class Stream {
+ public:
+  explicit Stream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform01();
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+  /// True with probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+  /// Exponential with the given mean. Requires mean > 0.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Exponentially distributed duration with the given mean duration.
+  [[nodiscard]] SimTime exponential(SimTime mean);
+  /// Uniform duration in [lo, hi).
+  [[nodiscard]] SimTime uniform(SimTime lo, SimTime hi);
+
+  /// Discrete bounded power-law (Zipf-like): value k in [k_min, k_max]
+  /// with P(k) proportional to k^(-alpha). Sampled by inversion over the
+  /// precomputed CDF owned by the caller (see PowerLawTable) or, here,
+  /// by rejection for one-off use. Requires 1 <= k_min <= k_max.
+  [[nodiscard]] std::uint64_t power_law(std::uint64_t k_min, std::uint64_t k_max, double alpha);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), order randomized.
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                                      std::uint64_t k);
+
+  [[nodiscard]] Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+};
+
+/// Precomputed inversion table for a bounded discrete power law; use
+/// when many samples share (k_min, k_max, alpha), e.g. graph degrees.
+class PowerLawTable {
+ public:
+  PowerLawTable(std::uint64_t k_min, std::uint64_t k_max, double alpha);
+
+  [[nodiscard]] std::uint64_t sample(Stream& stream) const;
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] std::uint64_t k_min() const { return k_min_; }
+  [[nodiscard]] std::uint64_t k_max() const { return k_max_; }
+
+ private:
+  std::uint64_t k_min_;
+  std::uint64_t k_max_;
+  std::vector<double> cdf_;  // cdf_[i] = P(K <= k_min + i)
+  double mean_ = 0.0;
+};
+
+}  // namespace mvsim::rng

@@ -1,0 +1,84 @@
+#include "stats/aggregate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mvsim::stats {
+
+void Accumulator::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::ci95_half_width() const {
+  if (count_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+AggregatedSeries::AggregatedSeries(SimTime step, SimTime horizon)
+    : step_(step), horizon_(horizon) {
+  if (!(step > SimTime::zero())) {
+    throw std::invalid_argument("AggregatedSeries: step must be positive");
+  }
+  if (!horizon.is_nonnegative()) {
+    throw std::invalid_argument("AggregatedSeries: horizon must be nonnegative");
+  }
+  std::size_t cells = static_cast<std::size_t>(horizon / step) + 1;
+  cells_.resize(cells);
+}
+
+void AggregatedSeries::add_replication(const TimeSeries& series) {
+  auto grid = series.resample(step_, horizon_);
+  if (grid.size() != cells_.size()) {
+    throw std::invalid_argument("AggregatedSeries: replication grid size mismatch");
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) cells_[i].add(grid[i].value);
+  ++replications_;
+}
+
+std::vector<AggregatedSeries::GridPoint> AggregatedSeries::grid() const {
+  std::vector<GridPoint> out;
+  out.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Accumulator& acc = cells_[i];
+    out.push_back({step_ * static_cast<double>(i), acc.mean(), acc.stddev(),
+                   acc.ci95_half_width(), acc.min(), acc.max()});
+  }
+  return out;
+}
+
+double AggregatedSeries::final_mean() const {
+  if (cells_.empty()) return 0.0;
+  return cells_.back().mean();
+}
+
+double AggregatedSeries::mean_at(SimTime time) const {
+  if (cells_.empty()) return 0.0;
+  auto index = static_cast<std::size_t>(time / step_ + 0.5);
+  if (index >= cells_.size()) index = cells_.size() - 1;
+  return cells_[index].mean();
+}
+
+SimTime AggregatedSeries::mean_first_time_at_or_above(double level) const {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].mean() >= level) return step_ * static_cast<double>(i);
+  }
+  return SimTime::infinity();
+}
+
+}  // namespace mvsim::stats

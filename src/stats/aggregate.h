@@ -1,0 +1,80 @@
+// Cross-replication aggregation.
+//
+// The paper reports mean infection curves over simulation replications.
+// AggregatedSeries collects one resampled curve per replication and
+// exposes per-grid-point mean, standard deviation and a normal-theory
+// 95% confidence half-width.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/time_series.h"
+#include "util/sim_time.h"
+
+namespace mvsim::stats {
+
+/// Streaming mean/variance accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double value);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Half-width of the normal-approximation 95% CI on the mean.
+  [[nodiscard]] double ci95_half_width() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregates equal-grid replication curves.
+class AggregatedSeries {
+ public:
+  /// All added curves must share (step, horizon).
+  AggregatedSeries(SimTime step, SimTime horizon);
+
+  /// Resamples `series` onto the grid and folds it in.
+  void add_replication(const TimeSeries& series);
+
+  struct GridPoint {
+    SimTime time;
+    double mean;
+    double stddev;
+    double ci95;
+    double min;
+    double max;
+  };
+
+  [[nodiscard]] std::vector<GridPoint> grid() const;
+  [[nodiscard]] std::size_t replication_count() const { return replications_; }
+  [[nodiscard]] SimTime step() const { return step_; }
+  [[nodiscard]] SimTime horizon() const { return horizon_; }
+
+  /// Mean of the curve's value at the horizon (the "plateau" if the
+  /// epidemic has settled by then).
+  [[nodiscard]] double final_mean() const;
+
+  /// Mean value at the grid point nearest to `time`.
+  [[nodiscard]] double mean_at(SimTime time) const;
+
+  /// First grid time at which the mean curve reaches `level`;
+  /// SimTime::infinity() if never.
+  [[nodiscard]] SimTime mean_first_time_at_or_above(double level) const;
+
+ private:
+  SimTime step_;
+  SimTime horizon_;
+  std::vector<Accumulator> cells_;
+  std::size_t replications_ = 0;
+};
+
+}  // namespace mvsim::stats

@@ -1,0 +1,90 @@
+#include "stats/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvsim::stats {
+
+QuantileSeries::QuantileSeries(SimTime step, SimTime horizon) : step_(step), horizon_(horizon) {
+  if (!(step > SimTime::zero())) {
+    throw std::invalid_argument("QuantileSeries: step must be positive");
+  }
+  if (!horizon.is_nonnegative()) {
+    throw std::invalid_argument("QuantileSeries: horizon must be nonnegative");
+  }
+  cells_.resize(static_cast<std::size_t>(horizon / step) + 1);
+}
+
+void QuantileSeries::add_replication(const TimeSeries& series) {
+  auto grid = series.resample(step_, horizon_);
+  if (grid.size() != cells_.size()) {
+    throw std::invalid_argument("QuantileSeries: replication grid size mismatch");
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    // Insert keeping the cell sorted (replication counts are small, and
+    // keeping cells sorted makes every quantile query O(1) after O(n)
+    // insertion).
+    auto& cell = cells_[i];
+    cell.insert(std::upper_bound(cell.begin(), cell.end(), grid[i].value), grid[i].value);
+  }
+  ++replications_;
+}
+
+std::size_t QuantileSeries::cell_index(SimTime time) const {
+  auto index = static_cast<std::size_t>(time / step_ + 0.5);
+  return std::min(index, cells_.size() - 1);
+}
+
+double QuantileSeries::cell_quantile(std::size_t cell_idx, double q) const {
+  if (replications_ == 0) {
+    throw std::logic_error("QuantileSeries: no replications added");
+  }
+  if (!(q >= 0.0) || !(q <= 1.0)) {
+    throw std::invalid_argument("QuantileSeries: quantile must be in [0, 1]");
+  }
+  const auto& cell = cells_[cell_idx];
+  if (cell.size() == 1) return cell.front();
+  double position = q * static_cast<double>(cell.size() - 1);
+  auto lower = static_cast<std::size_t>(position);
+  double fraction = position - static_cast<double>(lower);
+  if (lower + 1 >= cell.size()) return cell.back();
+  return cell[lower] * (1.0 - fraction) + cell[lower + 1] * fraction;
+}
+
+double QuantileSeries::quantile_at(SimTime time, double q) const {
+  return cell_quantile(cell_index(time), q);
+}
+
+std::vector<TimeSeries::Point> QuantileSeries::median_curve() const {
+  std::vector<TimeSeries::Point> out;
+  out.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.push_back({step_ * static_cast<double>(i), cell_quantile(i, 0.5)});
+  }
+  return out;
+}
+
+std::vector<QuantileSeries::Band> QuantileSeries::band(double lower_q, double upper_q) const {
+  if (lower_q > upper_q) {
+    throw std::invalid_argument("QuantileSeries::band: lower_q > upper_q");
+  }
+  std::vector<Band> out;
+  out.reserve(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    out.push_back({step_ * static_cast<double>(i), cell_quantile(i, lower_q),
+                   cell_quantile(i, 0.5), cell_quantile(i, upper_q)});
+  }
+  return out;
+}
+
+double QuantileSeries::fraction_at_or_below(SimTime time, double level) const {
+  if (replications_ == 0) {
+    throw std::logic_error("QuantileSeries: no replications added");
+  }
+  const auto& cell = cells_[cell_index(time)];
+  auto it = std::upper_bound(cell.begin(), cell.end(), level);
+  return static_cast<double>(it - cell.begin()) / static_cast<double>(cell.size());
+}
+
+}  // namespace mvsim::stats

@@ -1,0 +1,59 @@
+// Quantile bands across replications.
+//
+// Mean curves (AggregatedSeries) hide the skew that epidemic processes
+// have — a few die-out replications drag the mean well below the
+// typical trajectory. QuantileSeries retains every replication's value
+// per grid cell and reports medians and arbitrary percentile bands.
+#pragma once
+
+#include <vector>
+
+#include "stats/time_series.h"
+#include "util/sim_time.h"
+
+namespace mvsim::stats {
+
+class QuantileSeries {
+ public:
+  QuantileSeries(SimTime step, SimTime horizon);
+
+  void add_replication(const TimeSeries& series);
+
+  [[nodiscard]] std::size_t replication_count() const { return replications_; }
+  [[nodiscard]] SimTime step() const { return step_; }
+  [[nodiscard]] SimTime horizon() const { return horizon_; }
+
+  /// Value of the q-quantile (q in [0, 1]) at the grid point nearest
+  /// `time`. Linear interpolation between order statistics (type-7,
+  /// the numpy/R default). Requires at least one replication.
+  [[nodiscard]] double quantile_at(SimTime time, double q) const;
+
+  /// Convenience: the median curve over the whole grid.
+  [[nodiscard]] std::vector<TimeSeries::Point> median_curve() const;
+
+  struct Band {
+    SimTime time;
+    double lower;
+    double median;
+    double upper;
+  };
+
+  /// (lower, median, upper) at every grid point.
+  [[nodiscard]] std::vector<Band> band(double lower_q, double upper_q) const;
+
+  /// Fraction of replications whose value at `time` is at or below
+  /// `level` — e.g. the probability the outbreak is still contained.
+  [[nodiscard]] double fraction_at_or_below(SimTime time, double level) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_index(SimTime time) const;
+  [[nodiscard]] double cell_quantile(std::size_t cell, double q) const;
+
+  SimTime step_;
+  SimTime horizon_;
+  // cells_[i] = sorted-on-demand per-replication values at grid point i.
+  std::vector<std::vector<double>> cells_;
+  std::size_t replications_ = 0;
+};
+
+}  // namespace mvsim::stats

@@ -1,0 +1,55 @@
+#include "stats/summary.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mvsim::stats {
+
+namespace {
+std::string fixed(double v, int precision = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+}  // namespace
+
+void print_figure_table(std::ostream& out, const std::string& title,
+                        const std::vector<LabelledSeries>& curves, SimTime row_step) {
+  if (curves.empty()) throw std::invalid_argument("print_figure_table: no curves");
+  const AggregatedSeries& first = *curves.front().series;
+  for (const auto& c : curves) {
+    if (c.series == nullptr) throw std::invalid_argument("print_figure_table: null series");
+    if (c.series->step() != first.step() || c.series->horizon() != first.horizon()) {
+      throw std::invalid_argument("print_figure_table: curves on different grids");
+    }
+  }
+  out << "== " << title << " ==\n";
+  out << "Hours";
+  for (const auto& c : curves) out << ',' << c.label;
+  out << '\n';
+  for (SimTime t = SimTime::zero(); t <= first.horizon(); t += row_step) {
+    out << fixed(t.to_hours());
+    for (const auto& c : curves) out << ',' << fixed(c.series->mean_at(t));
+    out << '\n';
+  }
+}
+
+void print_curve_summaries(std::ostream& out, const std::vector<LabelledSeries>& curves) {
+  for (const auto& c : curves) {
+    const AggregatedSeries& s = *c.series;
+    double final_level = s.final_mean();
+    SimTime half_time = s.mean_first_time_at_or_above(final_level / 2.0);
+    out << "  " << c.label << ": final=" << fixed(final_level)
+        << " infected, time-to-half-final="
+        << (half_time.is_finite() ? fixed(half_time.to_hours()) + " h" : std::string("never"))
+        << ", reps=" << s.replication_count() << '\n';
+  }
+}
+
+double final_level_ratio(const AggregatedSeries& curve, const AggregatedSeries& baseline) {
+  double base = baseline.final_mean();
+  if (base == 0.0) return 0.0;
+  return curve.final_mean() / base;
+}
+
+}  // namespace mvsim::stats

@@ -1,0 +1,37 @@
+// Figure-oriented summary metrics and table printing.
+//
+// Benches reproduce each figure as a CSV-ish table of Hours vs mean
+// infection count per configuration, followed by the shape metrics the
+// paper's prose quotes (plateau level, time-to-level, ratios).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/aggregate.h"
+#include "util/sim_time.h"
+
+namespace mvsim::stats {
+
+/// One labelled curve of a figure (e.g. "24-Hour Delay").
+struct LabelledSeries {
+  std::string label;
+  const AggregatedSeries* series = nullptr;
+};
+
+/// Prints a figure as a table: first column Hours, one column per curve,
+/// rows every `row_step` (coarser than the aggregation grid is fine).
+/// All series must share the aggregation grid.
+void print_figure_table(std::ostream& out, const std::string& title,
+                        const std::vector<LabelledSeries>& curves, SimTime row_step);
+
+/// Per-curve one-line summaries (final level, peak, time to half-peak).
+void print_curve_summaries(std::ostream& out, const std::vector<LabelledSeries>& curves);
+
+/// Ratio of a curve's final mean to a baseline's final mean, as the
+/// paper quotes ("contained to 25% of the baseline infection level").
+[[nodiscard]] double final_level_ratio(const AggregatedSeries& curve,
+                                       const AggregatedSeries& baseline);
+
+}  // namespace mvsim::stats

@@ -1,0 +1,69 @@
+#include "stats/time_series.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvsim::stats {
+
+void TimeSeries::push(SimTime time, double value) {
+  if (!points_.empty() && time < points_.back().time) {
+    throw std::invalid_argument("TimeSeries::push: time " + time.to_string() +
+                                " is before last point " + points_.back().time.to_string());
+  }
+  if (!points_.empty() && time == points_.back().time) {
+    points_.back().value = value;
+    return;
+  }
+  points_.push_back({time, value});
+}
+
+double TimeSeries::at(SimTime time) const {
+  // Last point with point.time <= time.
+  auto it = std::upper_bound(points_.begin(), points_.end(), time,
+                             [](SimTime t, const Point& p) { return t < p.time; });
+  if (it == points_.begin()) return initial_value_;
+  return std::prev(it)->value;
+}
+
+std::vector<TimeSeries::Point> TimeSeries::resample(SimTime step, SimTime horizon) const {
+  if (!(step > SimTime::zero())) {
+    throw std::invalid_argument("TimeSeries::resample: step must be positive");
+  }
+  if (!horizon.is_nonnegative()) {
+    throw std::invalid_argument("TimeSeries::resample: horizon must be nonnegative");
+  }
+  std::vector<Point> grid;
+  grid.reserve(static_cast<std::size_t>(horizon / step) + 2);
+  // Walk the grid and the steps together: O(grid + points).
+  std::size_t cursor = 0;
+  double current = initial_value_;
+  for (SimTime t = SimTime::zero();; t += step) {
+    while (cursor < points_.size() && points_[cursor].time <= t) {
+      current = points_[cursor].value;
+      ++cursor;
+    }
+    grid.push_back({t, current});
+    if (t + step > horizon) break;
+  }
+  return grid;
+}
+
+double TimeSeries::final_value() const {
+  return points_.empty() ? initial_value_ : points_.back().value;
+}
+
+double TimeSeries::max_value() const {
+  double best = initial_value_;
+  for (const Point& p : points_) best = std::max(best, p.value);
+  return best;
+}
+
+SimTime TimeSeries::first_time_at_or_above(double level) const {
+  if (initial_value_ >= level) return SimTime::zero();
+  for (const Point& p : points_) {
+    if (p.value >= level) return p.time;
+  }
+  return SimTime::infinity();
+}
+
+}  // namespace mvsim::stats

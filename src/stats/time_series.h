@@ -1,0 +1,56 @@
+// Time series of a piecewise-constant (step) metric.
+//
+// Infection counts are step functions of time: they change only at
+// event instants. TimeSeries stores the steps and supports exact
+// evaluation at any time plus resampling onto a uniform grid (the form
+// the paper's figures use).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace mvsim::stats {
+
+class TimeSeries {
+ public:
+  struct Point {
+    SimTime time;
+    double value;
+  };
+
+  TimeSeries() = default;
+
+  /// Value before the first recorded point (defaults to 0).
+  explicit TimeSeries(double initial_value) : initial_value_(initial_value) {}
+
+  /// Record that the metric changed to `value` at `time`. Times must be
+  /// nondecreasing; equal-time pushes overwrite (last-writer-wins,
+  /// matching the step semantics of "state at the end of the instant").
+  void push(SimTime time, double value);
+
+  /// Metric value at `time` (step semantics: right-continuous).
+  [[nodiscard]] double at(SimTime time) const;
+
+  /// Resample onto a uniform grid 0, step, 2*step, ..., horizon.
+  [[nodiscard]] std::vector<Point> resample(SimTime step, SimTime horizon) const;
+
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] double initial_value() const { return initial_value_; }
+  /// Value after the last step (initial value when empty).
+  [[nodiscard]] double final_value() const;
+  /// Largest value attained (considers the initial value).
+  [[nodiscard]] double max_value() const;
+
+  /// First time the series reaches `level` or above; SimTime::infinity()
+  /// if it never does.
+  [[nodiscard]] SimTime first_time_at_or_above(double level) const;
+
+ private:
+  double initial_value_ = 0.0;
+  std::vector<Point> points_;
+};
+
+}  // namespace mvsim::stats

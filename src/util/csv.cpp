@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mvsim {
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  bool first = true;
+  for (const auto& n : names) write_field(quote(n), first);
+  *out_ << '\n';
+}
+
+std::string CsvWriter::quote(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::format_field(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void CsvWriter::write_field(const std::string& formatted, bool& first) {
+  if (!first) {
+    *out_ << ',';
+  } else {
+    first = false;
+  }
+  *out_ << formatted;
+}
+
+}  // namespace mvsim

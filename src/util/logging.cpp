@@ -1,0 +1,30 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace mvsim {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[mvsim %s] %s\n", to_string(level), message.c_str());
+  ++lines_;
+}
+
+}  // namespace mvsim

@@ -1,0 +1,71 @@
+// Tiny leveled logger.
+//
+// Simulations are silent by default; benches/examples can raise the
+// level to trace response-mechanism activations. Not thread-safe by
+// design — mvsim runs replications sequentially in one thread (the DES
+// itself is inherently serial) and parallelism, when wanted, is
+// process-level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mvsim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] const char* to_string(LogLevel level);
+
+class Logger {
+ public:
+  /// Process-wide logger used by the library.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, const std::string& message);
+
+  /// Lines logged since construction/reset, for tests.
+  [[nodiscard]] long lines_emitted() const { return lines_; }
+  void reset_counter() { lines_ = 0; }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  long lines_ = 0;
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  LineBuilder(Logger& logger, LogLevel level) : logger_(&logger), level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { logger_->log(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  Logger* logger_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+}  // namespace mvsim
+
+#define MVSIM_LOG(level)                                       \
+  if (!::mvsim::Logger::global().enabled(level)) {             \
+  } else                                                       \
+    ::mvsim::log_detail::LineBuilder(::mvsim::Logger::global(), level)
+
+#define MVSIM_TRACE() MVSIM_LOG(::mvsim::LogLevel::kTrace)
+#define MVSIM_DEBUG() MVSIM_LOG(::mvsim::LogLevel::kDebug)
+#define MVSIM_INFO() MVSIM_LOG(::mvsim::LogLevel::kInfo)
+#define MVSIM_WARN() MVSIM_LOG(::mvsim::LogLevel::kWarn)
+#define MVSIM_ERROR() MVSIM_LOG(::mvsim::LogLevel::kError)

@@ -1,0 +1,103 @@
+#include "virus/profile.h"
+
+namespace mvsim::virus {
+
+ValidationErrors VirusProfile::validate() const {
+  ValidationErrors errors("VirusProfile(" + name + ")");
+  errors.require(!name.empty(), "name must not be empty");
+  if (targeting == TargetingMode::kRandomDialing) {
+    errors.require(valid_number_fraction > 0.0 && valid_number_fraction <= 1.0,
+                   "valid_number_fraction must be in (0, 1]");
+  }
+  errors.require(min_message_gap >= SimTime::zero(), "min_message_gap must be >= 0");
+  errors.require(extra_gap_mean >= SimTime::zero(), "extra_gap_mean must be >= 0");
+  errors.require(min_message_gap + extra_gap_mean > SimTime::zero(),
+                 "gap floor and jitter cannot both be zero (zero-delay send loop)");
+  errors.require(recipients_per_message >= 1, "recipients_per_message must be >= 1");
+  if (budget != BudgetKind::kUnlimited) {
+    errors.require(budget_limit >= 1, "budget_limit must be >= 1");
+    errors.require(budget_window > SimTime::zero(), "budget_window must be positive");
+  }
+  errors.require(dormancy >= SimTime::zero(), "dormancy must be >= 0");
+  if (align_first_burst) {
+    errors.require(budget == BudgetKind::kPerDayAligned,
+                   "align_first_burst requires a kPerDayAligned budget");
+  }
+  if (one_pass_per_window) {
+    errors.require(budget == BudgetKind::kPerDayAligned,
+                   "one_pass_per_window requires a kPerDayAligned budget");
+    errors.require(targeting == TargetingMode::kContactList,
+                   "one_pass_per_window requires contact-list targeting");
+  }
+  if (trigger == SendTrigger::kPiggyback) {
+    errors.require(legit_traffic_gap_mean > SimTime::zero(),
+                   "legit_traffic_gap_mean must be positive for piggyback viruses");
+  }
+  return errors;
+}
+
+VirusProfile virus1() {
+  VirusProfile p;
+  p.name = "Virus 1";
+  p.targeting = TargetingMode::kContactList;
+  p.min_message_gap = SimTime::minutes(30.0);
+  p.extra_gap_mean = SimTime::minutes(5.0);
+  p.recipients_per_message = 1;
+  p.budget = BudgetKind::kPerReboot;
+  p.budget_limit = 30;
+  p.budget_window = SimTime::hours(24.0);  // mean time between reboots
+  p.dormancy = SimTime::zero();
+  p.trigger = SendTrigger::kActive;
+  return p;
+}
+
+VirusProfile virus2() {
+  VirusProfile p;
+  p.name = "Virus 2";
+  p.targeting = TargetingMode::kContactList;
+  p.min_message_gap = SimTime::minutes(1.0);
+  p.extra_gap_mean = SimTime::seconds(10.0);
+  p.recipients_per_message = 100;
+  p.budget = BudgetKind::kPerDayAligned;
+  p.budget_limit = 30;
+  p.budget_window = SimTime::hours(24.0);
+  p.align_first_burst = true;
+  p.one_pass_per_window = true;
+  p.dormancy = SimTime::zero();
+  p.trigger = SendTrigger::kActive;
+  return p;
+}
+
+VirusProfile virus3() {
+  VirusProfile p;
+  p.name = "Virus 3";
+  p.targeting = TargetingMode::kRandomDialing;
+  p.valid_number_fraction = 1.0 / 3.0;
+  p.min_message_gap = SimTime::minutes(1.0);
+  p.extra_gap_mean = SimTime::seconds(10.0);
+  p.recipients_per_message = 1;
+  p.budget = BudgetKind::kUnlimited;
+  p.dormancy = SimTime::zero();
+  p.trigger = SendTrigger::kActive;
+  return p;
+}
+
+VirusProfile virus4() {
+  VirusProfile p;
+  p.name = "Virus 4";
+  p.targeting = TargetingMode::kContactList;
+  p.min_message_gap = SimTime::minutes(30.0);
+  p.extra_gap_mean = SimTime::zero();  // the legit-traffic process supplies the randomness
+  p.recipients_per_message = 1;
+  p.budget = BudgetKind::kUnlimited;
+  p.dormancy = SimTime::hours(1.0);
+  p.trigger = SendTrigger::kPiggyback;
+  p.legit_traffic_gap_mean = SimTime::hours(2.0);
+  return p;
+}
+
+std::array<VirusProfile, 4> paper_virus_suite() {
+  return {virus1(), virus2(), virus3(), virus4()};
+}
+
+}  // namespace mvsim::virus

@@ -1,0 +1,100 @@
+// The dissemination half of an infected phone (paper §4.1).
+//
+// One SendingProcess is attached to each phone the moment it becomes
+// infected. It drives outgoing infected MMS messages under every
+// constraint the paper describes:
+//   * the virus's own minimum gap between messages,
+//   * its self-imposed sending budget (per reboot / per aligned day),
+//   * an initial dormancy period (Virus 4),
+//   * piggybacking on legitimate traffic instead of an own timer,
+//   * provider-side dissemination policies: a blocked phone
+//     (blacklist) stops for good; a flagged phone (monitoring) has a
+//     forced minimum gap merged into the virus's own gap.
+// Patching an infected phone (immunization) also halts the process —
+// it checks Phone::propagation_stopped() before every send.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "phone/phone.h"
+#include "rng/stream.h"
+#include "virus/profile.h"
+#include "virus/targeting.h"
+
+namespace mvsim::virus {
+
+/// Shared (per-replication) wiring for all sending processes.
+struct SendingEnvironment {
+  des::Scheduler* scheduler = nullptr;
+  rng::Stream* virus_stream = nullptr;
+  net::Gateway* gateway = nullptr;
+  /// Dissemination-point mechanisms, consulted before every send.
+  std::vector<net::OutgoingMmsPolicy*> policies;
+};
+
+class SendingProcess {
+ public:
+  /// `host` is the infected phone; `targeter` supplies recipients.
+  /// The profile must outlive the process (the Simulation owns it).
+  SendingProcess(const SendingEnvironment& env, const VirusProfile& profile, phone::Phone& host,
+                 std::unique_ptr<Targeter> targeter);
+  ~SendingProcess();
+  SendingProcess(const SendingProcess&) = delete;
+  SendingProcess& operator=(const SendingProcess&) = delete;
+
+  /// Begin disseminating. Call exactly once, at infection time.
+  void start();
+
+  /// Permanently halt (patch landed, phone blacklisted, teardown).
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void attempt_send();
+  void send_now();
+  void schedule_attempt_at(SimTime at);
+  void schedule_next_active_attempt();
+  void on_reboot();
+  void schedule_reboot();
+  void on_legit_traffic();
+  void schedule_legit_traffic();
+
+  /// Largest minimum gap any authority imposes right now (virus's own
+  /// floor or monitoring's forced wait).
+  [[nodiscard]] SimTime effective_min_gap() const;
+  /// True when the current budget window has messages left; when false,
+  /// `resume_at` is set for aligned windows (reboot windows resume via
+  /// the reboot event instead).
+  [[nodiscard]] bool budget_available(SimTime now, SimTime& resume_at);
+  [[nodiscard]] bool blocked_by_policy(SimTime now) const;
+
+  SendingEnvironment env_;
+  const VirusProfile* profile_;
+  phone::Phone* host_;
+  std::unique_ptr<Targeter> targeter_;
+
+  bool started_ = false;
+  bool running_ = false;
+  std::uint64_t messages_sent_ = 0;
+
+  SimTime last_send_ = SimTime::infinity();  // infinity = never sent
+  bool has_sent_ = false;
+
+  // Budget bookkeeping.
+  std::uint32_t sent_in_window_ = 0;
+  std::size_t targets_sent_in_window_ = 0;  // for one_pass_per_window
+  std::int64_t current_window_index_ = -1;  // for kPerDayAligned
+  bool waiting_for_reboot_ = false;
+
+  des::EventHandle pending_attempt_;
+  des::EventHandle pending_reboot_;
+  des::EventHandle pending_legit_;
+};
+
+}  // namespace mvsim::virus

@@ -1,0 +1,239 @@
+// Unit tests for src/cli: argument handling, preset registry, and the
+// run/preset/validate commands end to end (through the library entry
+// point, no subprocesses).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+#include "cli/preset_registry.h"
+#include "config/scenario_io.h"
+
+namespace mvsim::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// Writes a small, fast scenario file and returns its path.
+std::string write_small_scenario() {
+  std::string path = ::testing::TempDir() + "/mvsim_cli_scenario.json";
+  std::ofstream file(path);
+  file << R"({
+    "name": "cli-test",
+    "population": 120,
+    "topology": {"mean_degree": 12},
+    "virus": {"preset": "virus1"},
+    "horizon": "24h"
+  })";
+  return path;
+}
+
+TEST(PresetRegistry, ListsAllPresets) {
+  auto presets = list_presets();
+  EXPECT_EQ(presets.size(), 10u);
+  EXPECT_EQ(presets[0].name, "virus1-baseline");
+  for (const auto& entry : presets) {
+    EXPECT_FALSE(entry.description.empty()) << entry.name;
+    EXPECT_TRUE(find_preset(entry.name).has_value()) << entry.name;
+  }
+}
+
+TEST(PresetRegistry, UnknownNameIsNullopt) {
+  EXPECT_FALSE(find_preset("virus9-baseline").has_value());
+  EXPECT_FALSE(find_preset("").has_value());
+}
+
+TEST(PresetRegistry, PresetsAreValidScenarios) {
+  for (const auto& entry : list_presets()) {
+    auto preset = find_preset(entry.name);
+    ASSERT_TRUE(preset.has_value());
+    EXPECT_TRUE(preset->validate().ok()) << entry.name;
+  }
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  CliResult r = invoke({});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSucceeds) {
+  EXPECT_EQ(invoke({"help"}).code, 0);
+  EXPECT_EQ(invoke({"--help"}).code, 0);
+  EXPECT_NE(invoke({"-h"}).out.find("mvsim run"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  CliResult r = invoke({"launch-missiles"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, PresetsCommandListsNames) {
+  CliResult r = invoke({"presets"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("virus3-baseline"), std::string::npos);
+  EXPECT_NE(r.out.find("fig6-monitoring"), std::string::npos);
+}
+
+TEST(Cli, PresetCommandEmitsLoadableJson) {
+  CliResult r = invoke({"preset", "fig7-blacklist"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  core::ScenarioConfig config = config::scenario_from_text(r.out);
+  EXPECT_TRUE(config.responses.blacklist.has_value());
+  EXPECT_EQ(config.virus.name, "Virus 3");
+}
+
+TEST(Cli, PresetCommandRejectsUnknown) {
+  CliResult r = invoke({"preset", "nope"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown preset"), std::string::npos);
+}
+
+TEST(Cli, PresetCommandWantsExactlyOneArg) {
+  EXPECT_EQ(invoke({"preset"}).code, 1);
+  EXPECT_EQ(invoke({"preset", "a", "b"}).code, 1);
+}
+
+TEST(Cli, RunScenarioFileProducesSummary) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"run", path, "--reps", "2", "--seed", "7"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scenario: cli-test"), std::string::npos);
+  EXPECT_NE(r.out.find("final infections:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunIsDeterministicGivenSeed) {
+  std::string path = write_small_scenario();
+  CliResult a = invoke({"run", path, "--reps", "2", "--seed", "55"});
+  CliResult b = invoke({"run", path, "--reps", "2", "--seed", "55"});
+  EXPECT_EQ(a.out, b.out);
+  CliResult c = invoke({"run", path, "--reps", "2", "--seed", "56"});
+  EXPECT_NE(a.out, c.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunEmitsCsvAndJsonToStdout) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke(
+      {"run", path, "--reps", "2", "--quiet", "--curve-csv", "-", "--summary-json", "-"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("hours,mean_infected"), std::string::npos);
+  EXPECT_NE(r.out.find("\"final_infections\""), std::string::npos);
+  EXPECT_EQ(r.out.find("scenario: cli-test"), std::string::npos) << "--quiet suppresses prose";
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunWritesOutputFiles) {
+  std::string scenario_path = write_small_scenario();
+  std::string csv_path = ::testing::TempDir() + "/mvsim_cli_curve.csv";
+  std::string json_path = ::testing::TempDir() + "/mvsim_cli_summary.json";
+  CliResult r = invoke({"run", scenario_path, "--reps", "2", "--quiet", "--curve-csv", csv_path,
+                        "--summary-json", json_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream csv(csv_path);
+  ASSERT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header, "hours,mean_infected,stddev,ci95,min,max");
+  std::ifstream json_file(json_path);
+  ASSERT_TRUE(json_file.good());
+  std::remove(scenario_path.c_str());
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(Cli, RunAcceptsPresetNames) {
+  // Use the fastest preset at reduced reps to keep the test snappy.
+  CliResult r = invoke({"run", "virus3-baseline", "--reps", "1", "--quiet"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(Cli, RunRejectsBadFlags) {
+  std::string path = write_small_scenario();
+  EXPECT_EQ(invoke({"run"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--reps"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--reps", "0"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--reps", "many"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--seed", "xyz"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--frobnicate"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunUnknownPresetMentionsPresets) {
+  CliResult r = invoke({"run", "virus9-baseline"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("mvsim presets"), std::string::npos);
+}
+
+TEST(Cli, RunMissingFileFails) {
+  CliResult r = invoke({"run", "/no/such/scenario.json"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(Cli, CompareRunsMultipleTargets) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"compare", path, path, "--reps", "2", "--seed", "3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("scenario,final_infected"), std::string::npos);
+  // Two identical targets at the same seed produce identical rows.
+  EXPECT_NE(r.out.find("100.0%"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, CompareNeedsTwoTargets) {
+  EXPECT_EQ(invoke({"compare"}).code, 1);
+  EXPECT_EQ(invoke({"compare", "virus1-baseline"}).code, 1);
+  EXPECT_EQ(invoke({"compare", "a", "b", "--reps"}).code, 1);
+  EXPECT_EQ(invoke({"compare", "a", "b", "--reps", "0"}).code, 1);
+}
+
+TEST(Cli, RunThreadsFlagParses) {
+  std::string path = write_small_scenario();
+  EXPECT_EQ(invoke({"run", path, "--reps", "2", "--threads", "2", "--quiet"}).code, 0);
+  EXPECT_EQ(invoke({"run", path, "--threads", "many"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--threads", "9999"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ValidateAcceptsGoodFile) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"validate", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("OK: cli-test"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ValidateRejectsBadFile) {
+  std::string path = ::testing::TempDir() + "/mvsim_cli_bad.json";
+  std::ofstream(path) << R"({"population": 1})";
+  CliResult r = invoke({"validate", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("population"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ValidateRejectsUnparsableJson) {
+  std::string path = ::testing::TempDir() + "/mvsim_cli_syntax.json";
+  std::ofstream(path) << "{ not json";
+  CliResult r = invoke({"validate", path});
+  EXPECT_EQ(r.code, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mvsim::cli

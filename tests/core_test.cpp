@@ -1,0 +1,446 @@
+// Unit tests for src/core: scenario validation, presets, simulation
+// wiring and the replication runner.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/event_trace.h"
+#include "core/presets.h"
+#include "core/runner.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+
+namespace mvsim::core {
+namespace {
+
+/// Small, fast scenario used across these tests.
+ScenarioConfig small_scenario() {
+  ScenarioConfig config;
+  config.name = "test-small";
+  config.population = 120;
+  config.topology.mean_degree = 12.0;
+  config.virus = virus::virus1();
+  config.horizon = SimTime::hours(48.0);
+  config.sample_step = SimTime::hours(1.0);
+  return config;
+}
+
+TEST(ScenarioConfig, DefaultsMatchThePaper) {
+  ScenarioConfig config;
+  EXPECT_EQ(config.population, 1000u);
+  EXPECT_DOUBLE_EQ(config.susceptible_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(config.topology.mean_degree, 80.0);
+  EXPECT_DOUBLE_EQ(config.eventual_acceptance, 0.40);
+  EXPECT_EQ(config.initial_infected, 1u);
+  EXPECT_DOUBLE_EQ(config.expected_unrestrained_plateau(), 320.0);
+  EXPECT_TRUE(config.validate().ok()) << config.validate().to_string();
+}
+
+TEST(ScenarioConfig, ValidationCatchesBadFields) {
+  ScenarioConfig config = small_scenario();
+  config.population = 1;
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.susceptible_fraction = 0.0;
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.initial_infected = 0;
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.initial_infected = 1000;  // > susceptible count
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.topology.mean_degree = 500.0;  // >= population
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.eventual_acceptance = 0.9;
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.sample_step = config.horizon + SimTime::hours(1.0);
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.read_delay_mean = SimTime::zero();
+  EXPECT_FALSE(config.validate().ok());
+
+  config = small_scenario();
+  config.virus.recipients_per_message = 0;  // nested virus validation
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(ScenarioConfig, EducationOverridesPlateauExpectation) {
+  ScenarioConfig config;
+  response::UserEducationConfig education;
+  education.eventual_acceptance = 0.20;
+  config.responses.user_education = education;
+  EXPECT_DOUBLE_EQ(config.expected_unrestrained_plateau(), 160.0);
+}
+
+TEST(Presets, HorizonsFollowThePaper) {
+  EXPECT_EQ(paper_horizon_for(virus::virus1()), SimTime::days(18.0));
+  EXPECT_EQ(paper_horizon_for(virus::virus2()), SimTime::days(10.0));
+  EXPECT_EQ(paper_horizon_for(virus::virus3()), SimTime::hours(25.0));
+  EXPECT_EQ(paper_horizon_for(virus::virus4()), SimTime::days(18.0));
+}
+
+TEST(Presets, AllFigureScenariosValidate) {
+  for (const auto& profile : virus::paper_virus_suite()) {
+    EXPECT_TRUE(baseline_scenario(profile).validate().ok());
+    EXPECT_TRUE(fig4_education_scenario(profile, 0.20).validate().ok());
+  }
+  EXPECT_TRUE(fig2_scan_scenario(SimTime::hours(6.0)).validate().ok());
+  EXPECT_TRUE(fig3_detection_scenario(0.95).validate().ok());
+  EXPECT_TRUE(fig5_immunization_scenario(SimTime::hours(24.0), SimTime::hours(1.0))
+                  .validate()
+                  .ok());
+  EXPECT_TRUE(fig6_monitoring_scenario(SimTime::minutes(15.0)).validate().ok());
+  EXPECT_TRUE(fig7_blacklist_scenario(10).validate().ok());
+}
+
+TEST(Presets, FigureScenariosEnableTheRightMechanism) {
+  EXPECT_TRUE(fig2_scan_scenario(SimTime::hours(6.0)).responses.gateway_scan.has_value());
+  EXPECT_TRUE(fig3_detection_scenario(0.9).responses.gateway_detection.has_value());
+  EXPECT_TRUE(fig4_education_scenario(virus::virus1(), 0.2)
+                  .responses.user_education.has_value());
+  EXPECT_TRUE(fig5_immunization_scenario(SimTime::hours(24.0), SimTime::hours(6.0))
+                  .responses.immunization.has_value());
+  EXPECT_TRUE(fig6_monitoring_scenario(SimTime::minutes(30.0)).responses.monitoring.has_value());
+  EXPECT_TRUE(fig7_blacklist_scenario(20).responses.blacklist.has_value());
+  for (const auto& profile : virus::paper_virus_suite()) {
+    EXPECT_EQ(baseline_scenario(profile).responses.enabled_count(), 0);
+  }
+}
+
+TEST(Simulation, ConstructionBuildsPopulation) {
+  Simulation sim(small_scenario(), 1);
+  EXPECT_EQ(sim.contact_graph().node_count(), 120u);
+  EXPECT_EQ(sim.susceptible_count(), 96u);  // 80% of 120
+  EXPECT_EQ(sim.infected_count(), 0u) << "patient zero infects at t=0, not before";
+}
+
+TEST(Simulation, PatientZeroInfectsAtTimeZero) {
+  Simulation sim(small_scenario(), 1);
+  sim.run_until(SimTime::zero());
+  EXPECT_EQ(sim.infected_count(), 1u);
+}
+
+TEST(Simulation, InfectionsGrowOverTime) {
+  Simulation sim(small_scenario(), 2);
+  sim.run_until(SimTime::hours(12.0));
+  auto early = sim.infected_count();
+  sim.run_until(SimTime::hours(48.0));
+  auto late = sim.infected_count();
+  EXPECT_GE(late, early);
+  EXPECT_GT(late, 1u) << "Virus 1 spreads within two days";
+}
+
+TEST(Simulation, RunReturnsConsistentResult) {
+  Simulation sim(small_scenario(), 3);
+  ReplicationResult r = sim.run();
+  EXPECT_EQ(r.total_infected, static_cast<std::uint64_t>(r.infections.final_value()));
+  EXPECT_GE(r.gateway.messages_submitted, r.total_infected - 1)
+      << "every infection after patient zero took at least one message";
+  EXPECT_TRUE(r.detected_at.is_finite());
+}
+
+TEST(Simulation, RunTwiceThrows) {
+  Simulation sim(small_scenario(), 4);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), std::logic_error);
+}
+
+TEST(Simulation, DeterministicGivenSeed) {
+  ScenarioConfig config = small_scenario();
+  Simulation a(config, 42), b(config, 42);
+  ReplicationResult ra = a.run(), rb = b.run();
+  EXPECT_EQ(ra.total_infected, rb.total_infected);
+  EXPECT_EQ(ra.gateway.messages_submitted, rb.gateway.messages_submitted);
+  ASSERT_EQ(ra.infections.points().size(), rb.infections.points().size());
+  for (std::size_t i = 0; i < ra.infections.points().size(); ++i) {
+    EXPECT_EQ(ra.infections.points()[i].time, rb.infections.points()[i].time);
+  }
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  ScenarioConfig config = small_scenario();
+  ReplicationResult ra = Simulation(config, 1).run();
+  ReplicationResult rb = Simulation(config, 2).run();
+  // Messages submitted is a high-entropy statistic; equality would be
+  // astronomically unlikely for independent runs.
+  EXPECT_NE(ra.gateway.messages_submitted, rb.gateway.messages_submitted);
+}
+
+TEST(Simulation, InvalidConfigThrowsOnConstruction) {
+  ScenarioConfig config = small_scenario();
+  config.population = 0;
+  EXPECT_THROW(Simulation(config, 1), std::invalid_argument);
+}
+
+TEST(Simulation, NonSusceptiblePhonesNeverInfected) {
+  ScenarioConfig config = small_scenario();
+  config.horizon = SimTime::days(6.0);
+  Simulation sim(config, 7);
+  (void)sim.run();
+  for (graph::PhoneId id = 0; id < config.population; ++id) {
+    const phone::Phone& p = sim.phone_at(id);
+    if (!p.susceptible()) {
+      EXPECT_NE(p.state(), phone::HealthState::kInfected);
+    }
+  }
+}
+
+TEST(Simulation, InfectedCountMatchesPhoneStates) {
+  ScenarioConfig config = small_scenario();
+  Simulation sim(config, 8);
+  sim.run_until(SimTime::hours(36.0));
+  std::uint64_t infected = 0;
+  for (graph::PhoneId id = 0; id < config.population; ++id) {
+    infected += sim.phone_at(id).infected() ? 1u : 0u;
+  }
+  EXPECT_EQ(infected, sim.infected_count());
+}
+
+TEST(Simulation, ProximityChannelValidation) {
+  ScenarioConfig config = small_scenario();
+  ProximityChannelConfig proximity;
+  proximity.grid_width = 0;
+  config.proximity = proximity;
+  EXPECT_FALSE(config.validate().ok());
+  config.proximity = ProximityChannelConfig{};
+  config.proximity->dwell_mean = SimTime::zero();
+  EXPECT_FALSE(config.validate().ok());
+  config.proximity = ProximityChannelConfig{};
+  EXPECT_TRUE(config.validate().ok());
+}
+
+TEST(Simulation, DualVectorSpreadsWithoutGatewayTraffic) {
+  // Cripple the MMS arm entirely (scan active from t=0 via threshold 1
+  // and zero delay): a single-vector virus stalls, the dual-vector one
+  // keeps spreading over Bluetooth, invisibly to the gateway.
+  ScenarioConfig config = small_scenario();
+  config.horizon = SimTime::days(5.0);
+  response::GatewayScanConfig scan;
+  scan.activation_delay = SimTime::zero();
+  config.responses.gateway_scan = scan;
+  config.responses.detectability_threshold = 1;
+
+  Simulation mms_only(config, 31);
+  ReplicationResult single = mms_only.run();
+  EXPECT_LE(single.total_infected, 3u) << "scan from t=0 stalls the MMS-only virus";
+
+  config.proximity = ProximityChannelConfig{};
+  config.proximity->grid_width = 6;
+  config.proximity->grid_height = 6;  // ~3 phones/cell at population 120
+  Simulation dual(config, 31);
+  ReplicationResult result = dual.run();
+  EXPECT_GT(result.total_infected, 10u) << "Bluetooth keeps spreading";
+  EXPECT_GT(result.bluetooth_push_attempts, 100u);
+  // Everything the gateway saw was blocked (except the very first
+  // message, which races the zero-delay activation event); the
+  // infections happened essentially entirely off-network.
+  EXPECT_LE(result.gateway.recipients_delivered, 1u);
+}
+
+TEST(Simulation, DualVectorDeterministicGivenSeed) {
+  ScenarioConfig config = small_scenario();
+  config.proximity = ProximityChannelConfig{};
+  ReplicationResult a = Simulation(config, 99).run();
+  ReplicationResult b = Simulation(config, 99).run();
+  EXPECT_EQ(a.total_infected, b.total_infected);
+  EXPECT_EQ(a.bluetooth_push_attempts, b.bluetooth_push_attempts);
+}
+
+TEST(Simulation, SingleVectorReportsNoBluetoothActivity) {
+  Simulation sim(small_scenario(), 5);
+  EXPECT_EQ(sim.run().bluetooth_push_attempts, 0u);
+}
+
+TEST(Simulation, PatchSilencesBothVectors) {
+  ScenarioConfig config = small_scenario();
+  config.horizon = SimTime::days(6.0);
+  config.proximity = ProximityChannelConfig{};
+  config.proximity->grid_width = 6;
+  config.proximity->grid_height = 6;
+  response::ImmunizationConfig immunization;
+  immunization.development_time = SimTime::hours(6.0);
+  immunization.deployment_duration = SimTime::hours(1.0);
+  config.responses.immunization = immunization;
+
+  ScenarioConfig baseline = config;
+  baseline.responses.immunization.reset();
+
+  RunnerOptions options;
+  options.replications = 4;
+  ExperimentResult patched = run_experiment(config, options);
+  ExperimentResult unpatched = run_experiment(baseline, options);
+  EXPECT_LT(patched.final_infections.mean(), 0.7 * unpatched.final_infections.mean())
+      << "the handset patch stops Bluetooth dissemination too";
+}
+
+
+TEST(EventTrace, RecordsInfectionsPatchesAndDetection) {
+  ScenarioConfig config = small_scenario();
+  config.horizon = SimTime::days(4.0);
+  response::ImmunizationConfig immunization;
+  immunization.development_time = SimTime::hours(12.0);
+  immunization.deployment_duration = SimTime::hours(2.0);
+  config.responses.immunization = immunization;
+
+  EventTrace trace;
+  Simulation sim(config, 17, &trace);
+  ReplicationResult r = sim.run();
+
+  EXPECT_EQ(trace.count(TraceEventKind::kInfection), r.total_infected);
+  EXPECT_EQ(trace.count(TraceEventKind::kPatchApplied),
+            r.immunized_healthy + r.patched_infected);
+  EXPECT_EQ(trace.count(TraceEventKind::kVirusDetected), 1u);
+  EXPECT_EQ(trace.first_time(TraceEventKind::kInfection), SimTime::zero())
+      << "patient zero at t=0";
+  EXPECT_EQ(trace.first_time(TraceEventKind::kVirusDetected), r.detected_at);
+  // The rollout window brackets every patch event.
+  SimTime first_patch = trace.first_time(TraceEventKind::kPatchApplied);
+  SimTime last_patch = trace.last_time(TraceEventKind::kPatchApplied);
+  EXPECT_GE(first_patch, r.detected_at + SimTime::hours(12.0));
+  EXPECT_LE(last_patch, r.detected_at + SimTime::hours(14.0) + SimTime::minutes(1.0));
+}
+
+TEST(EventTrace, EventsAreTimeOrdered) {
+  ScenarioConfig config = small_scenario();
+  EventTrace trace;
+  Simulation sim(config, 18, &trace);
+  (void)sim.run();
+  SimTime last = SimTime::zero();
+  for (const TraceEvent& event : trace.events()) {
+    ASSERT_GE(event.time, last);
+    last = event.time;
+  }
+  EXPECT_GT(trace.events().size(), 1u);
+}
+
+TEST(EventTrace, CsvExportAndQueries) {
+  EventTrace trace;
+  trace.record(SimTime::hours(1.0), TraceEventKind::kInfection, 7);
+  trace.record(SimTime::hours(2.0), TraceEventKind::kVirusDetected, 0);
+  std::ostringstream out;
+  trace.write_csv(out);
+  EXPECT_EQ(out.str(), "hours,kind,phone\n1,infection,7\n2,detected,0\n");
+  EXPECT_EQ(trace.first_time(TraceEventKind::kPatchApplied), SimTime::infinity());
+  EXPECT_EQ(trace.last_time(TraceEventKind::kPatchApplied), SimTime::infinity());
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+TEST(EventTrace, NullTraceIsFine) {
+  Simulation sim(small_scenario(), 19, nullptr);
+  EXPECT_NO_THROW((void)sim.run());
+}
+
+TEST(Runner, AggregatesRequestedReplications) {
+  RunnerOptions options;
+  options.replications = 4;
+  ExperimentResult result = run_experiment(small_scenario(), options);
+  EXPECT_EQ(result.curve.replication_count(), 4u);
+  EXPECT_EQ(result.final_infections.count(), 4u);
+  EXPECT_EQ(result.replications.size(), 4u);
+  EXPECT_GT(result.final_infections.mean(), 0.0);
+}
+
+TEST(Runner, KeepReplicationsOffSavesMemory) {
+  RunnerOptions options;
+  options.replications = 2;
+  options.keep_replications = false;
+  ExperimentResult result = run_experiment(small_scenario(), options);
+  EXPECT_TRUE(result.replications.empty());
+  EXPECT_EQ(result.curve.replication_count(), 2u);
+}
+
+TEST(Runner, DeterministicGivenMasterSeed) {
+  RunnerOptions options;
+  options.replications = 3;
+  options.master_seed = 99;
+  ExperimentResult a = run_experiment(small_scenario(), options);
+  ExperimentResult b = run_experiment(small_scenario(), options);
+  EXPECT_DOUBLE_EQ(a.final_infections.mean(), b.final_infections.mean());
+  EXPECT_DOUBLE_EQ(a.messages_submitted.mean(), b.messages_submitted.mean());
+}
+
+TEST(Runner, ReplicationsAreIndependent) {
+  RunnerOptions options;
+  options.replications = 6;
+  ExperimentResult result = run_experiment(small_scenario(), options);
+  // If replications shared RNG state wrongly, totals would be equal.
+  bool any_different = false;
+  for (std::size_t i = 1; i < result.replications.size(); ++i) {
+    if (result.replications[i].gateway.messages_submitted !=
+        result.replications[0].gateway.messages_submitted) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Runner, RejectsBadOptionsAndConfigs) {
+  RunnerOptions options;
+  options.replications = 0;
+  EXPECT_THROW((void)run_experiment(small_scenario(), options), std::invalid_argument);
+  ScenarioConfig bad = small_scenario();
+  bad.population = 0;
+  EXPECT_THROW((void)run_experiment(bad, RunnerOptions{}), std::invalid_argument);
+}
+
+TEST(Runner, ParallelExecutionIsBitIdentical) {
+  ScenarioConfig config = small_scenario();
+  RunnerOptions serial;
+  serial.replications = 6;
+  serial.master_seed = 777;
+  serial.threads = 1;
+  RunnerOptions parallel = serial;
+  parallel.threads = 4;
+
+  ExperimentResult a = run_experiment(config, serial);
+  ExperimentResult b = run_experiment(config, parallel);
+  EXPECT_DOUBLE_EQ(a.final_infections.mean(), b.final_infections.mean());
+  EXPECT_DOUBLE_EQ(a.final_infections.variance(), b.final_infections.variance());
+  EXPECT_DOUBLE_EQ(a.messages_submitted.mean(), b.messages_submitted.mean());
+  ASSERT_EQ(a.replications.size(), b.replications.size());
+  for (std::size_t i = 0; i < a.replications.size(); ++i) {
+    EXPECT_EQ(a.replications[i].total_infected, b.replications[i].total_infected)
+        << "replication " << i << " must not depend on scheduling";
+    EXPECT_EQ(a.replications[i].gateway.messages_submitted,
+              b.replications[i].gateway.messages_submitted);
+  }
+}
+
+TEST(Runner, ThreadsZeroMeansHardwareConcurrency) {
+  ScenarioConfig config = small_scenario();
+  RunnerOptions options;
+  options.replications = 3;
+  options.threads = 0;
+  EXPECT_NO_THROW((void)run_experiment(config, options));
+  options.threads = -1;
+  EXPECT_THROW((void)run_experiment(config, options), std::invalid_argument);
+}
+
+TEST(Runner, EnvOverrideParsing) {
+  // No env var set in the test environment: falls back.
+  unsetenv("MVSIM_REPS");
+  EXPECT_EQ(replications_from_env(7), 7);
+  setenv("MVSIM_REPS", "12", 1);
+  EXPECT_EQ(replications_from_env(7), 12);
+  setenv("MVSIM_REPS", "0", 1);
+  EXPECT_EQ(replications_from_env(7), 1) << "clamped to >= 1";
+  setenv("MVSIM_REPS", "garbage", 1);
+  EXPECT_EQ(replications_from_env(7), 7);
+  setenv("MVSIM_REPS", "12x", 1);
+  EXPECT_EQ(replications_from_env(7), 7);
+  unsetenv("MVSIM_REPS");
+}
+
+}  // namespace
+}  // namespace mvsim::core

@@ -1,0 +1,231 @@
+// Unit tests for src/des: scheduler ordering, cancellation, sampler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/sampler.h"
+#include "des/scheduler.h"
+
+namespace mvsim::des {
+namespace {
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), SimTime::zero());
+  EXPECT_EQ(sched.pending_count(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(SimTime::minutes(30.0), [&] { order.push_back(3); });
+  sched.schedule_at(SimTime::minutes(10.0), [&] { order.push_back(1); });
+  sched.schedule_at(SimTime::minutes(20.0), [&] { order.push_back(2); });
+  sched.run_until(SimTime::hours(1.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, EqualTimesFireInScheduleOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(SimTime::minutes(5.0), [&order, i] { order.push_back(i); });
+  }
+  sched.run_until(SimTime::minutes(5.0));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockIsEventTimeDuringCallback) {
+  Scheduler sched;
+  SimTime observed;
+  sched.schedule_at(SimTime::minutes(42.0), [&] { observed = sched.now(); });
+  sched.run_until(SimTime::hours(2.0));
+  EXPECT_EQ(observed, SimTime::minutes(42.0));
+  EXPECT_EQ(sched.now(), SimTime::hours(2.0)) << "clock rests at the horizon";
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler sched;
+  SimTime fired;
+  sched.schedule_at(SimTime::minutes(10.0), [&] {
+    sched.schedule_after(SimTime::minutes(5.0), [&] { fired = sched.now(); });
+  });
+  sched.run_until(SimTime::hours(1.0));
+  EXPECT_EQ(fired, SimTime::minutes(15.0));
+}
+
+TEST(Scheduler, RejectsPastTimesAndNegativeDelays) {
+  Scheduler sched;
+  sched.schedule_at(SimTime::minutes(1.0), [] {});
+  sched.run_until(SimTime::minutes(30.0));
+  EXPECT_THROW(sched.schedule_at(SimTime::minutes(10.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.schedule_after(SimTime::minutes(-1.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sched.run_until(SimTime::minutes(10.0)), std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsEmptyCallback) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_after(SimTime::zero(), Scheduler::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, RunUntilStopsBeforeLaterEvents) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(SimTime::minutes(10.0), [&] { ++fired; });
+  sched.schedule_at(SimTime::minutes(50.0), [&] { ++fired; });
+  sched.run_until(SimTime::minutes(30.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  sched.run_until(SimTime::minutes(60.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventExactlyAtHorizonFires) {
+  Scheduler sched;
+  bool fired = false;
+  sched.schedule_at(SimTime::minutes(30.0), [&] { fired = true; });
+  sched.run_until(SimTime::minutes(30.0));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  EventHandle h = sched.schedule_at(SimTime::minutes(5.0), [&] { fired = true; });
+  EXPECT_TRUE(sched.pending(h));
+  EXPECT_TRUE(sched.cancel(h));
+  EXPECT_FALSE(sched.pending(h));
+  sched.run_until(SimTime::hours(1.0));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.cancelled_count(), 1u);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(SimTime::minutes(5.0), [] {});
+  EXPECT_TRUE(sched.cancel(h));
+  EXPECT_FALSE(sched.cancel(h));
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler sched;
+  EventHandle h = sched.schedule_at(SimTime::minutes(5.0), [] {});
+  sched.run_until(SimTime::minutes(10.0));
+  EXPECT_FALSE(sched.pending(h));
+  EXPECT_FALSE(sched.cancel(h));
+}
+
+TEST(Scheduler, DefaultHandleIsInvalid) {
+  Scheduler sched;
+  EventHandle h;
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(sched.pending(h));
+  EXPECT_FALSE(sched.cancel(h));
+}
+
+TEST(Scheduler, StaleHandleAfterSlotReuseIsInert) {
+  Scheduler sched;
+  bool second_fired = false;
+  EventHandle first = sched.schedule_at(SimTime::minutes(1.0), [] {});
+  sched.run_until(SimTime::minutes(2.0));  // first fires; its slot recycles
+  EventHandle second = sched.schedule_at(SimTime::minutes(5.0), [&] { second_fired = true; });
+  // Cancelling the stale first handle must not hit the recycled slot.
+  EXPECT_FALSE(sched.cancel(first));
+  EXPECT_TRUE(sched.pending(second));
+  sched.run_until(SimTime::minutes(10.0));
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Scheduler, CancelDuringCallbackOfSameTime) {
+  Scheduler sched;
+  bool late_fired = false;
+  EventHandle victim;
+  sched.schedule_at(SimTime::minutes(5.0), [&] { sched.cancel(victim); });
+  victim = sched.schedule_at(SimTime::minutes(5.0), [&] { late_fired = true; });
+  sched.run_until(SimTime::minutes(6.0));
+  EXPECT_FALSE(late_fired) << "same-instant FIFO: earlier event cancels the later one";
+}
+
+TEST(Scheduler, EventsCanScheduleAtSameInstant) {
+  Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(SimTime::minutes(5.0), [&] {
+    ++fired;
+    sched.schedule_at(sched.now(), [&] { ++fired; });
+  });
+  sched.run_until(SimTime::minutes(5.0));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunToQuiescenceDrainsChains) {
+  Scheduler sched;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 100) sched.schedule_after(SimTime::minutes(1.0), chain);
+  };
+  sched.schedule_after(SimTime::zero(), chain);
+  sched.run_to_quiescence();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(sched.pending_count(), 0u);
+  EXPECT_EQ(sched.executed_count(), 100u);
+}
+
+TEST(Scheduler, PendingCountExcludesCancelled) {
+  Scheduler sched;
+  EventHandle h1 = sched.schedule_at(SimTime::minutes(1.0), [] {});
+  sched.schedule_at(SimTime::minutes(2.0), [] {});
+  EXPECT_EQ(sched.pending_count(), 2u);
+  sched.cancel(h1);
+  EXPECT_EQ(sched.pending_count(), 1u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler sched;
+  SimTime last = SimTime::zero();
+  bool monotone = true;
+  // Deterministic pseudo-random times via a little LCG.
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    double t = static_cast<double>(state >> 40);
+    sched.schedule_at(SimTime::minutes(t), [&, t] {
+      if (sched.now() < last) monotone = false;
+      last = sched.now();
+      (void)t;
+    });
+  }
+  sched.run_to_quiescence();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sched.executed_count(), 5000u);
+}
+
+TEST(PeriodicSampler, SamplesOnGridIncludingZeroAndHorizon) {
+  Scheduler sched;
+  int value = 0;
+  sched.schedule_at(SimTime::minutes(25.0), [&] { value = 7; });
+  PeriodicSampler sampler(sched, SimTime::minutes(10.0), SimTime::minutes(40.0),
+                          [&] { return static_cast<double>(value); });
+  sched.run_until(SimTime::minutes(40.0));
+  const auto& samples = sampler.samples();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples.front().first, SimTime::zero());
+  EXPECT_EQ(samples.back().first, SimTime::minutes(40.0));
+  EXPECT_DOUBLE_EQ(samples[2].second, 0.0);  // t=20, before the change
+  EXPECT_DOUBLE_EQ(samples[3].second, 7.0);  // t=30, after the change
+}
+
+TEST(PeriodicSampler, RejectsBadArguments) {
+  Scheduler sched;
+  EXPECT_THROW(PeriodicSampler(sched, SimTime::zero(), SimTime::hours(1.0), [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(PeriodicSampler(sched, SimTime::minutes(1.0), SimTime::minutes(-1.0),
+                               [] { return 0.0; }),
+               std::invalid_argument);
+  EXPECT_THROW(PeriodicSampler(sched, SimTime::minutes(1.0), SimTime::hours(1.0), nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mvsim::des

@@ -1,0 +1,233 @@
+// Unit tests for src/phone: consent math and the phone state machine.
+#include <gtest/gtest.h>
+
+#include "des/scheduler.h"
+#include "phone/consent.h"
+#include "phone/phone.h"
+#include "rng/stream.h"
+
+namespace mvsim::phone {
+namespace {
+
+TEST(ConsentModel, PaperFactorYieldsPointFourEventual) {
+  // The paper's central identity: AF = 0.468 => eventual acceptance 0.40.
+  ConsentModel model(kPaperAcceptanceFactor);
+  EXPECT_NEAR(model.eventual_acceptance_probability(), kPaperEventualAcceptance, 0.001);
+}
+
+TEST(ConsentModel, PerMessageProbabilityHalves) {
+  ConsentModel model(0.468);
+  EXPECT_NEAR(model.acceptance_probability(1), 0.234, 1e-9);
+  EXPECT_NEAR(model.acceptance_probability(2), 0.117, 1e-9);
+  EXPECT_NEAR(model.acceptance_probability(3), 0.0585, 1e-9);
+  for (int n = 1; n < 20; ++n) {
+    EXPECT_DOUBLE_EQ(model.acceptance_probability(n + 1), model.acceptance_probability(n) / 2.0);
+  }
+}
+
+TEST(ConsentModel, LargeIndexProbabilityVanishes) {
+  ConsentModel model(0.468);
+  EXPECT_LT(model.acceptance_probability(60), 1e-15);
+  EXPECT_DOUBLE_EQ(model.acceptance_probability(2000), 0.0);
+}
+
+TEST(ConsentModel, RejectsBadArguments) {
+  EXPECT_THROW(ConsentModel(-0.1), std::invalid_argument);
+  EXPECT_THROW(ConsentModel(1.0), std::invalid_argument);
+  ConsentModel model(0.3);
+  EXPECT_THROW((void)model.acceptance_probability(0), std::invalid_argument);
+  EXPECT_THROW((void)model.negligible_after(0.0), std::invalid_argument);
+}
+
+TEST(ConsentModel, ZeroFactorNeverAccepts) {
+  ConsentModel model(0.0);
+  EXPECT_DOUBLE_EQ(model.acceptance_probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.eventual_acceptance_probability(), 0.0);
+}
+
+TEST(ConsentModel, NegligibleAfterFindsCutoff) {
+  ConsentModel model(0.468);
+  int cutoff = model.negligible_after(1e-6);
+  EXPECT_GT(cutoff, 10);
+  EXPECT_LT(cutoff, 30);
+  EXPECT_LT(model.acceptance_probability(cutoff), 1e-6);
+  EXPECT_GE(model.acceptance_probability(cutoff - 1), 1e-6);
+}
+
+TEST(ConsentModel, SolverInvertsEventualAcceptance) {
+  for (double target : {0.05, 0.10, 0.20, 0.40, 0.60}) {
+    double af = ConsentModel::solve_acceptance_factor(target);
+    ConsentModel model(af);
+    EXPECT_NEAR(model.eventual_acceptance_probability(), target, 1e-9) << "target " << target;
+  }
+}
+
+TEST(ConsentModel, SolverRecoversPaperFactor) {
+  double af = ConsentModel::solve_acceptance_factor(0.40);
+  EXPECT_NEAR(af, kPaperAcceptanceFactor, 0.002)
+      << "the paper's AF=0.468 should fall out of inverting 0.40";
+}
+
+TEST(ConsentModel, SolverRejectsInfeasibleTargets) {
+  EXPECT_THROW((void)ConsentModel::solve_acceptance_factor(0.9), std::invalid_argument);
+  EXPECT_THROW((void)ConsentModel::solve_acceptance_factor(-0.1), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(ConsentModel::solve_acceptance_factor(0.0), 0.0);
+}
+
+TEST(ConsentModel, EventualAcceptanceMonotoneInFactor) {
+  double last = -1.0;
+  for (double af = 0.0; af < 1.0; af += 0.05) {
+    ConsentModel model(af);
+    double eventual = model.eventual_acceptance_probability();
+    EXPECT_GT(eventual, last);
+    last = eventual;
+  }
+}
+
+// ---- Phone state machine ----
+
+struct PhoneFixture {
+  des::Scheduler scheduler;
+  rng::Stream user_stream{55};
+  ConsentModel consent{0.468};
+  PhoneEnvironment env;
+  std::vector<PhoneId> infected_ids;
+
+  PhoneFixture() {
+    env.scheduler = &scheduler;
+    env.user_stream = &user_stream;
+    env.consent = &consent;
+    env.read_delay_mean = SimTime::minutes(30.0);
+    env.decision_cutoff = 40;
+    env.on_infected = [this](PhoneId id) { infected_ids.push_back(id); };
+  }
+};
+
+TEST(Phone, StartsHealthy) {
+  PhoneFixture fx;
+  Phone phone(3, true, &fx.env);
+  EXPECT_EQ(phone.id(), 3u);
+  EXPECT_TRUE(phone.susceptible());
+  EXPECT_EQ(phone.state(), HealthState::kHealthy);
+  EXPECT_FALSE(phone.infected());
+  EXPECT_EQ(phone.infected_messages_received(), 0);
+  EXPECT_FALSE(phone.propagation_stopped());
+}
+
+TEST(Phone, RequiresCompleteEnvironment) {
+  PhoneEnvironment empty;
+  EXPECT_THROW(Phone(0, true, &empty), std::invalid_argument);
+  EXPECT_THROW(Phone(0, true, nullptr), std::invalid_argument);
+}
+
+TEST(Phone, ForceInfectFiresCallbackOnce) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  EXPECT_TRUE(phone.force_infect());
+  EXPECT_FALSE(phone.force_infect()) << "already infected";
+  EXPECT_EQ(fx.infected_ids, (std::vector<PhoneId>{1}));
+  EXPECT_EQ(phone.infected_at(), SimTime::zero());
+}
+
+TEST(Phone, NonSusceptibleCannotBeInfected) {
+  PhoneFixture fx;
+  Phone phone(1, false, &fx.env);
+  EXPECT_FALSE(phone.force_infect());
+  // Even a flood of accepted messages cannot infect the wrong platform.
+  for (int i = 0; i < 50; ++i) phone.receive_infected_message();
+  fx.scheduler.run_to_quiescence();
+  EXPECT_EQ(phone.state(), HealthState::kHealthy);
+  EXPECT_TRUE(fx.infected_ids.empty());
+}
+
+TEST(Phone, ReceiveCountsMessagesAndSchedulesDecision) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  phone.receive_infected_message();
+  EXPECT_EQ(phone.infected_messages_received(), 1);
+  EXPECT_EQ(phone.pending_decisions(), 1);
+  EXPECT_EQ(fx.scheduler.pending_count(), 1u);
+  fx.scheduler.run_to_quiescence();
+  EXPECT_EQ(phone.pending_decisions(), 0);
+}
+
+TEST(Phone, EnoughMessagesEventuallyInfectSusceptible) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  // 200 messages: P(no acceptance) = 0.60 per the eventual-acceptance
+  // math, so run several phones to see at least one infection.
+  int infected = 0;
+  constexpr int kPhones = 100;
+  std::vector<Phone> phones;
+  phones.reserve(kPhones);
+  for (PhoneId id = 0; id < kPhones; ++id) phones.emplace_back(id, true, &fx.env);
+  for (auto& p : phones) {
+    for (int i = 0; i < 30; ++i) p.receive_infected_message();
+  }
+  fx.scheduler.run_to_quiescence();
+  for (auto& p : phones) infected += p.infected() ? 1 : 0;
+  // Eventual acceptance 0.40: expect ~40 of 100, allow generous margin.
+  EXPECT_GT(infected, 20);
+  EXPECT_LT(infected, 60);
+}
+
+TEST(Phone, DecisionCutoffSkipsDecisionEvents) {
+  PhoneFixture fx;
+  fx.env.decision_cutoff = 3;
+  Phone phone(1, true, &fx.env);
+  for (int i = 0; i < 10; ++i) phone.receive_infected_message();
+  EXPECT_EQ(phone.infected_messages_received(), 10) << "count keeps growing past the cutoff";
+  EXPECT_EQ(phone.pending_decisions(), 3) << "only the first 3 schedule decisions";
+}
+
+TEST(Phone, PatchImmunizesHealthyPhone) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  phone.apply_patch();
+  EXPECT_EQ(phone.state(), HealthState::kImmunized);
+  EXPECT_TRUE(phone.patched());
+  EXPECT_FALSE(phone.force_infect()) << "immunized phones cannot be infected";
+  for (int i = 0; i < 40; ++i) phone.receive_infected_message();
+  fx.scheduler.run_to_quiescence();
+  EXPECT_EQ(phone.state(), HealthState::kImmunized);
+}
+
+TEST(Phone, PatchOnInfectedPhoneStopsPropagationOnly) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  phone.force_infect();
+  phone.apply_patch();
+  EXPECT_EQ(phone.state(), HealthState::kInfected) << "patch does not disinfect";
+  EXPECT_TRUE(phone.propagation_stopped());
+}
+
+TEST(Phone, PatchIsIdempotent) {
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  phone.apply_patch();
+  phone.apply_patch();
+  EXPECT_EQ(phone.state(), HealthState::kImmunized);
+}
+
+TEST(Phone, HealthStateNames) {
+  EXPECT_STREQ(to_string(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(HealthState::kInfected), "infected");
+  EXPECT_STREQ(to_string(HealthState::kImmunized), "immunized");
+}
+
+TEST(Phone, DecisionUsesIndexAtArrivalTime) {
+  // A message's acceptance probability is fixed by how many infected
+  // messages had arrived when it did, even if decisions resolve later
+  // in a different order. We can't observe probabilities directly, but
+  // we can verify the count snapshot: after two receives, the count is
+  // 2 while both decisions are still pending.
+  PhoneFixture fx;
+  Phone phone(1, true, &fx.env);
+  phone.receive_infected_message();
+  phone.receive_infected_message();
+  EXPECT_EQ(phone.infected_messages_received(), 2);
+  EXPECT_EQ(phone.pending_decisions(), 2);
+}
+
+}  // namespace
+}  // namespace mvsim::phone

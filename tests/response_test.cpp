@@ -1,0 +1,415 @@
+// Unit tests for src/response: the detectability monitor and all six
+// response mechanisms in isolation.
+#include <gtest/gtest.h>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "response/blacklist.h"
+#include "response/detectability.h"
+#include "response/gateway_detection.h"
+#include "response/gateway_scan.h"
+#include "response/immunization.h"
+#include "response/monitoring.h"
+#include "response/suite.h"
+#include "response/user_education.h"
+#include "rng/stream.h"
+
+namespace mvsim::response {
+namespace {
+
+net::MmsMessage infected(net::PhoneId sender) {
+  net::MmsMessage m;
+  m.sender = sender;
+  m.recipients = {{sender + 1, true}};
+  m.infected = true;
+  return m;
+}
+
+net::MmsMessage clean(net::PhoneId sender) {
+  net::MmsMessage m = infected(sender);
+  m.infected = false;
+  return m;
+}
+
+TEST(DetectabilityMonitor, FiresAtThreshold) {
+  DetectabilityMonitor monitor(3);
+  SimTime fired_at = SimTime::infinity();
+  monitor.on_detected([&](SimTime t) { fired_at = t; });
+  monitor.on_submitted(infected(0), SimTime::minutes(1.0));
+  monitor.on_submitted(infected(0), SimTime::minutes(2.0));
+  EXPECT_FALSE(monitor.detected());
+  monitor.on_submitted(infected(0), SimTime::minutes(3.0));
+  EXPECT_TRUE(monitor.detected());
+  EXPECT_EQ(fired_at, SimTime::minutes(3.0));
+  EXPECT_EQ(monitor.detected_at(), SimTime::minutes(3.0));
+}
+
+TEST(DetectabilityMonitor, IgnoresCleanMessages) {
+  DetectabilityMonitor monitor(1);
+  monitor.on_submitted(clean(0), SimTime::minutes(1.0));
+  EXPECT_FALSE(monitor.detected());
+  EXPECT_EQ(monitor.infected_messages_seen(), 0u);
+}
+
+TEST(DetectabilityMonitor, FiresOnlyOnce) {
+  DetectabilityMonitor monitor(1);
+  int fires = 0;
+  monitor.on_detected([&](SimTime) { ++fires; });
+  monitor.on_submitted(infected(0), SimTime::minutes(1.0));
+  monitor.on_submitted(infected(0), SimTime::minutes(2.0));
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(DetectabilityMonitor, RegistrationAfterDetectionThrows) {
+  DetectabilityMonitor monitor(1);
+  monitor.on_submitted(infected(0), SimTime::minutes(1.0));
+  EXPECT_THROW(monitor.on_detected([](SimTime) {}), std::logic_error);
+}
+
+TEST(DetectabilityMonitor, ZeroThresholdRejected) {
+  EXPECT_THROW(DetectabilityMonitor(0), std::invalid_argument);
+}
+
+TEST(GatewayScan, InactiveUntilDelayElapses) {
+  des::Scheduler scheduler;
+  DetectabilityMonitor monitor(1);
+  GatewayScanConfig config;
+  config.activation_delay = SimTime::hours(6.0);
+  GatewayScan scan(config, scheduler, monitor);
+
+  EXPECT_EQ(scan.inspect(infected(0), scheduler.now()), net::DeliveryFilter::Decision::kDeliver);
+  monitor.on_submitted(infected(0), scheduler.now());  // detect at t=0
+  scheduler.run_until(SimTime::hours(5.9));
+  EXPECT_FALSE(scan.active());
+  EXPECT_EQ(scan.inspect(infected(0), scheduler.now()), net::DeliveryFilter::Decision::kDeliver);
+  scheduler.run_until(SimTime::hours(6.0));
+  EXPECT_TRUE(scan.active());
+  EXPECT_EQ(scan.activated_at(), SimTime::hours(6.0));
+  EXPECT_EQ(scan.inspect(infected(0), scheduler.now()), net::DeliveryFilter::Decision::kBlock);
+  EXPECT_EQ(scan.messages_stopped(), 1u);
+}
+
+TEST(GatewayScan, NeverBlocksCleanTraffic) {
+  des::Scheduler scheduler;
+  DetectabilityMonitor monitor(1);
+  GatewayScan scan(GatewayScanConfig{SimTime::zero()}, scheduler, monitor);
+  monitor.on_submitted(infected(0), scheduler.now());
+  scheduler.run_to_quiescence();
+  EXPECT_TRUE(scan.active());
+  EXPECT_EQ(scan.inspect(clean(0), scheduler.now()), net::DeliveryFilter::Decision::kDeliver);
+}
+
+TEST(GatewayScan, NeverActivatesWithoutDetection) {
+  des::Scheduler scheduler;
+  DetectabilityMonitor monitor(100);
+  GatewayScan scan(GatewayScanConfig{SimTime::hours(1.0)}, scheduler, monitor);
+  scheduler.run_until(SimTime::days(10.0));
+  EXPECT_FALSE(scan.active());
+}
+
+TEST(GatewayScan, RejectsNegativeDelay) {
+  des::Scheduler scheduler;
+  DetectabilityMonitor monitor(1);
+  GatewayScanConfig config;
+  config.activation_delay = SimTime::minutes(-1.0);
+  EXPECT_THROW(GatewayScan(config, scheduler, monitor), std::invalid_argument);
+}
+
+TEST(GatewayDetection, BlocksAtConfiguredAccuracy) {
+  des::Scheduler scheduler;
+  rng::Stream stream(3);
+  DetectabilityMonitor monitor(1);
+  GatewayDetectionConfig config;
+  config.accuracy = 0.9;
+  config.analysis_period = SimTime::zero();
+  GatewayDetection detection(config, scheduler, stream, monitor);
+  monitor.on_submitted(infected(0), scheduler.now());
+  scheduler.run_to_quiescence();
+  ASSERT_TRUE(detection.active());
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) (void)detection.inspect(infected(0), scheduler.now());
+  double block_rate =
+      static_cast<double>(detection.messages_stopped()) / static_cast<double>(kN);
+  EXPECT_NEAR(block_rate, 0.9, 0.01);
+  EXPECT_EQ(detection.messages_stopped() + detection.messages_missed(),
+            static_cast<std::uint64_t>(kN));
+}
+
+TEST(GatewayDetection, PassesEverythingBeforeAnalysisEnds) {
+  des::Scheduler scheduler;
+  rng::Stream stream(4);
+  DetectabilityMonitor monitor(1);
+  GatewayDetectionConfig config;
+  config.analysis_period = SimTime::hours(6.0);
+  GatewayDetection detection(config, scheduler, stream, monitor);
+  monitor.on_submitted(infected(0), scheduler.now());
+  scheduler.run_until(SimTime::hours(3.0));
+  EXPECT_FALSE(detection.active());
+  EXPECT_EQ(detection.inspect(infected(0), scheduler.now()),
+            net::DeliveryFilter::Decision::kDeliver);
+}
+
+TEST(GatewayDetection, PerfectAccuracyBlocksAll) {
+  des::Scheduler scheduler;
+  rng::Stream stream(5);
+  DetectabilityMonitor monitor(1);
+  GatewayDetectionConfig config;
+  config.accuracy = 1.0;
+  config.analysis_period = SimTime::zero();
+  GatewayDetection detection(config, scheduler, stream, monitor);
+  monitor.on_submitted(infected(0), scheduler.now());
+  scheduler.run_to_quiescence();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(detection.inspect(infected(0), scheduler.now()),
+              net::DeliveryFilter::Decision::kBlock);
+  }
+}
+
+TEST(GatewayDetection, ConfigValidation) {
+  GatewayDetectionConfig config;
+  config.accuracy = 1.5;
+  EXPECT_FALSE(config.validate().ok());
+  config = GatewayDetectionConfig{};
+  config.analysis_period = SimTime::minutes(-1.0);
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(UserEducation, ProducesRequestedEventualAcceptance) {
+  UserEducationConfig config;
+  config.eventual_acceptance = 0.20;
+  phone::ConsentModel model = apply_user_education(config);
+  EXPECT_NEAR(model.eventual_acceptance_probability(), 0.20, 1e-9);
+  config.eventual_acceptance = 0.10;
+  EXPECT_NEAR(apply_user_education(config).eventual_acceptance_probability(), 0.10, 1e-9);
+}
+
+TEST(UserEducation, EducatedFactorIsLowerThanBaseline) {
+  UserEducationConfig config;
+  config.eventual_acceptance = 0.20;
+  EXPECT_LT(apply_user_education(config).acceptance_factor(), phone::kPaperAcceptanceFactor);
+}
+
+TEST(UserEducation, ConfigValidation) {
+  UserEducationConfig config;
+  config.eventual_acceptance = 0.9;
+  EXPECT_FALSE(config.validate().ok());
+  config.eventual_acceptance = -0.1;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(Immunization, RollsOutUniformlyAfterDevelopment) {
+  des::Scheduler scheduler;
+  rng::Stream stream(6);
+  DetectabilityMonitor monitor(1);
+  ImmunizationConfig config;
+  config.development_time = SimTime::hours(24.0);
+  config.deployment_duration = SimTime::hours(6.0);
+  std::vector<net::PhoneId> patched;
+  Immunization immunization(config, scheduler, stream, monitor, {0, 1, 2, 3, 4},
+                            [&](net::PhoneId id) { patched.push_back(id); });
+  monitor.on_submitted(infected(9), scheduler.now());  // detect at t=0
+  scheduler.run_until(SimTime::hours(23.9));
+  EXPECT_FALSE(immunization.deployment_started());
+  EXPECT_TRUE(patched.empty());
+  scheduler.run_until(SimTime::hours(30.0));
+  EXPECT_TRUE(immunization.deployment_started());
+  EXPECT_EQ(patched.size(), 5u);
+  EXPECT_EQ(immunization.patches_applied(), 5u);
+  EXPECT_EQ(immunization.deployment_begins_at(), SimTime::hours(24.0));
+  EXPECT_EQ(immunization.deployment_ends_at(), SimTime::hours(30.0));
+}
+
+TEST(Immunization, InstantDeploymentPatchesAtOnce) {
+  des::Scheduler scheduler;
+  rng::Stream stream(7);
+  DetectabilityMonitor monitor(1);
+  ImmunizationConfig config;
+  config.development_time = SimTime::hours(1.0);
+  config.deployment_duration = SimTime::zero();
+  int patched = 0;
+  Immunization immunization(config, scheduler, stream, monitor, {0, 1, 2},
+                            [&](net::PhoneId) { ++patched; });
+  monitor.on_submitted(infected(9), scheduler.now());
+  scheduler.run_until(SimTime::hours(1.0));
+  EXPECT_EQ(patched, 3);
+}
+
+TEST(Immunization, NoDetectionMeansNoPatches) {
+  des::Scheduler scheduler;
+  rng::Stream stream(8);
+  DetectabilityMonitor monitor(100);
+  int patched = 0;
+  Immunization immunization(ImmunizationConfig{}, scheduler, stream, monitor, {0, 1},
+                            [&](net::PhoneId) { ++patched; });
+  scheduler.run_until(SimTime::days(30.0));
+  EXPECT_EQ(patched, 0);
+  EXPECT_FALSE(immunization.deployment_started());
+}
+
+TEST(Immunization, RequiresCallback) {
+  des::Scheduler scheduler;
+  rng::Stream stream(9);
+  DetectabilityMonitor monitor(1);
+  EXPECT_THROW(
+      Immunization(ImmunizationConfig{}, scheduler, stream, monitor, {0}, nullptr),
+      std::invalid_argument);
+}
+
+TEST(Monitoring, FlagsPhoneAboveThreshold) {
+  MonitoringConfig config;
+  config.window_message_threshold = 3;
+  config.forced_wait = SimTime::minutes(15.0);
+  Monitoring monitoring(config);
+  SimTime t = SimTime::minutes(1.0);
+  for (int i = 0; i < 3; ++i) monitoring.on_submitted(infected(7), t);
+  EXPECT_FALSE(monitoring.is_flagged(7));
+  EXPECT_EQ(monitoring.forced_min_gap(7, t), SimTime::zero());
+  monitoring.on_submitted(infected(7), t);  // 4th message in the window
+  EXPECT_TRUE(monitoring.is_flagged(7));
+  EXPECT_EQ(monitoring.forced_min_gap(7, t), SimTime::minutes(15.0));
+  EXPECT_EQ(monitoring.flagged_count(), 1u);
+}
+
+TEST(Monitoring, CountsCleanMessagesToo) {
+  MonitoringConfig config;
+  config.window_message_threshold = 2;
+  Monitoring monitoring(config);
+  SimTime t = SimTime::minutes(1.0);
+  monitoring.on_submitted(clean(7), t);
+  monitoring.on_submitted(clean(7), t);
+  monitoring.on_submitted(clean(7), t);
+  EXPECT_TRUE(monitoring.is_flagged(7)) << "monitoring cannot tell infected from clean";
+}
+
+TEST(Monitoring, WindowResetUnflagsWhenNotPermanent) {
+  MonitoringConfig config;
+  config.window_message_threshold = 1;
+  config.observation_window = SimTime::hours(1.0);
+  config.flag_is_permanent = false;
+  Monitoring monitoring(config);
+  monitoring.on_submitted(infected(7), SimTime::minutes(10.0));
+  monitoring.on_submitted(infected(7), SimTime::minutes(11.0));
+  EXPECT_TRUE(monitoring.is_flagged(7));
+  // Next window: the flag clears.
+  EXPECT_EQ(monitoring.forced_min_gap(7, SimTime::minutes(70.0)), SimTime::zero());
+}
+
+TEST(Monitoring, PermanentFlagSurvivesWindows) {
+  MonitoringConfig config;
+  config.window_message_threshold = 1;
+  config.observation_window = SimTime::hours(1.0);
+  Monitoring monitoring(config);
+  monitoring.on_submitted(infected(7), SimTime::minutes(10.0));
+  monitoring.on_submitted(infected(7), SimTime::minutes(11.0));
+  EXPECT_EQ(monitoring.forced_min_gap(7, SimTime::hours(50.0)), config.forced_wait);
+}
+
+TEST(Monitoring, PerPhoneIsolation) {
+  MonitoringConfig config;
+  config.window_message_threshold = 2;
+  Monitoring monitoring(config);
+  SimTime t = SimTime::minutes(1.0);
+  for (int i = 0; i < 5; ++i) monitoring.on_submitted(infected(1), t);
+  EXPECT_TRUE(monitoring.is_flagged(1));
+  EXPECT_FALSE(monitoring.is_flagged(2));
+  EXPECT_FALSE(monitoring.is_blocked(1, t)) << "monitoring never blocks outright";
+}
+
+TEST(Monitoring, ConfigValidation) {
+  MonitoringConfig config;
+  config.window_message_threshold = 0;
+  EXPECT_FALSE(config.validate().ok());
+  config = MonitoringConfig{};
+  config.observation_window = SimTime::zero();
+  EXPECT_FALSE(config.validate().ok());
+  config = MonitoringConfig{};
+  config.forced_wait = SimTime::minutes(-5.0);
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(Blacklist, BlocksAtThreshold) {
+  BlacklistConfig config;
+  config.message_threshold = 3;
+  Blacklist blacklist(config);
+  SimTime t = SimTime::minutes(1.0);
+  blacklist.on_submitted(infected(5), t);
+  blacklist.on_submitted(infected(5), t);
+  EXPECT_FALSE(blacklist.is_blocked(5, t));
+  blacklist.on_submitted(infected(5), t);
+  EXPECT_TRUE(blacklist.is_blocked(5, t));
+  EXPECT_TRUE(blacklist.is_blacklisted(5));
+  EXPECT_EQ(blacklist.blacklisted_count(), 1u);
+}
+
+TEST(Blacklist, IgnoresCleanMessages) {
+  BlacklistConfig config;
+  config.message_threshold = 1;
+  Blacklist blacklist(config);
+  SimTime t = SimTime::minutes(1.0);
+  for (int i = 0; i < 10; ++i) blacklist.on_submitted(clean(5), t);
+  EXPECT_FALSE(blacklist.is_blacklisted(5)) << "blacklist counts only suspected messages";
+}
+
+TEST(Blacklist, InvalidRecipientsStillCount) {
+  // A random-dialing virus's messages to dead numbers still transit the
+  // provider's switch and count toward suspicion (paper §5.2).
+  BlacklistConfig config;
+  config.message_threshold = 2;
+  Blacklist blacklist(config);
+  net::MmsMessage m;
+  m.sender = 5;
+  m.recipients = {{0, false}};
+  m.infected = true;
+  SimTime t = SimTime::minutes(1.0);
+  blacklist.on_submitted(m, t);
+  blacklist.on_submitted(m, t);
+  EXPECT_TRUE(blacklist.is_blacklisted(5));
+}
+
+TEST(Blacklist, NeverImposesGap) {
+  Blacklist blacklist(BlacklistConfig{});
+  EXPECT_EQ(blacklist.forced_min_gap(1, SimTime::zero()), SimTime::zero());
+}
+
+TEST(Blacklist, MultiRecipientMessageCountsOnce) {
+  BlacklistConfig config;
+  config.message_threshold = 3;
+  Blacklist blacklist(config);
+  net::MmsMessage burst;
+  burst.sender = 5;
+  burst.infected = true;
+  for (net::PhoneId i = 0; i < 100; ++i) burst.recipients.push_back({i + 10, true});
+  blacklist.on_submitted(burst, SimTime::zero());
+  EXPECT_FALSE(blacklist.is_blacklisted(5))
+      << "Virus 2's evasion: 100 recipients ride one counted message";
+}
+
+TEST(Blacklist, ConfigValidation) {
+  BlacklistConfig config;
+  config.message_threshold = 0;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(ResponseSuite, CountsEnabledMechanisms) {
+  ResponseSuiteConfig suite = no_response();
+  EXPECT_FALSE(suite.any_enabled());
+  EXPECT_EQ(suite.enabled_count(), 0);
+  suite.monitoring = MonitoringConfig{};
+  suite.blacklist = BlacklistConfig{};
+  EXPECT_TRUE(suite.any_enabled());
+  EXPECT_EQ(suite.enabled_count(), 2);
+}
+
+TEST(ResponseSuite, ValidationAggregatesSubConfigs) {
+  ResponseSuiteConfig suite;
+  suite.detectability_threshold = 0;
+  EXPECT_FALSE(suite.validate().ok());
+  suite = ResponseSuiteConfig{};
+  BlacklistConfig bad;
+  bad.message_threshold = 0;
+  suite.blacklist = bad;
+  EXPECT_FALSE(suite.validate().ok());
+}
+
+}  // namespace
+}  // namespace mvsim::response

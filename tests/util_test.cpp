@@ -1,0 +1,138 @@
+// Unit tests for src/util: SimTime, CSV writer, validation helper.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/sim_time.h"
+#include "util/validation.h"
+
+namespace mvsim {
+namespace {
+
+TEST(SimTime, UnitConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimTime::minutes(90.0).to_hours(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::hours(2.0).to_minutes(), 120.0);
+  EXPECT_DOUBLE_EQ(SimTime::days(1.0).to_hours(), 24.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(90.0).to_minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::hours(36.0).to_days(), 1.5);
+}
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t, SimTime::zero());
+  EXPECT_DOUBLE_EQ(t.to_minutes(), 0.0);
+}
+
+TEST(SimTime, ArithmeticBehavesLikeDurations) {
+  SimTime t = SimTime::hours(1.0) + SimTime::minutes(30.0);
+  EXPECT_DOUBLE_EQ(t.to_minutes(), 90.0);
+  t -= SimTime::minutes(60.0);
+  EXPECT_DOUBLE_EQ(t.to_minutes(), 30.0);
+  EXPECT_DOUBLE_EQ((t * 4.0).to_hours(), 2.0);
+  EXPECT_DOUBLE_EQ((2.0 * t).to_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ((SimTime::hours(1.0) / 2.0).to_minutes(), 30.0);
+  EXPECT_DOUBLE_EQ(SimTime::hours(2.0) / SimTime::minutes(30.0), 4.0);
+}
+
+TEST(SimTime, ComparisonIsTotalOrder) {
+  EXPECT_LT(SimTime::minutes(59.0), SimTime::hours(1.0));
+  EXPECT_GT(SimTime::days(1.0), SimTime::hours(23.0));
+  EXPECT_EQ(SimTime::hours(24.0), SimTime::days(1.0));
+  EXPECT_LE(SimTime::zero(), SimTime::zero());
+}
+
+TEST(SimTime, InfinityPredicates) {
+  EXPECT_FALSE(SimTime::infinity().is_finite());
+  EXPECT_TRUE(SimTime::infinity().is_nonnegative());
+  EXPECT_TRUE(SimTime::hours(1.0).is_finite());
+  EXPECT_FALSE((SimTime::zero() - SimTime::hours(1.0)).is_nonnegative());
+  EXPECT_LT(SimTime::days(10000.0), SimTime::infinity());
+}
+
+TEST(SimTime, MinMaxHelpers) {
+  EXPECT_EQ(min(SimTime::hours(1.0), SimTime::minutes(30.0)), SimTime::minutes(30.0));
+  EXPECT_EQ(max(SimTime::hours(1.0), SimTime::minutes(30.0)), SimTime::hours(1.0));
+}
+
+TEST(SimTime, ToStringPicksNaturalUnit) {
+  EXPECT_EQ(SimTime::minutes(30.0).to_string(), "30.00 min");
+  EXPECT_EQ(SimTime::hours(2.0).to_string(), "2.00 h");
+  EXPECT_EQ(SimTime::days(3.0).to_string(), "3.00 d");
+  EXPECT_EQ(SimTime::infinity().to_string(), "+inf");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"hours", "count"});
+  csv.row(1.5, 12);
+  csv.row(2.0, 13);
+  EXPECT_EQ(out.str(), "hours,count\n1.5,12\n2,13\n");
+  EXPECT_EQ(csv.rows_written(), 2);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::quote("plain"), "plain");
+  EXPECT_EQ(CsvWriter::quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, MixedFieldTypes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("label", 3.25, 7, std::size_t{9});
+  EXPECT_EQ(out.str(), "label,3.25,7,9\n");
+}
+
+TEST(ValidationErrors, CollectsAllProblems) {
+  ValidationErrors errors("Widget");
+  EXPECT_TRUE(errors.ok());
+  EXPECT_FALSE(errors.require(false, "first"));
+  EXPECT_TRUE(errors.require(true, "not recorded"));
+  errors.add("second");
+  EXPECT_FALSE(errors.ok());
+  ASSERT_EQ(errors.problems().size(), 2u);
+  EXPECT_EQ(errors.problems()[0], "Widget: first");
+  EXPECT_EQ(errors.to_string(), "Widget: first; Widget: second");
+}
+
+TEST(ValidationErrors, ThrowIfInvalid) {
+  ValidationErrors ok_errors("A");
+  EXPECT_NO_THROW(ok_errors.throw_if_invalid());
+  ValidationErrors bad("B");
+  bad.add("boom");
+  EXPECT_THROW(bad.throw_if_invalid(), std::invalid_argument);
+}
+
+TEST(ValidationErrors, MergeCombinesContexts) {
+  ValidationErrors outer("Outer");
+  ValidationErrors inner("Inner");
+  inner.add("bad field");
+  outer.merge(inner);
+  ASSERT_EQ(outer.problems().size(), 1u);
+  EXPECT_EQ(outer.problems()[0], "Inner: bad field");
+}
+
+TEST(Logger, RespectsLevel) {
+  Logger& logger = Logger::global();
+  LogLevel old_level = logger.level();
+  logger.set_level(LogLevel::kError);
+  logger.reset_counter();
+  MVSIM_INFO() << "hidden";
+  EXPECT_EQ(logger.lines_emitted(), 0);
+  MVSIM_ERROR() << "shown";
+  EXPECT_EQ(logger.lines_emitted(), 1);
+  logger.set_level(old_level);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace mvsim

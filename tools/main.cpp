@@ -1,0 +1,11 @@
+// mvsim command-line entry point; all logic lives in src/cli.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mvsim::cli::run_cli(args, std::cout, std::cerr);
+}
