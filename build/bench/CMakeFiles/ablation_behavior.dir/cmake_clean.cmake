@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_behavior.dir/ablation_behavior.cpp.o"
+  "CMakeFiles/ablation_behavior.dir/ablation_behavior.cpp.o.d"
+  "ablation_behavior"
+  "ablation_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_diminishing_returns.dir/analysis_diminishing_returns.cpp.o"
+  "CMakeFiles/analysis_diminishing_returns.dir/analysis_diminishing_returns.cpp.o.d"
+  "analysis_diminishing_returns"
+  "analysis_diminishing_returns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_diminishing_returns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bluetooth.dir/ext_bluetooth.cpp.o"
+  "CMakeFiles/ext_bluetooth.dir/ext_bluetooth.cpp.o.d"
+  "ext_bluetooth"
+  "ext_bluetooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bluetooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

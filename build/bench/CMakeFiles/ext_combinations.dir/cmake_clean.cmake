@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_combinations.dir/ext_combinations.cpp.o"
+  "CMakeFiles/ext_combinations.dir/ext_combinations.cpp.o.d"
+  "ext_combinations"
+  "ext_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

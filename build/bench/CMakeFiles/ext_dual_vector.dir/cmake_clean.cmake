@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dual_vector.dir/ext_dual_vector.cpp.o"
+  "CMakeFiles/ext_dual_vector.dir/ext_dual_vector.cpp.o.d"
+  "ext_dual_vector"
+  "ext_dual_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dual_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

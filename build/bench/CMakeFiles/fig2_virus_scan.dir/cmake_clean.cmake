@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_virus_scan.dir/fig2_virus_scan.cpp.o"
+  "CMakeFiles/fig2_virus_scan.dir/fig2_virus_scan.cpp.o.d"
+  "fig2_virus_scan"
+  "fig2_virus_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_virus_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

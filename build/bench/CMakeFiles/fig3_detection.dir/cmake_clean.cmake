@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_detection.dir/fig3_detection.cpp.o"
+  "CMakeFiles/fig3_detection.dir/fig3_detection.cpp.o.d"
+  "fig3_detection"
+  "fig3_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

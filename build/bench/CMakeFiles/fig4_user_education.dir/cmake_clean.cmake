@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_user_education.dir/fig4_user_education.cpp.o"
+  "CMakeFiles/fig4_user_education.dir/fig4_user_education.cpp.o.d"
+  "fig4_user_education"
+  "fig4_user_education.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_user_education.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_immunization.dir/fig5_immunization.cpp.o"
+  "CMakeFiles/fig5_immunization.dir/fig5_immunization.cpp.o.d"
+  "fig5_immunization"
+  "fig5_immunization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_immunization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_blacklist.dir/fig7_blacklist.cpp.o"
+  "CMakeFiles/fig7_blacklist.dir/fig7_blacklist.cpp.o.d"
+  "fig7_blacklist"
+  "fig7_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_population.dir/scaling_population.cpp.o"
+  "CMakeFiles/scaling_population.dir/scaling_population.cpp.o.d"
+  "scaling_population"
+  "scaling_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

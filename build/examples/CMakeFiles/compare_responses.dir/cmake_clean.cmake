@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_responses.dir/compare_responses.cpp.o"
+  "CMakeFiles/compare_responses.dir/compare_responses.cpp.o.d"
+  "compare_responses"
+  "compare_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

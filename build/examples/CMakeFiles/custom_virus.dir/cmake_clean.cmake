@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_virus.dir/custom_virus.cpp.o"
+  "CMakeFiles/custom_virus.dir/custom_virus.cpp.o.d"
+  "custom_virus"
+  "custom_virus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_virus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_in_depth.dir/defense_in_depth.cpp.o"
+  "CMakeFiles/defense_in_depth.dir/defense_in_depth.cpp.o.d"
+  "defense_in_depth"
+  "defense_in_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_in_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbreak_timeline.dir/outbreak_timeline.cpp.o"
+  "CMakeFiles/outbreak_timeline.dir/outbreak_timeline.cpp.o.d"
+  "outbreak_timeline"
+  "outbreak_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbreak_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

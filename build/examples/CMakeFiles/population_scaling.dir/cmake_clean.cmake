@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_scaling.dir/population_scaling.cpp.o"
+  "CMakeFiles/population_scaling.dir/population_scaling.cpp.o.d"
+  "population_scaling"
+  "population_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rng")
+subdirs("des")
+subdirs("graph")
+subdirs("stats")
+subdirs("net")
+subdirs("phone")
+subdirs("virus")
+subdirs("response")
+subdirs("mobility")
+subdirs("core")
+subdirs("config")
+subdirs("cli")
+subdirs("analysis")

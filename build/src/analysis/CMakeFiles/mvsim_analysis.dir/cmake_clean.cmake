@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_analysis.dir/diminishing_returns.cpp.o"
+  "CMakeFiles/mvsim_analysis.dir/diminishing_returns.cpp.o.d"
+  "CMakeFiles/mvsim_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/mvsim_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/mvsim_analysis.dir/strategy.cpp.o"
+  "CMakeFiles/mvsim_analysis.dir/strategy.cpp.o.d"
+  "CMakeFiles/mvsim_analysis.dir/sweep.cpp.o"
+  "CMakeFiles/mvsim_analysis.dir/sweep.cpp.o.d"
+  "libmvsim_analysis.a"
+  "libmvsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

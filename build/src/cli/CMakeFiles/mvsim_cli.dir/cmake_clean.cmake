@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_cli.dir/cli.cpp.o"
+  "CMakeFiles/mvsim_cli.dir/cli.cpp.o.d"
+  "CMakeFiles/mvsim_cli.dir/preset_registry.cpp.o"
+  "CMakeFiles/mvsim_cli.dir/preset_registry.cpp.o.d"
+  "libmvsim_cli.a"
+  "libmvsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvsim_cli.a"
+)

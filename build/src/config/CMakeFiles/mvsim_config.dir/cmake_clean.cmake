@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_config.dir/duration.cpp.o"
+  "CMakeFiles/mvsim_config.dir/duration.cpp.o.d"
+  "CMakeFiles/mvsim_config.dir/results_io.cpp.o"
+  "CMakeFiles/mvsim_config.dir/results_io.cpp.o.d"
+  "CMakeFiles/mvsim_config.dir/scenario_io.cpp.o"
+  "CMakeFiles/mvsim_config.dir/scenario_io.cpp.o.d"
+  "libmvsim_config.a"
+  "libmvsim_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

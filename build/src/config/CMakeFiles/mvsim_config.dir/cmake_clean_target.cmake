@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvsim_config.a"
+)

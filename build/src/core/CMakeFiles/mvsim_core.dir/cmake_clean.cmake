@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_core.dir/event_trace.cpp.o"
+  "CMakeFiles/mvsim_core.dir/event_trace.cpp.o.d"
+  "CMakeFiles/mvsim_core.dir/presets.cpp.o"
+  "CMakeFiles/mvsim_core.dir/presets.cpp.o.d"
+  "CMakeFiles/mvsim_core.dir/runner.cpp.o"
+  "CMakeFiles/mvsim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/mvsim_core.dir/scenario.cpp.o"
+  "CMakeFiles/mvsim_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/mvsim_core.dir/simulation.cpp.o"
+  "CMakeFiles/mvsim_core.dir/simulation.cpp.o.d"
+  "libmvsim_core.a"
+  "libmvsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_des.dir/sampler.cpp.o"
+  "CMakeFiles/mvsim_des.dir/sampler.cpp.o.d"
+  "CMakeFiles/mvsim_des.dir/scheduler.cpp.o"
+  "CMakeFiles/mvsim_des.dir/scheduler.cpp.o.d"
+  "libmvsim_des.a"
+  "libmvsim_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

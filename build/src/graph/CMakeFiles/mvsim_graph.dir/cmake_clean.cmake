@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_graph.dir/contact_graph.cpp.o"
+  "CMakeFiles/mvsim_graph.dir/contact_graph.cpp.o.d"
+  "CMakeFiles/mvsim_graph.dir/generators.cpp.o"
+  "CMakeFiles/mvsim_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/mvsim_graph.dir/graph_stats.cpp.o"
+  "CMakeFiles/mvsim_graph.dir/graph_stats.cpp.o.d"
+  "CMakeFiles/mvsim_graph.dir/serialization.cpp.o"
+  "CMakeFiles/mvsim_graph.dir/serialization.cpp.o.d"
+  "libmvsim_graph.a"
+  "libmvsim_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/bluetooth.cpp" "src/mobility/CMakeFiles/mvsim_mobility.dir/bluetooth.cpp.o" "gcc" "src/mobility/CMakeFiles/mvsim_mobility.dir/bluetooth.cpp.o.d"
+  "/root/repo/src/mobility/grid.cpp" "src/mobility/CMakeFiles/mvsim_mobility.dir/grid.cpp.o" "gcc" "src/mobility/CMakeFiles/mvsim_mobility.dir/grid.cpp.o.d"
+  "/root/repo/src/mobility/movement.cpp" "src/mobility/CMakeFiles/mvsim_mobility.dir/movement.cpp.o" "gcc" "src/mobility/CMakeFiles/mvsim_mobility.dir/movement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/mvsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mvsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mvsim_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/response/CMakeFiles/mvsim_response.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvsim_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

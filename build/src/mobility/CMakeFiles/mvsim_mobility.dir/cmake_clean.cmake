@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_mobility.dir/bluetooth.cpp.o"
+  "CMakeFiles/mvsim_mobility.dir/bluetooth.cpp.o.d"
+  "CMakeFiles/mvsim_mobility.dir/grid.cpp.o"
+  "CMakeFiles/mvsim_mobility.dir/grid.cpp.o.d"
+  "CMakeFiles/mvsim_mobility.dir/movement.cpp.o"
+  "CMakeFiles/mvsim_mobility.dir/movement.cpp.o.d"
+  "libmvsim_mobility.a"
+  "libmvsim_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

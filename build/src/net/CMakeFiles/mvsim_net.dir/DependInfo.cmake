@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/gateway.cpp" "src/net/CMakeFiles/mvsim_net.dir/gateway.cpp.o" "gcc" "src/net/CMakeFiles/mvsim_net.dir/gateway.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/mvsim_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/mvsim_net.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/mvsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mvsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvsim_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

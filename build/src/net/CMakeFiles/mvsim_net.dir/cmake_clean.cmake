@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_net.dir/gateway.cpp.o"
+  "CMakeFiles/mvsim_net.dir/gateway.cpp.o.d"
+  "CMakeFiles/mvsim_net.dir/message.cpp.o"
+  "CMakeFiles/mvsim_net.dir/message.cpp.o.d"
+  "libmvsim_net.a"
+  "libmvsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phone/consent.cpp" "src/phone/CMakeFiles/mvsim_phone.dir/consent.cpp.o" "gcc" "src/phone/CMakeFiles/mvsim_phone.dir/consent.cpp.o.d"
+  "/root/repo/src/phone/phone.cpp" "src/phone/CMakeFiles/mvsim_phone.dir/phone.cpp.o" "gcc" "src/phone/CMakeFiles/mvsim_phone.dir/phone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/mvsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mvsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvsim_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_phone.dir/consent.cpp.o"
+  "CMakeFiles/mvsim_phone.dir/consent.cpp.o.d"
+  "CMakeFiles/mvsim_phone.dir/phone.cpp.o"
+  "CMakeFiles/mvsim_phone.dir/phone.cpp.o.d"
+  "libmvsim_phone.a"
+  "libmvsim_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

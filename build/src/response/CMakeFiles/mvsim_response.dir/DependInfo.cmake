@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/response/blacklist.cpp" "src/response/CMakeFiles/mvsim_response.dir/blacklist.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/blacklist.cpp.o.d"
+  "/root/repo/src/response/detectability.cpp" "src/response/CMakeFiles/mvsim_response.dir/detectability.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/detectability.cpp.o.d"
+  "/root/repo/src/response/gateway_detection.cpp" "src/response/CMakeFiles/mvsim_response.dir/gateway_detection.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/gateway_detection.cpp.o.d"
+  "/root/repo/src/response/gateway_scan.cpp" "src/response/CMakeFiles/mvsim_response.dir/gateway_scan.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/gateway_scan.cpp.o.d"
+  "/root/repo/src/response/immunization.cpp" "src/response/CMakeFiles/mvsim_response.dir/immunization.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/immunization.cpp.o.d"
+  "/root/repo/src/response/monitoring.cpp" "src/response/CMakeFiles/mvsim_response.dir/monitoring.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/monitoring.cpp.o.d"
+  "/root/repo/src/response/suite.cpp" "src/response/CMakeFiles/mvsim_response.dir/suite.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/suite.cpp.o.d"
+  "/root/repo/src/response/user_education.cpp" "src/response/CMakeFiles/mvsim_response.dir/user_education.cpp.o" "gcc" "src/response/CMakeFiles/mvsim_response.dir/user_education.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/mvsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mvsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mvsim_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvsim_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_response.dir/blacklist.cpp.o"
+  "CMakeFiles/mvsim_response.dir/blacklist.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/detectability.cpp.o"
+  "CMakeFiles/mvsim_response.dir/detectability.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/gateway_detection.cpp.o"
+  "CMakeFiles/mvsim_response.dir/gateway_detection.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/gateway_scan.cpp.o"
+  "CMakeFiles/mvsim_response.dir/gateway_scan.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/immunization.cpp.o"
+  "CMakeFiles/mvsim_response.dir/immunization.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/monitoring.cpp.o"
+  "CMakeFiles/mvsim_response.dir/monitoring.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/suite.cpp.o"
+  "CMakeFiles/mvsim_response.dir/suite.cpp.o.d"
+  "CMakeFiles/mvsim_response.dir/user_education.cpp.o"
+  "CMakeFiles/mvsim_response.dir/user_education.cpp.o.d"
+  "libmvsim_response.a"
+  "libmvsim_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

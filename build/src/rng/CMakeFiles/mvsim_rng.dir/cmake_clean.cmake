@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_rng.dir/seed.cpp.o"
+  "CMakeFiles/mvsim_rng.dir/seed.cpp.o.d"
+  "CMakeFiles/mvsim_rng.dir/stream.cpp.o"
+  "CMakeFiles/mvsim_rng.dir/stream.cpp.o.d"
+  "libmvsim_rng.a"
+  "libmvsim_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

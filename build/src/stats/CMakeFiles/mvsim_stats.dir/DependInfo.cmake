@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/aggregate.cpp" "src/stats/CMakeFiles/mvsim_stats.dir/aggregate.cpp.o" "gcc" "src/stats/CMakeFiles/mvsim_stats.dir/aggregate.cpp.o.d"
+  "/root/repo/src/stats/quantiles.cpp" "src/stats/CMakeFiles/mvsim_stats.dir/quantiles.cpp.o" "gcc" "src/stats/CMakeFiles/mvsim_stats.dir/quantiles.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/mvsim_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/mvsim_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/mvsim_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/mvsim_stats.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_stats.dir/aggregate.cpp.o"
+  "CMakeFiles/mvsim_stats.dir/aggregate.cpp.o.d"
+  "CMakeFiles/mvsim_stats.dir/quantiles.cpp.o"
+  "CMakeFiles/mvsim_stats.dir/quantiles.cpp.o.d"
+  "CMakeFiles/mvsim_stats.dir/summary.cpp.o"
+  "CMakeFiles/mvsim_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/mvsim_stats.dir/time_series.cpp.o"
+  "CMakeFiles/mvsim_stats.dir/time_series.cpp.o.d"
+  "libmvsim_stats.a"
+  "libmvsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

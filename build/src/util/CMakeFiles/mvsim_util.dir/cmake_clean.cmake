@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_util.dir/csv.cpp.o"
+  "CMakeFiles/mvsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/mvsim_util.dir/json.cpp.o"
+  "CMakeFiles/mvsim_util.dir/json.cpp.o.d"
+  "CMakeFiles/mvsim_util.dir/logging.cpp.o"
+  "CMakeFiles/mvsim_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mvsim_util.dir/sim_time.cpp.o"
+  "CMakeFiles/mvsim_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/mvsim_util.dir/validation.cpp.o"
+  "CMakeFiles/mvsim_util.dir/validation.cpp.o.d"
+  "libmvsim_util.a"
+  "libmvsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

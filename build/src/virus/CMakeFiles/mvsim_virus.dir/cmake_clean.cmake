@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_virus.dir/profile.cpp.o"
+  "CMakeFiles/mvsim_virus.dir/profile.cpp.o.d"
+  "CMakeFiles/mvsim_virus.dir/sending_process.cpp.o"
+  "CMakeFiles/mvsim_virus.dir/sending_process.cpp.o.d"
+  "CMakeFiles/mvsim_virus.dir/targeting.cpp.o"
+  "CMakeFiles/mvsim_virus.dir/targeting.cpp.o.d"
+  "libmvsim_virus.a"
+  "libmvsim_virus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_virus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cpp" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/mvsim_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/mvsim_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mvsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mvsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/virus/CMakeFiles/mvsim_virus.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/mvsim_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mvsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/response/CMakeFiles/mvsim_response.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/mvsim_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/mvsim_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mvsim_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mvsim_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mvsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virus_test.dir/virus_test.cpp.o"
+  "CMakeFiles/virus_test.dir/virus_test.cpp.o.d"
+  "virus_test"
+  "virus_test.pdb"
+  "virus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

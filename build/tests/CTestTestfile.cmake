@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/phone_test[1]_include.cmake")
+include("/root/repo/build/tests/virus_test[1]_include.cmake")
+include("/root/repo/build/tests/response_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvsim_tool.dir/main.cpp.o"
+  "CMakeFiles/mvsim_tool.dir/main.cpp.o.d"
+  "mvsim"
+  "mvsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvsim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

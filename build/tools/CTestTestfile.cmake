@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(scenario_validate_commwarrior_dual_vector "/root/repo/build/tools/mvsim" "validate" "/root/repo/scenarios/commwarrior_dual_vector.json")
+set_tests_properties(scenario_validate_commwarrior_dual_vector PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scenario_validate_layered_defense_virus3 "/root/repo/build/tools/mvsim" "validate" "/root/repo/scenarios/layered_defense_virus3.json")
+set_tests_properties(scenario_validate_layered_defense_virus3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(scenario_validate_education_virus2 "/root/repo/build/tools/mvsim" "validate" "/root/repo/scenarios/education_virus2.json")
+set_tests_properties(scenario_validate_education_virus2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
