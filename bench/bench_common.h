@@ -4,7 +4,8 @@
 // corresponding paper figure plots (Hours vs mean infection count, one
 // column per configuration), then prints the shape metrics the paper's
 // prose quotes next to what we measured. Replication count defaults to
-// 10 and can be overridden with MVSIM_REPS.
+// 10 and can be overridden with MVSIM_REPS; worker-thread count
+// defaults to all cores and can be pinned with MVSIM_THREADS.
 #pragma once
 
 #include <cstdio>
@@ -28,7 +29,8 @@ inline core::RunnerOptions default_options() {
   options.replications = core::replications_from_env(10);
   options.master_seed = 0xD5A7'2007ULL;  // fixed: benches are reproducible
   options.keep_replications = false;
-  options.threads = 0;  // replications parallelize; results are thread-count-invariant
+  // Replications parallelize; results are thread-count-invariant.
+  options.threads = core::threads_from_env(0);
   return options;
 }
 

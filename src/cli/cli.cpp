@@ -10,6 +10,7 @@
 #include "config/results_io.h"
 #include "config/scenario_io.h"
 #include "core/runner.h"
+#include "response/registry.h"
 #include "util/json.h"
 
 namespace mvsim::cli {
@@ -30,6 +31,7 @@ usage:
                            run several scenarios/presets, print a comparison table
   mvsim preset <name>      print a preset scenario as JSON (edit & rerun)
   mvsim presets            list available presets
+  mvsim mechanisms         list available response mechanisms (scenario "responses" keys)
   mvsim validate <file>    parse and validate a scenario file
   mvsim help               this text
 )";
@@ -273,6 +275,16 @@ int command_presets(std::ostream& out) {
   return 0;
 }
 
+int command_mechanisms(std::ostream& out) {
+  for (const response::MechanismInfo& info :
+       response::ResponseRegistry::built_ins().mechanisms()) {
+    out << "  " << info.name;
+    for (std::size_t pad = std::string(info.name).size(); pad < 20; ++pad) out << ' ';
+    out << info.summary << '\n';
+  }
+  return 0;
+}
+
 int command_validate(const std::vector<std::string>& args, std::ostream& out,
                      std::ostream& err) {
   if (args.size() != 1) {
@@ -305,6 +317,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "compare") return command_compare(rest, out, err);
     if (command == "preset") return command_preset(rest, out, err);
     if (command == "presets") return command_presets(out);
+    if (command == "mechanisms") return command_mechanisms(out);
     if (command == "validate") return command_validate(rest, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';

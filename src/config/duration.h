@@ -1,25 +1,13 @@
-// Human-friendly durations for scenario files.
-//
-// Scenario JSON uses strings like "30min", "6h", "1.5d", "90s" rather
-// than bare numbers, so a config file never leaves its unit ambiguous
-// (the paper mixes minutes, hours and days constantly).
+// Forwarder: duration parsing moved to util so lower layers (e.g. the
+// response-mechanism registry's JSON bindings) can use it. Existing
+// config-layer callers keep working through these aliases.
 #pragma once
 
-#include <string>
-#include <string_view>
-
-#include "util/sim_time.h"
+#include "util/duration.h"
 
 namespace mvsim::config {
 
-/// Parses "<number><unit>" with unit one of s, sec, min, m, h, hr, d,
-/// day(s). Whitespace between number and unit allowed. Throws
-/// std::invalid_argument with the offending text on malformed input.
-[[nodiscard]] SimTime parse_duration(std::string_view text);
-
-/// Formats a duration with the largest unit that yields a clean
-/// number: "90min" stays "90min" (1.5h would too) — specifically,
-/// picks d/h/min/s preferring integral values, else minutes.
-[[nodiscard]] std::string format_duration(SimTime t);
+using util::format_duration;
+using util::parse_duration;
 
 }  // namespace mvsim::config

@@ -33,6 +33,9 @@ json::Value results_to_json(const core::ScenarioConfig& scenario,
   o.set("phones_flagged", accumulator_to_json(result.phones_flagged));
   o.set("phones_blacklisted", accumulator_to_json(result.phones_blacklisted));
   o.set("patches_applied", accumulator_to_json(result.patches_applied));
+  for (const auto& [name, acc] : result.response_extras) {
+    o.set(name, accumulator_to_json(acc));
+  }
 
   // Time landmarks the paper's prose quotes: when the mean curve
   // crosses fractions of the expected unconstrained plateau.

@@ -1,12 +1,14 @@
 #include "config/scenario_io.h"
 
-#include <cmath>
 #include <fstream>
-#include <set>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "config/duration.h"
+#include "response/registry.h"
+#include "util/json_decode.h"
 
 namespace mvsim::config {
 
@@ -15,106 +17,13 @@ namespace {
 using json::Array;
 using json::Object;
 using json::Value;
+// The strict decoder lives in util/ so the response registry's JSON
+// bindings (a layer below config) can share it.
+using util::ObjectDecoder;
 
 [[noreturn]] void fail(const std::string& path, const std::string& why) {
-  throw std::invalid_argument(path + ": " + why);
+  util::decode_fail(path, why);
 }
-
-/// Strict object reader: every key must be consumed, every access is
-/// type-checked, and all errors carry the JSON path.
-class ObjectDecoder {
- public:
-  ObjectDecoder(const Value& value, std::string path) : path_(std::move(path)) {
-    if (!value.is_object()) fail(path_, "expected an object");
-    object_ = &value.as_object();
-  }
-
-  [[nodiscard]] bool has(const std::string& key) const { return object_->contains(key); }
-
-  [[nodiscard]] const Value* optional(const std::string& key) {
-    visited_.insert(key);
-    return object_->find(key);
-  }
-
-  double number(const std::string& key, double fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_number()) fail(member(key), "expected a number");
-    return v->as_number();
-  }
-
-  std::uint32_t uint32(const std::string& key, std::uint32_t fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_number()) fail(member(key), "expected a number");
-    double n = v->as_number();
-    if (n < 0 || n != std::floor(n) || n > 4294967295.0) {
-      fail(member(key), "expected a nonnegative integer");
-    }
-    return static_cast<std::uint32_t>(n);
-  }
-
-  std::uint64_t uint64(const std::string& key, std::uint64_t fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_number()) fail(member(key), "expected a number");
-    double n = v->as_number();
-    if (n < 0 || n != std::floor(n)) fail(member(key), "expected a nonnegative integer");
-    return static_cast<std::uint64_t>(n);
-  }
-
-  int integer(const std::string& key, int fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_number() || v->as_number() != std::floor(v->as_number())) {
-      fail(member(key), "expected an integer");
-    }
-    return static_cast<int>(v->as_number());
-  }
-
-  bool boolean(const std::string& key, bool fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_bool()) fail(member(key), "expected a boolean");
-    return v->as_bool();
-  }
-
-  std::string string(const std::string& key, const std::string& fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_string()) fail(member(key), "expected a string");
-    return v->as_string();
-  }
-
-  SimTime duration(const std::string& key, SimTime fallback) {
-    const Value* v = optional(key);
-    if (v == nullptr) return fallback;
-    if (!v->is_string()) fail(member(key), "expected a duration string like \"30min\"");
-    try {
-      return parse_duration(v->as_string());
-    } catch (const std::invalid_argument& e) {
-      fail(member(key), e.what());
-    }
-  }
-
-  /// Rejects any key never consumed — the typo guard.
-  void finish() const {
-    for (const auto& [key, unused] : object_->entries()) {
-      (void)unused;
-      if (visited_.count(key) == 0) {
-        fail(member(key), "unknown key (check spelling)");
-      }
-    }
-  }
-
-  [[nodiscard]] std::string member(const std::string& key) const { return path_ + "." + key; }
-  [[nodiscard]] const std::string& path() const { return path_; }
-
- private:
-  const Object* object_;
-  std::string path_;
-  std::set<std::string> visited_;
-};
 
 // ---- enum <-> string tables ----
 
@@ -238,58 +147,13 @@ response::ResponseSuiteConfig decode_responses(const Value& value, const std::st
   response::ResponseSuiteConfig suite;
   suite.detectability_threshold =
       decoder.uint64("detectability_threshold", suite.detectability_threshold);
-  if (const Value* v = decoder.optional("gateway_scan")) {
-    ObjectDecoder sub(*v, path + ".gateway_scan");
-    response::GatewayScanConfig scan;
-    scan.activation_delay = sub.duration("activation_delay", scan.activation_delay);
-    sub.finish();
-    suite.gateway_scan = scan;
-  }
-  if (const Value* v = decoder.optional("gateway_detection")) {
-    ObjectDecoder sub(*v, path + ".gateway_detection");
-    response::GatewayDetectionConfig detection;
-    detection.accuracy = sub.number("accuracy", detection.accuracy);
-    detection.analysis_period = sub.duration("analysis_period", detection.analysis_period);
-    sub.finish();
-    suite.gateway_detection = detection;
-  }
-  if (const Value* v = decoder.optional("user_education")) {
-    ObjectDecoder sub(*v, path + ".user_education");
-    response::UserEducationConfig education;
-    education.eventual_acceptance =
-        sub.number("eventual_acceptance", education.eventual_acceptance);
-    sub.finish();
-    suite.user_education = education;
-  }
-  if (const Value* v = decoder.optional("immunization")) {
-    ObjectDecoder sub(*v, path + ".immunization");
-    response::ImmunizationConfig immunization;
-    immunization.development_time =
-        sub.duration("development_time", immunization.development_time);
-    immunization.deployment_duration =
-        sub.duration("deployment_duration", immunization.deployment_duration);
-    sub.finish();
-    suite.immunization = immunization;
-  }
-  if (const Value* v = decoder.optional("monitoring")) {
-    ObjectDecoder sub(*v, path + ".monitoring");
-    response::MonitoringConfig monitoring;
-    monitoring.window_message_threshold =
-        sub.uint32("window_message_threshold", monitoring.window_message_threshold);
-    monitoring.observation_window =
-        sub.duration("observation_window", monitoring.observation_window);
-    monitoring.forced_wait = sub.duration("forced_wait", monitoring.forced_wait);
-    monitoring.flag_is_permanent =
-        sub.boolean("flag_is_permanent", monitoring.flag_is_permanent);
-    sub.finish();
-    suite.monitoring = monitoring;
-  }
-  if (const Value* v = decoder.optional("blacklist")) {
-    ObjectDecoder sub(*v, path + ".blacklist");
-    response::BlacklistConfig blacklist;
-    blacklist.message_threshold = sub.uint32("message_threshold", blacklist.message_threshold);
-    sub.finish();
-    suite.blacklist = blacklist;
+  // Each registered mechanism owns the binding for its sub-object, so
+  // a new mechanism needs no change here.
+  for (const response::MechanismInfo& info :
+       response::ResponseRegistry::built_ins().mechanisms()) {
+    if (const Value* v = decoder.optional(info.name)) {
+      info.decode(*v, path + "." + info.name, suite);
+    }
   }
   decoder.finish();
   return suite;
@@ -340,43 +204,11 @@ json::Value to_json(const core::TopologyConfig& topology) {
 json::Value to_json(const response::ResponseSuiteConfig& suite) {
   Object o;
   o.set("detectability_threshold", Value(suite.detectability_threshold));
-  if (suite.gateway_scan) {
-    Object sub;
-    sub.set("activation_delay", Value(format_duration(suite.gateway_scan->activation_delay)));
-    o.set("gateway_scan", Value(std::move(sub)));
-  }
-  if (suite.gateway_detection) {
-    Object sub;
-    sub.set("accuracy", Value(suite.gateway_detection->accuracy));
-    sub.set("analysis_period",
-            Value(format_duration(suite.gateway_detection->analysis_period)));
-    o.set("gateway_detection", Value(std::move(sub)));
-  }
-  if (suite.user_education) {
-    Object sub;
-    sub.set("eventual_acceptance", Value(suite.user_education->eventual_acceptance));
-    o.set("user_education", Value(std::move(sub)));
-  }
-  if (suite.immunization) {
-    Object sub;
-    sub.set("development_time", Value(format_duration(suite.immunization->development_time)));
-    sub.set("deployment_duration",
-            Value(format_duration(suite.immunization->deployment_duration)));
-    o.set("immunization", Value(std::move(sub)));
-  }
-  if (suite.monitoring) {
-    Object sub;
-    sub.set("window_message_threshold", Value(suite.monitoring->window_message_threshold));
-    sub.set("observation_window",
-            Value(format_duration(suite.monitoring->observation_window)));
-    sub.set("forced_wait", Value(format_duration(suite.monitoring->forced_wait)));
-    sub.set("flag_is_permanent", Value(suite.monitoring->flag_is_permanent));
-    o.set("monitoring", Value(std::move(sub)));
-  }
-  if (suite.blacklist) {
-    Object sub;
-    sub.set("message_threshold", Value(suite.blacklist->message_threshold));
-    o.set("blacklist", Value(std::move(sub)));
+  for (const response::MechanismInfo& info :
+       response::ResponseRegistry::built_ins().mechanisms()) {
+    if (std::optional<Value> sub = info.encode(suite)) {
+      o.set(info.name, std::move(*sub));
+    }
   }
   return Value(std::move(o));
 }

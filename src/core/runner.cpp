@@ -71,18 +71,44 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
     result.phones_flagged.add(static_cast<double>(r.phones_flagged));
     result.patches_applied.add(static_cast<double>(r.immunized_healthy + r.patched_infected));
     result.bluetooth_push_attempts.add(static_cast<double>(r.bluetooth_push_attempts));
+    for (const auto& [name, value] : r.response_extras) {
+      auto it = std::find_if(result.response_extras.begin(), result.response_extras.end(),
+                             [&name = name](const auto& e) { return e.first == name; });
+      if (it == result.response_extras.end()) {
+        result.response_extras.emplace_back(name, stats::Accumulator());
+        it = std::prev(result.response_extras.end());
+      }
+      it->second.add(static_cast<double>(value));
+    }
     if (options.keep_replications) result.replications.push_back(std::move(r));
+  }
+  // A replication that never reported a name counts as 0 for it, so
+  // every extra aggregates over the same replication count.
+  for (auto& [name, acc] : result.response_extras) {
+    while (acc.count() < static_cast<std::size_t>(options.replications)) acc.add(0.0);
   }
   return result;
 }
 
-int replications_from_env(int fallback) {
-  const char* raw = std::getenv("MVSIM_REPS");
+namespace {
+
+int int_from_env(const char* name, int fallback, long lo, long hi) {
+  const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
   long value = std::strtol(raw, &end, 10);
   if (end == raw || *end != '\0') return fallback;
-  return static_cast<int>(std::clamp(value, 1L, 1000L));
+  return static_cast<int>(std::clamp(value, lo, hi));
+}
+
+}  // namespace
+
+int replications_from_env(int fallback) {
+  return int_from_env("MVSIM_REPS", fallback, 1L, 1000L);
+}
+
+int threads_from_env(int fallback) {
+  return int_from_env("MVSIM_THREADS", fallback, 0L, 1024L);
 }
 
 }  // namespace mvsim::core

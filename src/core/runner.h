@@ -3,6 +3,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.h"
@@ -22,6 +24,10 @@ struct ExperimentResult {
   stats::Accumulator phones_flagged;
   stats::Accumulator patches_applied;
   stats::Accumulator bluetooth_push_attempts;
+  /// Mechanism-specific counters (ReplicationResult::response_extras),
+  /// aggregated by name in first-seen order. A replication that omits a
+  /// name contributes 0 for it.
+  std::vector<std::pair<std::string, stats::Accumulator>> response_extras;
   /// Per-replication results, in replication order.
   std::vector<ReplicationResult> replications;
 
@@ -50,5 +56,10 @@ struct RunnerOptions {
 /// Reads the replication count for benches from MVSIM_REPS (falls back
 /// to `fallback`; clamped to [1, 1000]).
 [[nodiscard]] int replications_from_env(int fallback);
+
+/// Reads the worker-thread count for benches from MVSIM_THREADS (falls
+/// back to `fallback`; clamped to [0, 1024], 0 = hardware concurrency).
+/// Results are thread-count-invariant, so this only changes wall-clock.
+[[nodiscard]] int threads_from_env(int fallback);
 
 }  // namespace mvsim::core

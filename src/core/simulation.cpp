@@ -5,7 +5,7 @@
 #include <stdexcept>
 
 #include "graph/generators.h"
-#include "response/user_education.h"
+#include "response/registry.h"
 #include "rng/seed.h"
 
 namespace mvsim::core {
@@ -23,12 +23,6 @@ enum StreamIndex : std::uint64_t {
   kProximityStream = 7,
 };
 
-phone::ConsentModel make_consent(const ScenarioConfig& config) {
-  if (config.responses.user_education) {
-    return response::apply_user_education(*config.responses.user_education);
-  }
-  return phone::ConsentModel::for_eventual_acceptance(config.eventual_acceptance);
-}
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
@@ -41,7 +35,7 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
       response_stream_(rng::derive_seed(replication_seed, kResponseStream)),
       mobility_stream_(rng::derive_seed(replication_seed, kMobilityStream)),
       proximity_stream_(rng::derive_seed(replication_seed, kProximityStream)),
-      consent_(make_consent(config)),
+      consent_(response::consent_for_suite(config.responses, config.eventual_acceptance)),
       trace_(trace) {
   config.validate().throw_if_invalid();
 
@@ -59,7 +53,7 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
   seed_patient_zero();
 
   if (trace_ != nullptr) {
-    detector_->on_detected(
+    context_->detector().on_detected(
         [this](SimTime at) { trace_->record(at, TraceEventKind::kVirusDetected, 0); });
   }
 }
@@ -151,44 +145,25 @@ void Simulation::build_phones() {
 }
 
 void Simulation::build_responses() {
-  const response::ResponseSuiteConfig& suite = config_.responses;
-
-  // The detectability monitor exists whenever something activates off
-  // it; harmless to build unconditionally and useful for metrics.
-  detector_ = std::make_unique<response::DetectabilityMonitor>(suite.detectability_threshold);
-  gateway_->add_observer(*detector_);
-
-  if (suite.gateway_scan) {
-    scan_ = std::make_unique<response::GatewayScan>(*suite.gateway_scan, scheduler_, *detector_);
-    gateway_->add_filter(*scan_);
-  }
-  if (suite.gateway_detection) {
-    detection_ = std::make_unique<response::GatewayDetection>(*suite.gateway_detection,
-                                                              scheduler_, response_stream_,
-                                                              *detector_);
-    gateway_->add_filter(*detection_);
-  }
-  if (suite.immunization) {
-    std::vector<graph::PhoneId> targets = susceptible_ids_;
-    immunization_ = std::make_unique<response::Immunization>(
-        *suite.immunization, scheduler_, response_stream_, *detector_, std::move(targets),
-        [this](graph::PhoneId id) { on_patch_applied(id); });
-  }
-  if (suite.monitoring) {
-    monitoring_ = std::make_unique<response::Monitoring>(*suite.monitoring);
-    gateway_->add_observer(*monitoring_);
-  }
-  if (suite.blacklist) {
-    blacklist_ = std::make_unique<response::Blacklist>(*suite.blacklist);
-    gateway_->add_observer(*blacklist_);
-  }
-  // (user_education is folded into the ConsentModel at construction.)
+  // The registry decides which mechanisms exist; the context owns them
+  // (plus the detectability monitor, which is harmless to build
+  // unconditionally and useful for metrics) and dispatches every
+  // simulation event to them. (user_education is folded into the
+  // ConsentModel at construction — see response::consent_for_suite.)
+  context_ = std::make_unique<SimulationContext>(config_.responses,
+                                                 response::ResponseRegistry::built_ins());
 
   sending_env_.scheduler = &scheduler_;
   sending_env_.virus_stream = &virus_stream_;
   sending_env_.gateway = gateway_.get();
-  if (monitoring_) sending_env_.policies.push_back(monitoring_.get());
-  if (blacklist_) sending_env_.policies.push_back(blacklist_.get());
+
+  response::BuildContext build;
+  build.scheduler = &scheduler_;
+  build.response_stream = &response_stream_;
+  build.patch_targets = &susceptible_ids_;
+  build.apply_patch = [this](net::PhoneId id) { on_patch_applied(id); };
+  build.population = config_.population;
+  context_->attach(*gateway_, sending_env_, std::move(build));
 }
 
 void Simulation::seed_patient_zero() {
@@ -205,6 +180,7 @@ void Simulation::on_phone_infected(graph::PhoneId id) {
   ++infected_count_;
   infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
   if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kInfection, id);
+  context_->notify_infection(id, scheduler_.now());
 
   std::unique_ptr<virus::Targeter> targeter;
   if (config_.virus.targeting == virus::TargetingMode::kContactList) {
@@ -229,6 +205,7 @@ void Simulation::on_patch_applied(graph::PhoneId id) {
   phones_[id].apply_patch();
   if (was_patched) return;
   if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kPatchApplied, id);
+  context_->notify_patch(id, scheduler_.now());
   if (was_infected) {
     ++patched_infected_;
     if (processes_[id]) processes_[id]->stop();  // stop immediately, not at next attempt
@@ -252,11 +229,13 @@ ReplicationResult Simulation::result() const {
   r.total_infected = infected_count_;
   r.immunized_healthy = immunized_healthy_;
   r.patched_infected = patched_infected_;
-  r.phones_blacklisted = blacklist_ ? blacklist_->blacklisted_count() : 0;
-  r.phones_flagged = monitoring_ ? monitoring_->flagged_count() : 0;
+  response::ResponseMetrics metrics = context_->metrics();
+  r.phones_blacklisted = metrics.phones_blacklisted;
+  r.phones_flagged = metrics.phones_flagged;
+  r.response_extras = std::move(metrics.extras);
   r.bluetooth_push_attempts = bluetooth_push_attempts_;
   r.gateway = gateway_->counters();
-  r.detected_at = detector_->detected_at();
+  r.detected_at = context_->detector().detected_at();
   return r;
 }
 

@@ -11,20 +11,18 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+#include <utility>
+
 #include "core/event_trace.h"
 #include "core/scenario.h"
+#include "core/simulation_context.h"
 #include "des/scheduler.h"
 #include "graph/contact_graph.h"
 #include "mobility/grid.h"
 #include "mobility/movement.h"
 #include "net/gateway.h"
 #include "phone/phone.h"
-#include "response/blacklist.h"
-#include "response/detectability.h"
-#include "response/gateway_detection.h"
-#include "response/gateway_scan.h"
-#include "response/immunization.h"
-#include "response/monitoring.h"
 #include "rng/stream.h"
 #include "stats/time_series.h"
 #include "virus/sending_process.h"
@@ -44,6 +42,9 @@ struct ReplicationResult {
   /// Bluetooth infection offers made (dual-vector scenarios only);
   /// this traffic never transits the gateway.
   std::uint64_t bluetooth_push_attempts = 0;
+  /// Mechanism-specific counters beyond the standard fields above,
+  /// keyed by mechanism-chosen names (e.g. "phones_rate_limited").
+  std::vector<std::pair<std::string, std::uint64_t>> response_extras;
   net::GatewayCounters gateway;
   /// When the virus crossed the detectability threshold (infinity if
   /// never, e.g. a virus contained before reaching it).
@@ -81,6 +82,8 @@ class Simulation {
   [[nodiscard]] std::size_t susceptible_count() const { return susceptible_ids_.size(); }
   [[nodiscard]] const net::Gateway& gateway() const { return *gateway_; }
   [[nodiscard]] des::Scheduler& scheduler() { return scheduler_; }
+  /// The response layer: detectability monitor + enabled mechanisms.
+  [[nodiscard]] const SimulationContext& responses() const { return *context_; }
 
  private:
   void build_topology();
@@ -116,13 +119,9 @@ class Simulation {
   virus::SendingEnvironment sending_env_;
   std::vector<std::unique_ptr<virus::SendingProcess>> processes_;  // index = phone id
 
-  // Response mechanisms (present only when enabled by the scenario).
-  std::unique_ptr<response::DetectabilityMonitor> detector_;
-  std::unique_ptr<response::GatewayScan> scan_;
-  std::unique_ptr<response::GatewayDetection> detection_;
-  std::unique_ptr<response::Immunization> immunization_;
-  std::unique_ptr<response::Monitoring> monitoring_;
-  std::unique_ptr<response::Blacklist> blacklist_;
+  // The response layer, behind the mechanism-agnostic dispatch
+  // context; which mechanisms exist is the registry's business.
+  std::unique_ptr<SimulationContext> context_;
 
   // Optional Bluetooth side channel (dual-vector viruses).
   std::unique_ptr<mobility::MobilityGrid> proximity_grid_;

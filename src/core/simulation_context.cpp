@@ -1,0 +1,91 @@
+#include "core/simulation_context.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace mvsim::core {
+
+SimulationContext::SimulationContext(const response::ResponseSuiteConfig& suite,
+                                     const response::ResponseRegistry& registry)
+    : detector_(std::make_unique<response::DetectabilityMonitor>(suite.detectability_threshold)),
+      mechanisms_(registry.build_enabled(suite)) {}
+
+void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment& sending_env,
+                               response::BuildContext build) {
+  if (attached_) throw std::logic_error("SimulationContext::attach called twice");
+  if (build.scheduler == nullptr) {
+    throw std::invalid_argument("SimulationContext::attach: build.scheduler must be set");
+  }
+  attached_ = true;
+  scheduler_ = build.scheduler;
+  build.detector = detector_.get();
+
+  // Observer order matters for event-for-event reproducibility: the
+  // detector sees each submission first (so a mechanism reacting to
+  // the same submission already observes detected()==true), then this
+  // dispatcher fans out to mechanisms in registration order.
+  gateway.add_observer(*detector_);
+  detector_->on_detected([this](SimTime at) {
+    for (auto& mechanism : mechanisms_) mechanism->on_detectability_crossed(at);
+  });
+  gateway.add_observer(*this);
+
+  for (auto& mechanism : mechanisms_) mechanism->on_build(build);
+  for (auto& mechanism : mechanisms_) {
+    if (net::DeliveryFilter* filter = mechanism->as_delivery_filter()) {
+      gateway.add_filter(*filter);
+    }
+  }
+  for (auto& mechanism : mechanisms_) {
+    if (net::OutgoingMmsPolicy* policy = mechanism->as_outgoing_policy()) {
+      sending_env.policies.push_back(policy);
+    }
+  }
+  for (auto& mechanism : mechanisms_) {
+    SimTime period = mechanism->tick_period();
+    if (period > SimTime::zero()) schedule_tick(mechanism.get(), period);
+  }
+}
+
+void SimulationContext::schedule_tick(response::ResponseMechanism* mechanism, SimTime period) {
+  scheduler_->schedule_after(period, [this, mechanism, period] {
+    mechanism->on_tick(scheduler_->now());
+    schedule_tick(mechanism, period);
+  });
+}
+
+void SimulationContext::notify_infection(net::PhoneId phone, SimTime now) {
+  for (auto& mechanism : mechanisms_) mechanism->on_infection(phone, now);
+}
+
+void SimulationContext::notify_patch(net::PhoneId phone, SimTime now) {
+  for (auto& mechanism : mechanisms_) mechanism->on_patch(phone, now);
+}
+
+const response::ResponseMechanism* SimulationContext::find(std::string_view name) const {
+  for (const auto& mechanism : mechanisms_) {
+    if (name == mechanism->name()) return mechanism.get();
+  }
+  return nullptr;
+}
+
+response::ResponseMetrics SimulationContext::metrics() const {
+  response::ResponseMetrics metrics;
+  for (const auto& mechanism : mechanisms_) mechanism->contribute_metrics(metrics);
+  return metrics;
+}
+
+void SimulationContext::on_submitted(const net::MmsMessage& message, SimTime now) {
+  for (auto& mechanism : mechanisms_) mechanism->on_message_submitted(message, now);
+}
+
+void SimulationContext::on_blocked(const net::MmsMessage& message, SimTime now) {
+  for (auto& mechanism : mechanisms_) mechanism->on_message_blocked(message, now);
+}
+
+void SimulationContext::on_delivered(net::PhoneId recipient, const net::MmsMessage& message,
+                                     SimTime now) {
+  for (auto& mechanism : mechanisms_) mechanism->on_message_delivered(recipient, message, now);
+}
+
+}  // namespace mvsim::core

@@ -1,0 +1,80 @@
+// Event-dispatch layer between the simulation core and the response
+// mechanisms.
+//
+// SimulationContext owns the detectability monitor and the set of
+// mechanisms the registry built for the scenario, and it is the ONLY
+// place that fans simulation events out to them: gateway traffic
+// (submitted / blocked / delivered, via its GatewayObserver role),
+// infection and patch events (via notify_*), the detectability
+// crossing, and periodic ticks. Dispatch is always in registration
+// order — the order ResponseRegistry::built_ins() fixes — which the
+// golden tests pin down as bit-identical to the pre-refactor wiring.
+//
+// The core interacts with mechanisms only through this class; it never
+// names a concrete mechanism type.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "response/detectability.h"
+#include "response/mechanism.h"
+#include "response/registry.h"
+#include "response/suite.h"
+#include "virus/sending_process.h"
+
+namespace mvsim::core {
+
+class SimulationContext final : public net::GatewayObserver {
+ public:
+  /// Builds the detectability monitor and every enabled mechanism (in
+  /// registry order). Nothing is wired yet — call attach().
+  SimulationContext(const response::ResponseSuiteConfig& suite,
+                    const response::ResponseRegistry& registry);
+
+  /// Wires the built mechanisms into a simulation: registers the
+  /// detector and this dispatcher as gateway observers, runs every
+  /// mechanism's on_build, registers delivery-filter and
+  /// outgoing-policy roles, and schedules recurring ticks. Call once.
+  ///
+  /// `build.detector` is filled in here; the other fields must be set
+  /// by the caller.
+  void attach(net::Gateway& gateway, virus::SendingEnvironment& sending_env,
+              response::BuildContext build);
+
+  /// A phone became infected / a patch landed; fans out to on_infection
+  /// / on_patch.
+  void notify_infection(net::PhoneId phone, SimTime now);
+  void notify_patch(net::PhoneId phone, SimTime now);
+
+  [[nodiscard]] response::DetectabilityMonitor& detector() { return *detector_; }
+  [[nodiscard]] const response::DetectabilityMonitor& detector() const { return *detector_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<response::ResponseMechanism>>& mechanisms()
+      const {
+    return mechanisms_;
+  }
+  /// nullptr when no enabled mechanism has that name.
+  [[nodiscard]] const response::ResponseMechanism* find(std::string_view name) const;
+
+  /// Aggregates every mechanism's contribute_metrics().
+  [[nodiscard]] response::ResponseMetrics metrics() const;
+
+  // GatewayObserver — forwards gateway traffic to every mechanism.
+  void on_submitted(const net::MmsMessage& message, SimTime now) override;
+  void on_blocked(const net::MmsMessage& message, SimTime now) override;
+  void on_delivered(net::PhoneId recipient, const net::MmsMessage& message,
+                    SimTime now) override;
+
+ private:
+  void schedule_tick(response::ResponseMechanism* mechanism, SimTime period);
+
+  std::unique_ptr<response::DetectabilityMonitor> detector_;
+  std::vector<std::unique_ptr<response::ResponseMechanism>> mechanisms_;
+  des::Scheduler* scheduler_ = nullptr;
+  bool attached_ = false;
+};
+
+}  // namespace mvsim::core

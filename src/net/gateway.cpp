@@ -51,8 +51,12 @@ void Gateway::submit(MmsMessage message) {
   SimTime delay = stream_->exponential(delivery_delay_mean_);
   auto shared = std::make_shared<MmsMessage>(std::move(message));
   scheduler_->schedule_after(delay, [this, shared] {
+    const SimTime at = scheduler_->now();
     for (const DialedRecipient& r : shared->recipients) {
-      if (r.valid) deliver_(r.phone, *shared);
+      if (r.valid) {
+        deliver_(r.phone, *shared);
+        for (GatewayObserver* obs : observers_) obs->on_delivered(r.phone, *shared, at);
+      }
     }
   });
 }

@@ -43,6 +43,13 @@ class GatewayObserver {
   virtual void on_submitted(const MmsMessage& message, SimTime now) = 0;
   /// A filter blocked the message.
   virtual void on_blocked(const MmsMessage& message, SimTime now) { (void)message; (void)now; }
+  /// The message reached a valid recipient (once per recipient, at
+  /// delivery time, after the transit delay).
+  virtual void on_delivered(PhoneId recipient, const MmsMessage& message, SimTime now) {
+    (void)recipient;
+    (void)message;
+    (void)now;
+  }
 };
 
 /// A dissemination-point policy consulted by sending phones.

@@ -12,7 +12,7 @@ Blacklist::Blacklist(const BlacklistConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
 }
 
-void Blacklist::on_submitted(const net::MmsMessage& message, SimTime) {
+void Blacklist::on_message_submitted(const net::MmsMessage& message, SimTime) {
   // Only virus traffic transits the simulated network, so every
   // infected message is a "suspected" one; clean traffic (none is
   // simulated) would not be counted.
@@ -20,6 +20,10 @@ void Blacklist::on_submitted(const net::MmsMessage& message, SimTime) {
   std::uint32_t& count = suspected_counts_[message.sender];
   ++count;
   if (count >= config_.message_threshold) blacklisted_.insert(message.sender);
+}
+
+void Blacklist::contribute_metrics(ResponseMetrics& metrics) const {
+  metrics.phones_blacklisted += blacklisted_.size();
 }
 
 }  // namespace mvsim::response

@@ -16,6 +16,7 @@
 #include <unordered_set>
 
 #include "net/gateway.h"
+#include "response/mechanism.h"
 #include "util/sim_time.h"
 #include "util/validation.h"
 
@@ -29,7 +30,7 @@ struct BlacklistConfig {
   [[nodiscard]] ValidationErrors validate() const;
 };
 
-class Blacklist final : public net::GatewayObserver, public net::OutgoingMmsPolicy {
+class Blacklist final : public ResponseMechanism, public net::OutgoingMmsPolicy {
  public:
   explicit Blacklist(const BlacklistConfig& config);
 
@@ -38,8 +39,11 @@ class Blacklist final : public net::GatewayObserver, public net::OutgoingMmsPoli
     return blacklisted_.count(phone) > 0;
   }
 
-  // GatewayObserver — counts suspected (infected) submissions only.
-  void on_submitted(const net::MmsMessage& message, SimTime now) override;
+  // ResponseMechanism — counts suspected (infected) submissions only.
+  [[nodiscard]] const char* name() const override { return "blacklist"; }
+  void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
+  [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
+  void contribute_metrics(ResponseMetrics& metrics) const override;
 
   // OutgoingMmsPolicy — blacklisting blocks, never merely delays.
   [[nodiscard]] bool is_blocked(net::PhoneId phone, SimTime) const override {

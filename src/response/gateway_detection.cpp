@@ -1,5 +1,7 @@
 #include "response/gateway_detection.h"
 
+#include <stdexcept>
+
 namespace mvsim::response {
 
 ValidationErrors GatewayDetectionConfig::validate() const {
@@ -10,14 +12,18 @@ ValidationErrors GatewayDetectionConfig::validate() const {
   return errors;
 }
 
-GatewayDetection::GatewayDetection(const GatewayDetectionConfig& config,
-                                   des::Scheduler& scheduler, rng::Stream& stream,
-                                   DetectabilityMonitor& detector)
-    : config_(config), scheduler_(&scheduler), stream_(&stream) {
+GatewayDetection::GatewayDetection(const GatewayDetectionConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
-  detector.on_detected([this](SimTime) {
-    scheduler_->schedule_after(config_.analysis_period, [this] { active_ = true; });
-  });
+}
+
+void GatewayDetection::on_build(BuildContext& context) {
+  scheduler_ = context.scheduler;
+  stream_ = context.response_stream;
+}
+
+void GatewayDetection::on_detectability_crossed(SimTime) {
+  if (scheduler_ == nullptr) throw std::logic_error("GatewayDetection: on_build never ran");
+  scheduler_->schedule_after(config_.analysis_period, [this] { active_ = true; });
 }
 
 net::DeliveryFilter::Decision GatewayDetection::inspect(const net::MmsMessage& message, SimTime) {

@@ -11,7 +11,7 @@
 
 #include "des/scheduler.h"
 #include "net/gateway.h"
-#include "response/detectability.h"
+#include "response/mechanism.h"
 #include "rng/stream.h"
 #include "util/sim_time.h"
 #include "util/validation.h"
@@ -29,23 +29,27 @@ struct GatewayDetectionConfig {
   [[nodiscard]] ValidationErrors validate() const;
 };
 
-class GatewayDetection final : public net::DeliveryFilter {
+class GatewayDetection final : public ResponseMechanism, public net::DeliveryFilter {
  public:
-  GatewayDetection(const GatewayDetectionConfig& config, des::Scheduler& scheduler,
-                   rng::Stream& stream, DetectabilityMonitor& detector);
+  explicit GatewayDetection(const GatewayDetectionConfig& config);
 
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] std::uint64_t messages_stopped() const { return stopped_; }
   [[nodiscard]] std::uint64_t messages_missed() const { return missed_; }
 
+  // ResponseMechanism
+  [[nodiscard]] const char* name() const override { return "gateway_detection"; }
+  void on_build(BuildContext& context) override;
+  void on_detectability_crossed(SimTime now) override;
+  [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }
+
   // DeliveryFilter
   [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;
-  [[nodiscard]] const char* name() const override { return "gateway-detection-algorithm"; }
 
  private:
   GatewayDetectionConfig config_;
-  des::Scheduler* scheduler_;
-  rng::Stream* stream_;
+  des::Scheduler* scheduler_ = nullptr;
+  rng::Stream* stream_ = nullptr;
   bool active_ = false;
   std::uint64_t stopped_ = 0;
   std::uint64_t missed_ = 0;

@@ -1,5 +1,7 @@
 #include "response/gateway_scan.h"
 
+#include <stdexcept>
+
 namespace mvsim::response {
 
 ValidationErrors GatewayScanConfig::validate() const {
@@ -9,14 +11,15 @@ ValidationErrors GatewayScanConfig::validate() const {
   return errors;
 }
 
-GatewayScan::GatewayScan(const GatewayScanConfig& config, des::Scheduler& scheduler,
-                         DetectabilityMonitor& detector)
-    : config_(config), scheduler_(&scheduler) {
+GatewayScan::GatewayScan(const GatewayScanConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
-  detector.on_detected([this](SimTime) {
-    scheduler_->schedule_after(config_.activation_delay,
-                               [this] { activate(scheduler_->now()); });
-  });
+}
+
+void GatewayScan::on_build(BuildContext& context) { scheduler_ = context.scheduler; }
+
+void GatewayScan::on_detectability_crossed(SimTime) {
+  if (scheduler_ == nullptr) throw std::logic_error("GatewayScan: on_build never ran");
+  scheduler_->schedule_after(config_.activation_delay, [this] { activate(scheduler_->now()); });
 }
 
 void GatewayScan::activate(SimTime now) {

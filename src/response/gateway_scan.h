@@ -11,7 +11,7 @@
 
 #include "des/scheduler.h"
 #include "net/gateway.h"
-#include "response/detectability.h"
+#include "response/mechanism.h"
 #include "util/sim_time.h"
 #include "util/validation.h"
 
@@ -26,24 +26,28 @@ struct GatewayScanConfig {
   [[nodiscard]] ValidationErrors validate() const;
 };
 
-class GatewayScan final : public net::DeliveryFilter {
+class GatewayScan final : public ResponseMechanism, public net::DeliveryFilter {
  public:
-  GatewayScan(const GatewayScanConfig& config, des::Scheduler& scheduler,
-              DetectabilityMonitor& detector);
+  explicit GatewayScan(const GatewayScanConfig& config);
 
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] SimTime activated_at() const { return activated_at_; }
   [[nodiscard]] std::uint64_t messages_stopped() const { return stopped_; }
 
+  // ResponseMechanism
+  [[nodiscard]] const char* name() const override { return "gateway_scan"; }
+  void on_build(BuildContext& context) override;
+  void on_detectability_crossed(SimTime now) override;
+  [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }
+
   // DeliveryFilter
   [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;
-  [[nodiscard]] const char* name() const override { return "gateway-virus-scan"; }
 
  private:
   void activate(SimTime now);
 
   GatewayScanConfig config_;
-  des::Scheduler* scheduler_;
+  des::Scheduler* scheduler_ = nullptr;
   bool active_ = false;
   SimTime activated_at_ = SimTime::infinity();
   std::uint64_t stopped_ = 0;

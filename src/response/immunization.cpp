@@ -13,20 +13,26 @@ ValidationErrors ImmunizationConfig::validate() const {
   return errors;
 }
 
-Immunization::Immunization(const ImmunizationConfig& config, des::Scheduler& scheduler,
-                           rng::Stream& stream, DetectabilityMonitor& detector,
-                           std::vector<net::PhoneId> patch_targets,
-                           std::function<void(net::PhoneId)> apply_patch)
-    : config_(config),
-      scheduler_(&scheduler),
-      stream_(&stream),
-      targets_(std::move(patch_targets)),
-      apply_patch_(std::move(apply_patch)) {
+Immunization::Immunization(const ImmunizationConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
-  if (!apply_patch_) throw std::invalid_argument("Immunization: empty apply_patch callback");
-  detector.on_detected([this](SimTime) {
-    scheduler_->schedule_after(config_.development_time, [this] { begin_deployment(); });
-  });
+}
+
+void Immunization::on_build(BuildContext& context) {
+  if (!context.apply_patch) {
+    throw std::invalid_argument("Immunization: build context lacks an apply_patch callback");
+  }
+  if (context.patch_targets == nullptr) {
+    throw std::invalid_argument("Immunization: build context lacks a patch-target list");
+  }
+  scheduler_ = context.scheduler;
+  stream_ = context.response_stream;
+  targets_ = *context.patch_targets;
+  apply_patch_ = context.apply_patch;
+}
+
+void Immunization::on_detectability_crossed(SimTime) {
+  if (scheduler_ == nullptr) throw std::logic_error("Immunization: on_build never ran");
+  scheduler_->schedule_after(config_.development_time, [this] { begin_deployment(); });
 }
 
 void Immunization::begin_deployment() {

@@ -16,7 +16,7 @@
 
 #include "des/scheduler.h"
 #include "net/message.h"
-#include "response/detectability.h"
+#include "response/mechanism.h"
 #include "rng/stream.h"
 #include "util/sim_time.h"
 #include "util/validation.h"
@@ -34,15 +34,9 @@ struct ImmunizationConfig {
   [[nodiscard]] ValidationErrors validate() const;
 };
 
-class Immunization {
+class Immunization final : public ResponseMechanism {
  public:
-  /// `patch_targets` is the list of phones running the vulnerable
-  /// platform (the 800 susceptible phones; patching invulnerable
-  /// phones would change nothing). `apply_patch(id)` is invoked once
-  /// per target at its rollout instant.
-  Immunization(const ImmunizationConfig& config, des::Scheduler& scheduler, rng::Stream& stream,
-               DetectabilityMonitor& detector, std::vector<net::PhoneId> patch_targets,
-               std::function<void(net::PhoneId)> apply_patch);
+  explicit Immunization(const ImmunizationConfig& config);
 
   [[nodiscard]] bool deployment_started() const { return started_; }
   [[nodiscard]] std::uint64_t patches_applied() const { return applied_; }
@@ -50,12 +44,20 @@ class Immunization {
   [[nodiscard]] SimTime deployment_begins_at() const { return begins_at_; }
   [[nodiscard]] SimTime deployment_ends_at() const { return ends_at_; }
 
+  // ResponseMechanism
+  [[nodiscard]] const char* name() const override { return "immunization"; }
+  /// Copies the context's patch-target list (the phones running the
+  /// vulnerable platform; patching invulnerable phones would change
+  /// nothing) and its apply_patch callback — both must be set.
+  void on_build(BuildContext& context) override;
+  void on_detectability_crossed(SimTime now) override;
+
  private:
   void begin_deployment();
 
   ImmunizationConfig config_;
-  des::Scheduler* scheduler_;
-  rng::Stream* stream_;
+  des::Scheduler* scheduler_ = nullptr;
+  rng::Stream* stream_ = nullptr;
   std::vector<net::PhoneId> targets_;
   std::function<void(net::PhoneId)> apply_patch_;
   bool started_ = false;

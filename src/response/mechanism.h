@@ -1,0 +1,115 @@
+// Pluggable response-mechanism interface.
+//
+// Every countermeasure the simulator models — the paper's six plus any
+// extension — implements ResponseMechanism. A mechanism is constructed
+// from its config alone; everything it may touch at runtime arrives
+// through on_build(BuildContext) and the lifecycle hooks, which the
+// core's SimulationContext dispatches in registration order. The core
+// never names a concrete mechanism type: mechanisms expose their
+// gateway-filter and sending-policy roles through the as_*() adapters
+// and report counters through contribute_metrics(), so adding a
+// mechanism is a response-layer-only change (see response/registry.h
+// and DESIGN.md, "How to add a response mechanism").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "des/scheduler.h"
+#include "net/gateway.h"
+#include "net/message.h"
+#include "rng/stream.h"
+#include "util/sim_time.h"
+
+namespace mvsim::response {
+
+class DetectabilityMonitor;
+
+/// Everything a mechanism may wire itself to when the simulation is
+/// assembled. Pointers are non-owning and outlive the mechanism.
+struct BuildContext {
+  des::Scheduler* scheduler = nullptr;
+  /// The response concern's dedicated RNG stream (draws here never
+  /// perturb the virus's or the network's sequences).
+  rng::Stream* response_stream = nullptr;
+  DetectabilityMonitor* detector = nullptr;
+  /// Phones running the vulnerable platform (the immunization
+  /// rollout's target list).
+  const std::vector<net::PhoneId>* patch_targets = nullptr;
+  /// Applies a patch to one phone: healthy -> immunized, infected ->
+  /// dissemination silenced.
+  std::function<void(net::PhoneId)> apply_patch;
+  std::uint32_t population = 0;
+};
+
+/// Counters mechanisms report into the replication result. Standard
+/// fields keep the core's result struct mechanism-agnostic; anything
+/// else goes into `extras` under a mechanism-chosen name.
+struct ResponseMetrics {
+  std::uint64_t phones_blacklisted = 0;
+  std::uint64_t phones_flagged = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> extras;
+};
+
+class ResponseMechanism {
+ public:
+  virtual ~ResponseMechanism() = default;
+
+  /// Stable identifier; doubles as the registry key and the JSON key.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // ---- Lifecycle hooks (all optional) ----
+
+  /// Wire into the simulation. Called once, before any event runs.
+  virtual void on_build(BuildContext& context) { (void)context; }
+  /// A phone handed a message to the network (before filtering).
+  virtual void on_message_submitted(const net::MmsMessage& message, SimTime now) {
+    (void)message;
+    (void)now;
+  }
+  /// A delivery filter blocked the message in transit.
+  virtual void on_message_blocked(const net::MmsMessage& message, SimTime now) {
+    (void)message;
+    (void)now;
+  }
+  /// The message reached one valid recipient.
+  virtual void on_message_delivered(net::PhoneId recipient, const net::MmsMessage& message,
+                                    SimTime now) {
+    (void)recipient;
+    (void)message;
+    (void)now;
+  }
+  /// A phone became infected.
+  virtual void on_infection(net::PhoneId phone, SimTime now) {
+    (void)phone;
+    (void)now;
+  }
+  /// A patch landed on a phone.
+  virtual void on_patch(net::PhoneId phone, SimTime now) {
+    (void)phone;
+    (void)now;
+  }
+  /// The virus crossed the provider's detectability threshold.
+  /// Dispatched in registration order across mechanisms.
+  virtual void on_detectability_crossed(SimTime now) { (void)now; }
+  /// Recurring housekeeping; scheduled only when tick_period() > 0.
+  virtual void on_tick(SimTime now) { (void)now; }
+  [[nodiscard]] virtual SimTime tick_period() const { return SimTime::zero(); }
+
+  // ---- Role adapters ----
+
+  /// Non-null when the mechanism also inspects messages in transit;
+  /// registered on the gateway in mechanism order.
+  [[nodiscard]] virtual net::DeliveryFilter* as_delivery_filter() { return nullptr; }
+  /// Non-null when the mechanism constrains sending phones; consulted
+  /// by every SendingProcess in mechanism order.
+  [[nodiscard]] virtual net::OutgoingMmsPolicy* as_outgoing_policy() { return nullptr; }
+
+  /// Add this mechanism's counters to the replication result.
+  virtual void contribute_metrics(ResponseMetrics& metrics) const { (void)metrics; }
+};
+
+}  // namespace mvsim::response

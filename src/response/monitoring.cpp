@@ -22,7 +22,7 @@ std::int64_t Monitoring::window_index(SimTime now) const {
   return static_cast<std::int64_t>(std::floor(now / config_.observation_window));
 }
 
-void Monitoring::on_submitted(const net::MmsMessage& message, SimTime now) {
+void Monitoring::on_message_submitted(const net::MmsMessage& message, SimTime now) {
   PhoneRecord& rec = records_[message.sender];
   std::int64_t window = window_index(now);
   if (window != rec.window_index) {
@@ -40,6 +40,10 @@ void Monitoring::on_submitted(const net::MmsMessage& message, SimTime now) {
 bool Monitoring::is_flagged(net::PhoneId phone) const {
   auto it = records_.find(phone);
   return it != records_.end() && it->second.flagged;
+}
+
+void Monitoring::contribute_metrics(ResponseMetrics& metrics) const {
+  metrics.phones_flagged += flagged_total_;
 }
 
 SimTime Monitoring::forced_min_gap(net::PhoneId phone, SimTime now) const {

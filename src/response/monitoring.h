@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "net/gateway.h"
+#include "response/mechanism.h"
 #include "util/sim_time.h"
 #include "util/validation.h"
 
@@ -45,15 +46,18 @@ struct MonitoringConfig {
   [[nodiscard]] ValidationErrors validate() const;
 };
 
-class Monitoring final : public net::GatewayObserver, public net::OutgoingMmsPolicy {
+class Monitoring final : public ResponseMechanism, public net::OutgoingMmsPolicy {
  public:
   explicit Monitoring(const MonitoringConfig& config);
 
   [[nodiscard]] std::size_t flagged_count() const { return flagged_total_; }
   [[nodiscard]] bool is_flagged(net::PhoneId phone) const;
 
-  // GatewayObserver — counts every submission.
-  void on_submitted(const net::MmsMessage& message, SimTime now) override;
+  // ResponseMechanism — counts every submission.
+  [[nodiscard]] const char* name() const override { return "monitoring"; }
+  void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
+  [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
+  void contribute_metrics(ResponseMetrics& metrics) const override;
 
   // OutgoingMmsPolicy — monitoring delays, never blocks.
   [[nodiscard]] bool is_blocked(net::PhoneId, SimTime) const override { return false; }

@@ -1,0 +1,77 @@
+// Response-mechanism registry: one table driving construction,
+// validation, JSON binding and CLI listing for every mechanism.
+//
+// Each mechanism contributes a MechanismInfo row of captureless
+// function pointers keyed by its stable name. Everything that used to
+// be a hand-maintained if-ladder — Simulation::build_responses, the
+// suite validator, scenario_io's decode/encode of the "responses"
+// object, the `mvsim mechanisms` listing — iterates this table
+// instead, so adding a mechanism is one row plus its own files (see
+// DESIGN.md, "How to add a response mechanism").
+//
+// Registration ORDER is part of the contract: build_enabled() returns
+// mechanisms in table order, and core::SimulationContext dispatches
+// hooks in that order. The built-in order (scan, detection, education,
+// immunization, monitoring, blacklist, rate_limiter) reproduces the
+// pre-registry wiring order, which the golden tests pin down.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "response/mechanism.h"
+#include "response/suite.h"
+#include "util/json.h"
+#include "util/validation.h"
+
+namespace mvsim::response {
+
+struct MechanismInfo {
+  /// Stable identifier: the JSON key under "responses", the CLI name,
+  /// and ResponseMechanism::name() of the built instance.
+  const char* name;
+  /// One-line human description for `mvsim mechanisms`.
+  const char* summary;
+  /// Whether the suite enables this mechanism.
+  bool (*enabled)(const ResponseSuiteConfig& suite);
+  /// Validates this mechanism's slice of the suite (no-op when
+  /// disabled).
+  ValidationErrors (*validate)(const ResponseSuiteConfig& suite);
+  /// Constructs the mechanism, or nullptr for standing conditions that
+  /// need no event hooks (user education reshapes the consent model at
+  /// build time instead — see consent_for_suite).
+  std::unique_ptr<ResponseMechanism> (*build)(const ResponseSuiteConfig& suite);
+  /// Decodes the mechanism's JSON sub-object into the suite. `value`
+  /// is the object under "responses.<name>"; `path` the JSON path for
+  /// error messages.
+  void (*decode)(const json::Value& value, const std::string& path, ResponseSuiteConfig& suite);
+  /// Encodes the mechanism's config back to JSON; nullopt when
+  /// disabled.
+  std::optional<json::Value> (*encode)(const ResponseSuiteConfig& suite);
+};
+
+class ResponseRegistry {
+ public:
+  /// Appends a row; throws std::invalid_argument on a duplicate name.
+  void register_mechanism(const MechanismInfo& info);
+
+  [[nodiscard]] const std::vector<MechanismInfo>& mechanisms() const { return mechanisms_; }
+  /// nullptr when unknown.
+  [[nodiscard]] const MechanismInfo* find(std::string_view name) const;
+
+  /// Builds every enabled mechanism, in registration order, skipping
+  /// standing conditions whose build() returns nullptr.
+  [[nodiscard]] std::vector<std::unique_ptr<ResponseMechanism>> build_enabled(
+      const ResponseSuiteConfig& suite) const;
+
+  /// The registry holding the six paper mechanisms plus extensions,
+  /// in the order the golden tests pin down.
+  [[nodiscard]] static const ResponseRegistry& built_ins();
+
+ private:
+  std::vector<MechanismInfo> mechanisms_;
+};
+
+}  // namespace mvsim::response

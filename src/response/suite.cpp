@@ -1,32 +1,34 @@
 #include "response/suite.h"
 
+#include "response/registry.h"
+
 namespace mvsim::response {
 
 bool ResponseSuiteConfig::any_enabled() const { return enabled_count() > 0; }
 
 int ResponseSuiteConfig::enabled_count() const {
   int count = 0;
-  count += gateway_scan.has_value();
-  count += gateway_detection.has_value();
-  count += user_education.has_value();
-  count += immunization.has_value();
-  count += monitoring.has_value();
-  count += blacklist.has_value();
+  for (const MechanismInfo& info : ResponseRegistry::built_ins().mechanisms()) {
+    count += info.enabled(*this) ? 1 : 0;
+  }
   return count;
 }
 
 ValidationErrors ResponseSuiteConfig::validate() const {
   ValidationErrors errors("ResponseSuiteConfig");
   errors.require(detectability_threshold >= 1, "detectability_threshold must be >= 1");
-  if (gateway_scan) errors.merge(gateway_scan->validate());
-  if (gateway_detection) errors.merge(gateway_detection->validate());
-  if (user_education) errors.merge(user_education->validate());
-  if (immunization) errors.merge(immunization->validate());
-  if (monitoring) errors.merge(monitoring->validate());
-  if (blacklist) errors.merge(blacklist->validate());
+  for (const MechanismInfo& info : ResponseRegistry::built_ins().mechanisms()) {
+    if (info.enabled(*this)) errors.merge(info.validate(*this));
+  }
   return errors;
 }
 
 ResponseSuiteConfig no_response() { return ResponseSuiteConfig{}; }
+
+phone::ConsentModel consent_for_suite(const ResponseSuiteConfig& suite,
+                                      double baseline_eventual_acceptance) {
+  if (suite.user_education) return apply_user_education(*suite.user_education);
+  return phone::ConsentModel::for_eventual_acceptance(baseline_eventual_acceptance);
+}
 
 }  // namespace mvsim::response

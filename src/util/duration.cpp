@@ -1,0 +1,77 @@
+#include "util/duration.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mvsim::util {
+
+namespace {
+[[noreturn]] void fail(std::string_view text) {
+  throw std::invalid_argument("unparsable duration '" + std::string(text) +
+                              "' (expected e.g. \"30min\", \"6h\", \"1.5d\", \"90s\")");
+}
+}  // namespace
+
+SimTime parse_duration(std::string_view text) {
+  // Trim surrounding whitespace.
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  std::string_view trimmed = text.substr(begin, end - begin);
+  if (trimmed.empty()) fail(text);
+
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc()) fail(text);
+  std::string_view unit(ptr, static_cast<std::size_t>(trimmed.data() + trimmed.size() - ptr));
+  while (!unit.empty() && std::isspace(static_cast<unsigned char>(unit.front()))) {
+    unit.remove_prefix(1);
+  }
+
+  if (unit == "s" || unit == "sec" || unit == "secs" || unit == "seconds") {
+    return SimTime::seconds(value);
+  }
+  if (unit == "min" || unit == "m" || unit == "mins" || unit == "minutes") {
+    return SimTime::minutes(value);
+  }
+  if (unit == "h" || unit == "hr" || unit == "hrs" || unit == "hours") {
+    return SimTime::hours(value);
+  }
+  if (unit == "d" || unit == "day" || unit == "days") {
+    return SimTime::days(value);
+  }
+  fail(text);
+}
+
+std::string format_duration(SimTime t) {
+  if (!t.is_finite()) return t.to_minutes() > 0 ? "inf" : "-inf";
+  auto is_integral = [](double v) { return v == std::floor(v); };
+  char buf[48];
+  double days = t.to_days();
+  if (days != 0.0 && is_integral(days)) {
+    std::snprintf(buf, sizeof buf, "%.0fd", days);
+    return buf;
+  }
+  double hours = t.to_hours();
+  if (hours != 0.0 && is_integral(hours)) {
+    std::snprintf(buf, sizeof buf, "%.0fh", hours);
+    return buf;
+  }
+  double minutes = t.to_minutes();
+  if (is_integral(minutes)) {
+    std::snprintf(buf, sizeof buf, "%.0fmin", minutes);
+    return buf;
+  }
+  double seconds = t.to_seconds();
+  if (is_integral(seconds)) {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+    return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%gmin", minutes);
+  return buf;
+}
+
+}  // namespace mvsim::util

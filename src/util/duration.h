@@ -1,0 +1,28 @@
+// Human-friendly durations for scenario files.
+//
+// Scenario JSON uses strings like "30min", "6h", "1.5d", "90s" rather
+// than bare numbers, so a config file never leaves its unit ambiguous
+// (the paper mixes minutes, hours and days constantly). Lives in util
+// so any layer that binds configs to JSON — the response-mechanism
+// registry included — can parse durations without depending on the
+// config module above it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/sim_time.h"
+
+namespace mvsim::util {
+
+/// Parses "<number><unit>" with unit one of s, sec, min, m, h, hr, d,
+/// day(s). Whitespace between number and unit allowed. Throws
+/// std::invalid_argument with the offending text on malformed input.
+[[nodiscard]] SimTime parse_duration(std::string_view text);
+
+/// Formats a duration with the largest unit that yields a clean
+/// number: "90min" stays "90min" (1.5h would too) — specifically,
+/// picks d/h/min/s preferring integral values, else minutes.
+[[nodiscard]] std::string format_duration(SimTime t);
+
+}  // namespace mvsim::util

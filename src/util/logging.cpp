@@ -23,8 +23,11 @@ Logger& Logger::global() {
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::fprintf(stderr, "[mvsim %s] %s\n", to_string(level), message.c_str());
-  ++lines_;
+  {
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    std::fprintf(stderr, "[mvsim %s] %s\n", to_string(level), message.c_str());
+  }
+  lines_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace mvsim

@@ -1,12 +1,14 @@
 // Tiny leveled logger.
 //
 // Simulations are silent by default; benches/examples can raise the
-// level to trace response-mechanism activations. Not thread-safe by
-// design — mvsim runs replications sequentially in one thread (the DES
-// itself is inherently serial) and parallelism, when wanted, is
-// process-level.
+// level to trace response-mechanism activations. Thread-safe:
+// RunnerOptions.threads parallelizes replications, so concurrent
+// simulations may log at once — each emitted line is written atomically
+// under a mutex and the line counter is atomic.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -21,19 +23,20 @@ class Logger {
   /// Process-wide logger used by the library.
   static Logger& global();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= this->level(); }
 
   void log(LogLevel level, const std::string& message);
 
   /// Lines logged since construction/reset, for tests.
-  [[nodiscard]] long lines_emitted() const { return lines_; }
-  void reset_counter() { lines_ = 0; }
+  [[nodiscard]] long lines_emitted() const { return lines_.load(std::memory_order_relaxed); }
+  void reset_counter() { lines_.store(0, std::memory_order_relaxed); }
 
  private:
-  LogLevel level_ = LogLevel::kWarn;
-  long lines_ = 0;
+  std::atomic<LogLevel> level_ = LogLevel::kWarn;
+  std::atomic<long> lines_{0};
+  std::mutex write_mutex_;  // serializes the stderr write itself
 };
 
 namespace log_detail {

@@ -1,0 +1,181 @@
+// Golden-results regression guard for the simulation core.
+//
+// Fixed-seed runs of all paper presets (fig1-fig7) plus the dual-vector
+// and defense-in-depth extensions must produce bit-identical results
+// across refactors of the core/net/response wiring: the hashes below
+// cover every per-replication infection step (time and value bit
+// patterns), all gateway counters, response-mechanism counters and the
+// aggregated mean curves. They were captured from the pre-refactor
+// (hard-wired mechanism) implementation; the pluggable event-dispatch
+// architecture must reproduce them exactly, at any worker-thread count.
+//
+// To regenerate after an *intentional* behavior change:
+//   MVSIM_GOLDEN_PRINT=1 ./golden_test --gtest_filter='*OneThread*'
+// and paste the printed table over kCases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/presets.h"
+#include "core/runner.h"
+
+namespace mvsim::core {
+namespace {
+
+class Fnv1a {
+ public:
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xFFu;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void add_double(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    add_u64(bits);
+  }
+  void add_time(SimTime t) { add_double(t.to_minutes()); }
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+std::uint64_t hash_result(const ExperimentResult& result) {
+  Fnv1a h;
+  for (const auto& point : result.curve.grid()) {
+    h.add_time(point.time);
+    h.add_double(point.mean);
+    h.add_double(point.stddev);
+  }
+  h.add_double(result.final_infections.mean());
+  h.add_double(result.messages_submitted.mean());
+  h.add_double(result.messages_blocked.mean());
+  h.add_double(result.phones_blacklisted.mean());
+  h.add_double(result.phones_flagged.mean());
+  h.add_double(result.patches_applied.mean());
+  h.add_double(result.bluetooth_push_attempts.mean());
+  for (const ReplicationResult& r : result.replications) {
+    // Every infection step: any event reordering or extra RNG draw
+    // anywhere in the pipeline perturbs these.
+    for (const auto& point : r.infections.points()) {
+      h.add_time(point.time);
+      h.add_double(point.value);
+    }
+    h.add_u64(r.total_infected);
+    h.add_u64(r.immunized_healthy);
+    h.add_u64(r.patched_infected);
+    h.add_u64(r.phones_blacklisted);
+    h.add_u64(r.phones_flagged);
+    h.add_u64(r.bluetooth_push_attempts);
+    h.add_u64(r.gateway.messages_submitted);
+    h.add_u64(r.gateway.infected_messages_submitted);
+    h.add_u64(r.gateway.messages_blocked);
+    h.add_u64(r.gateway.recipients_delivered);
+    h.add_u64(r.gateway.invalid_recipients_dropped);
+    h.add_time(r.detected_at);
+  }
+  return h.digest();
+}
+
+ScenarioConfig dual_vector_scenario() {
+  // The ext_dual_vector bench's headline configuration: Virus 1 with
+  // the Bluetooth side channel, against the 6 h gateway scan.
+  ScenarioConfig config = fig2_scan_scenario(SimTime::hours(6.0));
+  config.name = "golden/dual-vector";
+  config.proximity = ProximityChannelConfig{};
+  return config;
+}
+
+ScenarioConfig defense_in_depth_scenario() {
+  // All six paper mechanisms at default parameters against Virus 3,
+  // as in examples/defense_in_depth.
+  ScenarioConfig config = baseline_scenario(virus::virus3());
+  config.name = "golden/defense-in-depth";
+  config.responses.gateway_scan = response::GatewayScanConfig{};
+  config.responses.gateway_detection = response::GatewayDetectionConfig{};
+  config.responses.user_education = response::UserEducationConfig{};
+  config.responses.immunization = response::ImmunizationConfig{};
+  config.responses.monitoring = response::MonitoringConfig{};
+  config.responses.blacklist = response::BlacklistConfig{};
+  return config;
+}
+
+struct GoldenCase {
+  const char* name;
+  ScenarioConfig (*make)();
+  std::uint64_t expected;
+};
+
+// Hashes captured from the pre-refactor implementation (see header).
+const GoldenCase kCases[] = {
+    {"fig1-baseline-virus1", [] { return baseline_scenario(virus::virus1()); },
+     0x6df294e3dc67a7a9ULL},
+    {"fig1-baseline-virus2", [] { return baseline_scenario(virus::virus2()); },
+     0xe8de5d4d7a4f9d30ULL},
+    {"fig1-baseline-virus3", [] { return baseline_scenario(virus::virus3()); },
+     0x1d0e8008183d3e18ULL},
+    {"fig1-baseline-virus4", [] { return baseline_scenario(virus::virus4()); },
+     0xf6dba30ac6086b28ULL},
+    {"fig2-scan", [] { return fig2_scan_scenario(SimTime::hours(6.0)); }, 0xffe798e9330234caULL},
+    {"fig3-detection", [] { return fig3_detection_scenario(0.95); }, 0x3576a9394d01da26ULL},
+    {"fig4-education", [] { return fig4_education_scenario(virus::virus1(), 0.20); },
+     0x3fb8c0d600df63dcULL},
+    {"fig5-immunization",
+     [] { return fig5_immunization_scenario(SimTime::hours(24.0), SimTime::hours(6.0)); },
+     0x3e77f8e54b85cf86ULL},
+    {"fig6-monitoring", [] { return fig6_monitoring_scenario(SimTime::minutes(15.0)); },
+     0x2d757cb846fecd19ULL},
+    {"fig7-blacklist", [] { return fig7_blacklist_scenario(10); }, 0xaaf59c7917668736ULL},
+    {"dual-vector", dual_vector_scenario, 0x182aa062cd5b1f93ULL},
+    {"defense-in-depth", defense_in_depth_scenario, 0x3143da29b28f8fbeULL},
+};
+
+constexpr std::uint64_t kMasterSeed = 0x601d'2007'd5a7ULL;
+constexpr int kReplications = 4;  // >= 4 so the threads=4 run really fans out
+
+std::uint64_t case_hash(const GoldenCase& golden, int threads) {
+  static std::map<std::string, std::uint64_t> cache;
+  std::string key = std::string(golden.name) + "@" + std::to_string(threads);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  RunnerOptions options;
+  options.replications = kReplications;
+  options.master_seed = kMasterSeed;
+  options.keep_replications = true;
+  options.threads = threads;
+  std::uint64_t digest = hash_result(run_experiment(golden.make(), options));
+  cache.emplace(std::move(key), digest);
+  return digest;
+}
+
+TEST(GoldenResults, PresetCurvesBitIdenticalAtOneThread) {
+  const bool print = std::getenv("MVSIM_GOLDEN_PRINT") != nullptr;
+  for (const GoldenCase& golden : kCases) {
+    std::uint64_t digest = case_hash(golden, 1);
+    if (print) {
+      std::printf("    {\"%s\", ..., 0x%016llxULL},\n", golden.name,
+                  static_cast<unsigned long long>(digest));
+      continue;
+    }
+    EXPECT_EQ(digest, golden.expected) << golden.name << ": fixed-seed results diverged from "
+                                       << "the pre-refactor implementation";
+  }
+}
+
+TEST(GoldenResults, PresetCurvesBitIdenticalAtFourThreads) {
+  for (const GoldenCase& golden : kCases) {
+    EXPECT_EQ(case_hash(golden, 4), case_hash(golden, 1))
+        << golden.name << ": results depend on the worker-thread count";
+  }
+}
+
+}  // namespace
+}  // namespace mvsim::core

@@ -1,5 +1,11 @@
-// Unit tests for src/response: the detectability monitor and all six
-// response mechanisms in isolation.
+// Unit tests for src/response: the detectability monitor and every
+// response mechanism in isolation.
+//
+// Mechanisms are constructed from their configs alone; each test wires
+// the instance the way core::SimulationContext would — on_build with a
+// BuildContext, plus a detector callback forwarding to
+// on_detectability_crossed — but by hand, so a failure points at the
+// mechanism rather than the dispatch layer.
 #include <gtest/gtest.h>
 
 #include "des/scheduler.h"
@@ -10,6 +16,8 @@
 #include "response/gateway_scan.h"
 #include "response/immunization.h"
 #include "response/monitoring.h"
+#include "response/rate_limiter.h"
+#include "response/registry.h"
 #include "response/suite.h"
 #include "response/user_education.h"
 #include "rng/stream.h"
@@ -29,6 +37,18 @@ net::MmsMessage clean(net::PhoneId sender) {
   net::MmsMessage m = infected(sender);
   m.infected = false;
   return m;
+}
+
+/// Wires `mechanism` to scheduler/stream/detector the way the core's
+/// dispatch context would.
+void wire(ResponseMechanism& mechanism, des::Scheduler& scheduler,
+          DetectabilityMonitor& monitor, rng::Stream* stream = nullptr) {
+  BuildContext build;
+  build.scheduler = &scheduler;
+  build.response_stream = stream;
+  build.detector = &monitor;
+  mechanism.on_build(build);
+  monitor.on_detected([&mechanism](SimTime at) { mechanism.on_detectability_crossed(at); });
 }
 
 TEST(DetectabilityMonitor, FiresAtThreshold) {
@@ -75,7 +95,8 @@ TEST(GatewayScan, InactiveUntilDelayElapses) {
   DetectabilityMonitor monitor(1);
   GatewayScanConfig config;
   config.activation_delay = SimTime::hours(6.0);
-  GatewayScan scan(config, scheduler, monitor);
+  GatewayScan scan(config);
+  wire(scan, scheduler, monitor);
 
   EXPECT_EQ(scan.inspect(infected(0), scheduler.now()), net::DeliveryFilter::Decision::kDeliver);
   monitor.on_submitted(infected(0), scheduler.now());  // detect at t=0
@@ -92,7 +113,8 @@ TEST(GatewayScan, InactiveUntilDelayElapses) {
 TEST(GatewayScan, NeverBlocksCleanTraffic) {
   des::Scheduler scheduler;
   DetectabilityMonitor monitor(1);
-  GatewayScan scan(GatewayScanConfig{SimTime::zero()}, scheduler, monitor);
+  GatewayScan scan(GatewayScanConfig{SimTime::zero()});
+  wire(scan, scheduler, monitor);
   monitor.on_submitted(infected(0), scheduler.now());
   scheduler.run_to_quiescence();
   EXPECT_TRUE(scan.active());
@@ -102,17 +124,21 @@ TEST(GatewayScan, NeverBlocksCleanTraffic) {
 TEST(GatewayScan, NeverActivatesWithoutDetection) {
   des::Scheduler scheduler;
   DetectabilityMonitor monitor(100);
-  GatewayScan scan(GatewayScanConfig{SimTime::hours(1.0)}, scheduler, monitor);
+  GatewayScan scan(GatewayScanConfig{SimTime::hours(1.0)});
+  wire(scan, scheduler, monitor);
   scheduler.run_until(SimTime::days(10.0));
   EXPECT_FALSE(scan.active());
 }
 
 TEST(GatewayScan, RejectsNegativeDelay) {
-  des::Scheduler scheduler;
-  DetectabilityMonitor monitor(1);
   GatewayScanConfig config;
   config.activation_delay = SimTime::minutes(-1.0);
-  EXPECT_THROW(GatewayScan(config, scheduler, monitor), std::invalid_argument);
+  EXPECT_THROW(GatewayScan scan(config), std::invalid_argument);
+}
+
+TEST(GatewayScan, DetectabilityBeforeBuildThrows) {
+  GatewayScan scan(GatewayScanConfig{});
+  EXPECT_THROW(scan.on_detectability_crossed(SimTime::zero()), std::logic_error);
 }
 
 TEST(GatewayDetection, BlocksAtConfiguredAccuracy) {
@@ -122,7 +148,8 @@ TEST(GatewayDetection, BlocksAtConfiguredAccuracy) {
   GatewayDetectionConfig config;
   config.accuracy = 0.9;
   config.analysis_period = SimTime::zero();
-  GatewayDetection detection(config, scheduler, stream, monitor);
+  GatewayDetection detection(config);
+  wire(detection, scheduler, monitor, &stream);
   monitor.on_submitted(infected(0), scheduler.now());
   scheduler.run_to_quiescence();
   ASSERT_TRUE(detection.active());
@@ -141,7 +168,8 @@ TEST(GatewayDetection, PassesEverythingBeforeAnalysisEnds) {
   DetectabilityMonitor monitor(1);
   GatewayDetectionConfig config;
   config.analysis_period = SimTime::hours(6.0);
-  GatewayDetection detection(config, scheduler, stream, monitor);
+  GatewayDetection detection(config);
+  wire(detection, scheduler, monitor, &stream);
   monitor.on_submitted(infected(0), scheduler.now());
   scheduler.run_until(SimTime::hours(3.0));
   EXPECT_FALSE(detection.active());
@@ -156,7 +184,8 @@ TEST(GatewayDetection, PerfectAccuracyBlocksAll) {
   GatewayDetectionConfig config;
   config.accuracy = 1.0;
   config.analysis_period = SimTime::zero();
-  GatewayDetection detection(config, scheduler, stream, monitor);
+  GatewayDetection detection(config);
+  wire(detection, scheduler, monitor, &stream);
   monitor.on_submitted(infected(0), scheduler.now());
   scheduler.run_to_quiescence();
   for (int i = 0; i < 100; ++i) {
@@ -205,8 +234,16 @@ TEST(Immunization, RollsOutUniformlyAfterDevelopment) {
   config.development_time = SimTime::hours(24.0);
   config.deployment_duration = SimTime::hours(6.0);
   std::vector<net::PhoneId> patched;
-  Immunization immunization(config, scheduler, stream, monitor, {0, 1, 2, 3, 4},
-                            [&](net::PhoneId id) { patched.push_back(id); });
+  std::vector<net::PhoneId> targets = {0, 1, 2, 3, 4};
+  Immunization immunization(config);
+  BuildContext build;
+  build.scheduler = &scheduler;
+  build.response_stream = &stream;
+  build.detector = &monitor;
+  build.patch_targets = &targets;
+  build.apply_patch = [&](net::PhoneId id) { patched.push_back(id); };
+  immunization.on_build(build);
+  monitor.on_detected([&](SimTime at) { immunization.on_detectability_crossed(at); });
   monitor.on_submitted(infected(9), scheduler.now());  // detect at t=0
   scheduler.run_until(SimTime::hours(23.9));
   EXPECT_FALSE(immunization.deployment_started());
@@ -227,8 +264,15 @@ TEST(Immunization, InstantDeploymentPatchesAtOnce) {
   config.development_time = SimTime::hours(1.0);
   config.deployment_duration = SimTime::zero();
   int patched = 0;
-  Immunization immunization(config, scheduler, stream, monitor, {0, 1, 2},
-                            [&](net::PhoneId) { ++patched; });
+  std::vector<net::PhoneId> targets = {0, 1, 2};
+  Immunization immunization(config);
+  BuildContext build;
+  build.scheduler = &scheduler;
+  build.response_stream = &stream;
+  build.patch_targets = &targets;
+  build.apply_patch = [&](net::PhoneId) { ++patched; };
+  immunization.on_build(build);
+  monitor.on_detected([&](SimTime at) { immunization.on_detectability_crossed(at); });
   monitor.on_submitted(infected(9), scheduler.now());
   scheduler.run_until(SimTime::hours(1.0));
   EXPECT_EQ(patched, 3);
@@ -239,20 +283,35 @@ TEST(Immunization, NoDetectionMeansNoPatches) {
   rng::Stream stream(8);
   DetectabilityMonitor monitor(100);
   int patched = 0;
-  Immunization immunization(ImmunizationConfig{}, scheduler, stream, monitor, {0, 1},
-                            [&](net::PhoneId) { ++patched; });
+  std::vector<net::PhoneId> targets = {0, 1};
+  Immunization immunization{ImmunizationConfig{}};
+  BuildContext build;
+  build.scheduler = &scheduler;
+  build.response_stream = &stream;
+  build.patch_targets = &targets;
+  build.apply_patch = [&](net::PhoneId) { ++patched; };
+  immunization.on_build(build);
+  monitor.on_detected([&](SimTime at) { immunization.on_detectability_crossed(at); });
   scheduler.run_until(SimTime::days(30.0));
   EXPECT_EQ(patched, 0);
   EXPECT_FALSE(immunization.deployment_started());
 }
 
-TEST(Immunization, RequiresCallback) {
+TEST(Immunization, BuildRequiresCallbackAndTargets) {
   des::Scheduler scheduler;
   rng::Stream stream(9);
-  DetectabilityMonitor monitor(1);
-  EXPECT_THROW(
-      Immunization(ImmunizationConfig{}, scheduler, stream, monitor, {0}, nullptr),
-      std::invalid_argument);
+  std::vector<net::PhoneId> targets = {0};
+  Immunization immunization{ImmunizationConfig{}};
+  BuildContext no_callback;
+  no_callback.scheduler = &scheduler;
+  no_callback.response_stream = &stream;
+  no_callback.patch_targets = &targets;
+  EXPECT_THROW(immunization.on_build(no_callback), std::invalid_argument);
+  BuildContext no_targets;
+  no_targets.scheduler = &scheduler;
+  no_targets.response_stream = &stream;
+  no_targets.apply_patch = [](net::PhoneId) {};
+  EXPECT_THROW(immunization.on_build(no_targets), std::invalid_argument);
 }
 
 TEST(Monitoring, FlagsPhoneAboveThreshold) {
@@ -261,10 +320,10 @@ TEST(Monitoring, FlagsPhoneAboveThreshold) {
   config.forced_wait = SimTime::minutes(15.0);
   Monitoring monitoring(config);
   SimTime t = SimTime::minutes(1.0);
-  for (int i = 0; i < 3; ++i) monitoring.on_submitted(infected(7), t);
+  for (int i = 0; i < 3; ++i) monitoring.on_message_submitted(infected(7), t);
   EXPECT_FALSE(monitoring.is_flagged(7));
   EXPECT_EQ(monitoring.forced_min_gap(7, t), SimTime::zero());
-  monitoring.on_submitted(infected(7), t);  // 4th message in the window
+  monitoring.on_message_submitted(infected(7), t);  // 4th message in the window
   EXPECT_TRUE(monitoring.is_flagged(7));
   EXPECT_EQ(monitoring.forced_min_gap(7, t), SimTime::minutes(15.0));
   EXPECT_EQ(monitoring.flagged_count(), 1u);
@@ -275,9 +334,9 @@ TEST(Monitoring, CountsCleanMessagesToo) {
   config.window_message_threshold = 2;
   Monitoring monitoring(config);
   SimTime t = SimTime::minutes(1.0);
-  monitoring.on_submitted(clean(7), t);
-  monitoring.on_submitted(clean(7), t);
-  monitoring.on_submitted(clean(7), t);
+  monitoring.on_message_submitted(clean(7), t);
+  monitoring.on_message_submitted(clean(7), t);
+  monitoring.on_message_submitted(clean(7), t);
   EXPECT_TRUE(monitoring.is_flagged(7)) << "monitoring cannot tell infected from clean";
 }
 
@@ -287,8 +346,8 @@ TEST(Monitoring, WindowResetUnflagsWhenNotPermanent) {
   config.observation_window = SimTime::hours(1.0);
   config.flag_is_permanent = false;
   Monitoring monitoring(config);
-  monitoring.on_submitted(infected(7), SimTime::minutes(10.0));
-  monitoring.on_submitted(infected(7), SimTime::minutes(11.0));
+  monitoring.on_message_submitted(infected(7), SimTime::minutes(10.0));
+  monitoring.on_message_submitted(infected(7), SimTime::minutes(11.0));
   EXPECT_TRUE(monitoring.is_flagged(7));
   // Next window: the flag clears.
   EXPECT_EQ(monitoring.forced_min_gap(7, SimTime::minutes(70.0)), SimTime::zero());
@@ -299,8 +358,8 @@ TEST(Monitoring, PermanentFlagSurvivesWindows) {
   config.window_message_threshold = 1;
   config.observation_window = SimTime::hours(1.0);
   Monitoring monitoring(config);
-  monitoring.on_submitted(infected(7), SimTime::minutes(10.0));
-  monitoring.on_submitted(infected(7), SimTime::minutes(11.0));
+  monitoring.on_message_submitted(infected(7), SimTime::minutes(10.0));
+  monitoring.on_message_submitted(infected(7), SimTime::minutes(11.0));
   EXPECT_EQ(monitoring.forced_min_gap(7, SimTime::hours(50.0)), config.forced_wait);
 }
 
@@ -309,7 +368,7 @@ TEST(Monitoring, PerPhoneIsolation) {
   config.window_message_threshold = 2;
   Monitoring monitoring(config);
   SimTime t = SimTime::minutes(1.0);
-  for (int i = 0; i < 5; ++i) monitoring.on_submitted(infected(1), t);
+  for (int i = 0; i < 5; ++i) monitoring.on_message_submitted(infected(1), t);
   EXPECT_TRUE(monitoring.is_flagged(1));
   EXPECT_FALSE(monitoring.is_flagged(2));
   EXPECT_FALSE(monitoring.is_blocked(1, t)) << "monitoring never blocks outright";
@@ -332,10 +391,10 @@ TEST(Blacklist, BlocksAtThreshold) {
   config.message_threshold = 3;
   Blacklist blacklist(config);
   SimTime t = SimTime::minutes(1.0);
-  blacklist.on_submitted(infected(5), t);
-  blacklist.on_submitted(infected(5), t);
+  blacklist.on_message_submitted(infected(5), t);
+  blacklist.on_message_submitted(infected(5), t);
   EXPECT_FALSE(blacklist.is_blocked(5, t));
-  blacklist.on_submitted(infected(5), t);
+  blacklist.on_message_submitted(infected(5), t);
   EXPECT_TRUE(blacklist.is_blocked(5, t));
   EXPECT_TRUE(blacklist.is_blacklisted(5));
   EXPECT_EQ(blacklist.blacklisted_count(), 1u);
@@ -346,7 +405,7 @@ TEST(Blacklist, IgnoresCleanMessages) {
   config.message_threshold = 1;
   Blacklist blacklist(config);
   SimTime t = SimTime::minutes(1.0);
-  for (int i = 0; i < 10; ++i) blacklist.on_submitted(clean(5), t);
+  for (int i = 0; i < 10; ++i) blacklist.on_message_submitted(clean(5), t);
   EXPECT_FALSE(blacklist.is_blacklisted(5)) << "blacklist counts only suspected messages";
 }
 
@@ -361,13 +420,13 @@ TEST(Blacklist, InvalidRecipientsStillCount) {
   m.recipients = {{0, false}};
   m.infected = true;
   SimTime t = SimTime::minutes(1.0);
-  blacklist.on_submitted(m, t);
-  blacklist.on_submitted(m, t);
+  blacklist.on_message_submitted(m, t);
+  blacklist.on_message_submitted(m, t);
   EXPECT_TRUE(blacklist.is_blacklisted(5));
 }
 
 TEST(Blacklist, NeverImposesGap) {
-  Blacklist blacklist(BlacklistConfig{});
+  Blacklist blacklist{BlacklistConfig{}};
   EXPECT_EQ(blacklist.forced_min_gap(1, SimTime::zero()), SimTime::zero());
 }
 
@@ -379,7 +438,7 @@ TEST(Blacklist, MultiRecipientMessageCountsOnce) {
   burst.sender = 5;
   burst.infected = true;
   for (net::PhoneId i = 0; i < 100; ++i) burst.recipients.push_back({i + 10, true});
-  blacklist.on_submitted(burst, SimTime::zero());
+  blacklist.on_message_submitted(burst, SimTime::zero());
   EXPECT_FALSE(blacklist.is_blacklisted(5))
       << "Virus 2's evasion: 100 recipients ride one counted message";
 }
@@ -387,6 +446,92 @@ TEST(Blacklist, MultiRecipientMessageCountsOnce) {
 TEST(Blacklist, ConfigValidation) {
   BlacklistConfig config;
   config.message_threshold = 0;
+  EXPECT_FALSE(config.validate().ok());
+}
+
+TEST(RateLimiter, HoldsUntilWindowRollsOver) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 3;
+  config.window = SimTime::hours(1.0);
+  RateLimiter limiter(config);
+  SimTime t = SimTime::minutes(10.0);
+  for (int i = 0; i < 2; ++i) limiter.on_message_submitted(infected(5), t);
+  EXPECT_FALSE(limiter.is_at_cap(5, t));
+  EXPECT_EQ(limiter.forced_min_gap(5, t), SimTime::zero());
+  limiter.on_message_submitted(infected(5), t);  // 3rd: quota exhausted
+  EXPECT_TRUE(limiter.is_at_cap(5, t));
+  // Gap from the last send (t=10min) to the window boundary (60min).
+  EXPECT_EQ(limiter.forced_min_gap(5, t), SimTime::minutes(50.0));
+  // Next window: fresh quota.
+  SimTime next = SimTime::minutes(70.0);
+  EXPECT_FALSE(limiter.is_at_cap(5, next));
+  EXPECT_EQ(limiter.forced_min_gap(5, next), SimTime::zero());
+  EXPECT_EQ(limiter.phones_limited(), 1u);
+  EXPECT_EQ(limiter.windows_capped(), 1u);
+}
+
+TEST(RateLimiter, NeverBlocksOutright) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 1;
+  RateLimiter limiter(config);
+  SimTime t = SimTime::minutes(1.0);
+  for (int i = 0; i < 10; ++i) limiter.on_message_submitted(infected(5), t);
+  EXPECT_FALSE(limiter.is_blocked(5, t)) << "rate limiting holds, never cuts service";
+}
+
+TEST(RateLimiter, PerPhoneQuotas) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 2;
+  RateLimiter limiter(config);
+  SimTime t = SimTime::minutes(5.0);
+  limiter.on_message_submitted(infected(1), t);
+  limiter.on_message_submitted(infected(1), t);
+  EXPECT_TRUE(limiter.is_at_cap(1, t));
+  EXPECT_FALSE(limiter.is_at_cap(2, t));
+  EXPECT_EQ(limiter.forced_min_gap(2, t), SimTime::zero());
+}
+
+TEST(RateLimiter, CountsCleanTrafficToo) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 2;
+  RateLimiter limiter(config);
+  SimTime t = SimTime::minutes(5.0);
+  limiter.on_message_submitted(clean(1), t);
+  limiter.on_message_submitted(clean(1), t);
+  EXPECT_TRUE(limiter.is_at_cap(1, t)) << "the cap applies to all traffic, not just infected";
+}
+
+TEST(RateLimiter, TickPrunesStaleRecords) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 1;
+  config.window = SimTime::hours(1.0);
+  RateLimiter limiter(config);
+  limiter.on_message_submitted(infected(1), SimTime::minutes(5.0));
+  EXPECT_TRUE(limiter.is_at_cap(1, SimTime::minutes(5.0)));
+  limiter.on_tick(SimTime::hours(5.0));
+  // The record is gone, but the ever-limited metric survives pruning.
+  EXPECT_EQ(limiter.forced_min_gap(1, SimTime::hours(5.1)), SimTime::zero());
+  EXPECT_EQ(limiter.phones_limited(), 1u);
+}
+
+TEST(RateLimiter, ContributesExtrasMetrics) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 1;
+  RateLimiter limiter(config);
+  limiter.on_message_submitted(infected(3), SimTime::minutes(1.0));
+  ResponseMetrics metrics;
+  limiter.contribute_metrics(metrics);
+  ASSERT_EQ(metrics.extras.size(), 2u);
+  EXPECT_EQ(metrics.extras[0].first, "phones_rate_limited");
+  EXPECT_EQ(metrics.extras[0].second, 1u);
+}
+
+TEST(RateLimiter, ConfigValidation) {
+  RateLimiterConfig config;
+  config.max_messages_per_window = 0;
+  EXPECT_FALSE(config.validate().ok());
+  config = RateLimiterConfig{};
+  config.window = SimTime::zero();
   EXPECT_FALSE(config.validate().ok());
 }
 
@@ -409,6 +554,71 @@ TEST(ResponseSuite, ValidationAggregatesSubConfigs) {
   bad.message_threshold = 0;
   suite.blacklist = bad;
   EXPECT_FALSE(suite.validate().ok());
+}
+
+TEST(ResponseSuite, ConsentForSuiteHonorsEducation) {
+  ResponseSuiteConfig suite = no_response();
+  EXPECT_NEAR(consent_for_suite(suite, 0.40).eventual_acceptance_probability(), 0.40, 1e-9);
+  UserEducationConfig education;
+  education.eventual_acceptance = 0.10;
+  suite.user_education = education;
+  EXPECT_NEAR(consent_for_suite(suite, 0.40).eventual_acceptance_probability(), 0.10, 1e-9);
+}
+
+TEST(Registry, BuiltInsKeepPaperOrder) {
+  const ResponseRegistry& registry = ResponseRegistry::built_ins();
+  std::vector<std::string> names;
+  for (const MechanismInfo& info : registry.mechanisms()) names.emplace_back(info.name);
+  // Registration order is a contract: SimulationContext dispatches in
+  // this order, and the golden tests pin it down.
+  ASSERT_GE(names.size(), 7u);
+  EXPECT_EQ(names[0], "gateway_scan");
+  EXPECT_EQ(names[1], "gateway_detection");
+  EXPECT_EQ(names[2], "user_education");
+  EXPECT_EQ(names[3], "immunization");
+  EXPECT_EQ(names[4], "monitoring");
+  EXPECT_EQ(names[5], "blacklist");
+  EXPECT_EQ(names[6], "rate_limiter");
+}
+
+TEST(Registry, FindAndDuplicateRejection) {
+  const ResponseRegistry& built_ins = ResponseRegistry::built_ins();
+  ASSERT_NE(built_ins.find("blacklist"), nullptr);
+  EXPECT_EQ(built_ins.find("no_such_mechanism"), nullptr);
+
+  ResponseRegistry registry;
+  registry.register_mechanism(*built_ins.find("blacklist"));
+  EXPECT_THROW(registry.register_mechanism(*built_ins.find("blacklist")),
+               std::invalid_argument);
+}
+
+TEST(Registry, BuildEnabledSkipsStandingConditions) {
+  ResponseSuiteConfig suite = no_response();
+  suite.user_education = UserEducationConfig{};
+  suite.blacklist = BlacklistConfig{};
+  auto built = ResponseRegistry::built_ins().build_enabled(suite);
+  // user_education builds no event-hook object; only blacklist does.
+  ASSERT_EQ(built.size(), 1u);
+  EXPECT_STREQ(built[0]->name(), "blacklist");
+}
+
+TEST(Registry, MechanismNamesMatchRegistryKeys) {
+  // Every buildable mechanism must report the name it is registered
+  // under — the registry key doubles as ResponseMechanism::name().
+  ResponseSuiteConfig all;
+  all.gateway_scan = GatewayScanConfig{};
+  all.gateway_detection = GatewayDetectionConfig{};
+  all.user_education = UserEducationConfig{};
+  all.immunization = ImmunizationConfig{};
+  all.monitoring = MonitoringConfig{};
+  all.blacklist = BlacklistConfig{};
+  all.rate_limiter = RateLimiterConfig{};
+  for (const MechanismInfo& info : ResponseRegistry::built_ins().mechanisms()) {
+    auto mechanism = info.build(all);
+    if (mechanism) {
+      EXPECT_STREQ(mechanism->name(), info.name);
+    }
+  }
 }
 
 }  // namespace
