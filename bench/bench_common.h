@@ -38,7 +38,9 @@ inline NamedRun run_labelled(std::string label, const core::ScenarioConfig& conf
   return NamedRun{std::move(label), core::run_experiment(config, default_options())};
 }
 
-/// Prints the figure table plus per-curve summaries.
+/// Prints the figure table plus per-curve summaries and an engine
+/// throughput line per run (events processed and events/sec, from the
+/// run telemetry — wall-clock figures are machine-dependent).
 inline void print_figure(const std::string& title, const std::vector<NamedRun>& runs,
                          SimTime row_step) {
   std::vector<stats::LabelledSeries> curves;
@@ -47,6 +49,20 @@ inline void print_figure(const std::string& title, const std::vector<NamedRun>& 
   stats::print_figure_table(std::cout, title, curves, row_step);
   std::cout << "-- curve summaries --\n";
   stats::print_curve_summaries(std::cout, curves);
+  std::cout << "-- engine throughput --\n";
+  for (const auto& r : runs) {
+    const metrics::Snapshot& m = r.result.metrics;
+    auto events = static_cast<double>(m.counter_value("des.events_executed"));
+    double wall_ms = 0.0;
+    if (const metrics::HistogramSample* h = m.find_histogram("timing.replication_wall_ms")) {
+      wall_ms = h->sum;
+    }
+    char line[160];
+    std::snprintf(line, sizeof line, "  %-24s %.0f events, %.2fs cpu, %.0f events/s\n",
+                  r.label.c_str(), events, wall_ms / 1000.0,
+                  wall_ms > 0.0 ? events / (wall_ms / 1000.0) : 0.0);
+    std::cout << line;
+  }
 }
 
 /// One "paper says X, we measured Y" line.

@@ -10,6 +10,7 @@
 #include "config/results_io.h"
 #include "config/scenario_io.h"
 #include "core/runner.h"
+#include "metrics/report.h"
 #include "response/registry.h"
 #include "util/json.h"
 
@@ -26,12 +27,16 @@ usage:
       --threads N          worker threads (default: all cores; results identical)
       --curve-csv PATH     write the mean infection curve as CSV ('-' = stdout)
       --summary-json PATH  write the result summary as JSON ('-' = stdout)
+      --metrics PATH       write the telemetry report ('-' = stdout; a path
+                           ending in .csv selects CSV, anything else JSON;
+                           see docs/observability.md)
       --quiet              suppress the human-readable summary
   mvsim compare <a> <b> [...] [--reps N] [--seed N]
                            run several scenarios/presets, print a comparison table
   mvsim preset <name>      print a preset scenario as JSON (edit & rerun)
   mvsim presets            list available presets
   mvsim mechanisms         list available response mechanisms (scenario "responses" keys)
+  mvsim metrics-schema     print the telemetry metric catalogue as JSON
   mvsim validate <file>    parse and validate a scenario file
   mvsim help               this text
 )";
@@ -43,6 +48,7 @@ struct RunOptions {
   int threads = 0;
   std::string curve_csv;
   std::string summary_json;
+  std::string metrics_path;
   bool quiet = false;
 };
 
@@ -104,6 +110,10 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
       const std::string* v = next("--summary-json");
       if (v == nullptr) return 1;
       options.summary_json = *v;
+    } else if (arg == "--metrics") {
+      const std::string* v = next("--metrics");
+      if (v == nullptr) return 1;
+      options.metrics_path = *v;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -180,6 +190,24 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     std::ostringstream csv;
     config::write_curve_csv(result, csv);
     if (int rc = write_to(options.curve_csv, csv.str(), out, err); rc != 0) return rc;
+  }
+  if (!options.metrics_path.empty()) {
+    metrics::ReportInfo info;
+    info.scenario = scenario.name;
+    info.replications = options.replications;
+    info.threads = result.threads_used;
+    info.master_seed = options.seed;
+    std::string text;
+    bool csv = options.metrics_path.size() >= 4 &&
+               options.metrics_path.compare(options.metrics_path.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      std::ostringstream report;
+      metrics::write_report_csv(info, result.metrics, report);
+      text = report.str();
+    } else {
+      text = json::stringify(metrics::report_to_json(info, result.metrics), 2) + "\n";
+    }
+    if (int rc = write_to(options.metrics_path, text, out, err); rc != 0) return rc;
   }
   return 0;
 }
@@ -285,6 +313,11 @@ int command_mechanisms(std::ostream& out) {
   return 0;
 }
 
+int command_metrics_schema(std::ostream& out) {
+  out << json::stringify(metrics::schema_to_json(), 2) << '\n';
+  return 0;
+}
+
 int command_validate(const std::vector<std::string>& args, std::ostream& out,
                      std::ostream& err) {
   if (args.size() != 1) {
@@ -318,6 +351,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "preset") return command_preset(rest, out, err);
     if (command == "presets") return command_presets(out);
     if (command == "mechanisms") return command_mechanisms(out);
+    if (command == "metrics-schema") return command_metrics_schema(out);
     if (command == "validate") return command_validate(rest, out, err);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';

@@ -1,11 +1,15 @@
 #include "core/runner.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
+#include "metrics/registry.h"
 #include "rng/seed.h"
 
 namespace mvsim::core {
@@ -15,15 +19,50 @@ namespace {
 /// Runs replications [0, count) into `slots`, pulling indices from a
 /// shared counter. Each replication is a fully independent Simulation;
 /// the only shared state is the index counter and the output slot
-/// owned exclusively by the replication that claimed it.
+/// owned exclusively by the replication that claimed it. Each
+/// replication is wall-clock timed here (construction + run), feeding
+/// the runner's `timing.*` metrics.
 void run_worker(const ScenarioConfig& config, std::uint64_t master_seed, int count,
                 std::atomic<int>& next, std::vector<ReplicationResult>& slots) {
   for (;;) {
     int rep = next.fetch_add(1, std::memory_order_relaxed);
     if (rep >= count) return;
+    auto started = std::chrono::steady_clock::now();
     Simulation sim(config, rng::derive_seed(master_seed, static_cast<std::uint64_t>(rep)));
-    slots[static_cast<std::size_t>(rep)] = sim.run();
+    ReplicationResult result = sim.run();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    slots[static_cast<std::size_t>(rep)] = std::move(result);
   }
+}
+
+// Fixed bucket bounds so timing histograms from any two runs are
+// structurally mergeable (values themselves are machine-dependent).
+constexpr std::array<double, 7> kWallMsBounds = {1.0,    5.0,    25.0,   100.0,
+                                                 500.0,  2500.0, 10000.0};
+constexpr std::array<double, 7> kEventsPerSecBounds = {1e3, 1e4, 1e5, 5e5, 1e6, 5e6, 1e7};
+
+/// Folds the per-replication snapshots (in replication order) and the
+/// runner's own timing series into one experiment-level snapshot.
+metrics::Snapshot merge_metrics(const std::vector<ReplicationResult>& slots,
+                                double experiment_wall_seconds) {
+  metrics::Registry timing;
+  timing.counter("timing.replications").add(slots.size());
+  timing.gauge("timing.experiment_wall_ms")
+      .set(static_cast<std::uint64_t>(std::llround(experiment_wall_seconds * 1000.0)));
+  auto& wall_ms = timing.histogram("timing.replication_wall_ms", kWallMsBounds);
+  auto& throughput = timing.histogram("timing.events_per_sec", kEventsPerSecBounds);
+  for (const ReplicationResult& r : slots) {
+    wall_ms.record(r.wall_seconds * 1000.0);
+    if (r.wall_seconds > 0.0) {
+      throughput.record(static_cast<double>(r.metrics.counter_value("des.events_executed")) /
+                        r.wall_seconds);
+    }
+  }
+
+  metrics::Snapshot merged = timing.snapshot();
+  for (const ReplicationResult& r : slots) merged.merge(r.metrics);
+  return merged;
 }
 
 }  // namespace
@@ -36,6 +75,8 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
     throw std::invalid_argument("run_experiment: threads must be >= 0");
   }
   config.validate().throw_if_invalid();
+
+  auto experiment_started = std::chrono::steady_clock::now();
 
   int thread_count = options.threads;
   if (thread_count == 0) {
@@ -60,8 +101,14 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   }
 
   // Aggregation in replication order makes the result independent of
-  // the scheduling above.
+  // the scheduling above. Snapshot merging is commutative and
+  // associative, so the merged metrics are thread-count-invariant too.
+  double experiment_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - experiment_started)
+          .count();
   ExperimentResult result(stats::AggregatedSeries(config.sample_step, config.horizon));
+  result.metrics = merge_metrics(slots, experiment_wall_seconds);
+  result.threads_used = thread_count;
   for (ReplicationResult& r : slots) {
     result.curve.add_replication(r.infections);
     result.final_infections.add(static_cast<double>(r.total_infected));

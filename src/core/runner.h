@@ -28,6 +28,17 @@ struct ExperimentResult {
   /// aggregated by name in first-seen order. A replication that omits a
   /// name contributes 0 for it.
   std::vector<std::pair<std::string, stats::Accumulator>> response_extras;
+  /// Replication snapshots merged in replication order, plus the
+  /// runner's own `timing.*` series. All non-timing metrics are
+  /// deterministic in (config, master_seed) and thread-count-invariant;
+  /// `timing.*` is machine-dependent by nature (see
+  /// docs/observability.md).
+  metrics::Snapshot metrics;
+  /// Worker threads actually used (RunnerOptions::threads after
+  /// resolving 0 = hardware concurrency and clamping to the
+  /// replication count). Informational only — results never depend on
+  /// it.
+  int threads_used = 1;
   /// Per-replication results, in replication order.
   std::vector<ReplicationResult> replications;
 

@@ -236,7 +236,41 @@ ReplicationResult Simulation::result() const {
   r.bluetooth_push_attempts = bluetooth_push_attempts_;
   r.gateway = gateway_->counters();
   r.detected_at = context_->detector().detected_at();
+  r.metrics = collect_metrics();
   return r;
+}
+
+metrics::Snapshot Simulation::collect_metrics() const {
+  // Everything below is read-only: the registry is filled from
+  // counters the components kept while running, so collecting metrics
+  // can never perturb event order or RNG sequences (the golden tests
+  // rely on this).
+  metrics::Registry reg;
+  reg.counter("des.events_scheduled").add(scheduler_.scheduled_count());
+  reg.counter("des.events_executed").add(scheduler_.executed_count());
+  reg.counter("des.events_cancelled").add(scheduler_.cancelled_count());
+  reg.gauge("des.queue_depth_peak").set(scheduler_.peak_pending_count());
+
+  const net::GatewayCounters& gc = gateway_->counters();
+  reg.counter("net.messages_submitted").add(gc.messages_submitted);
+  reg.counter("net.infected_messages_submitted").add(gc.infected_messages_submitted);
+  reg.counter("net.messages_blocked").add(gc.messages_blocked);
+  reg.counter("net.recipients_delivered").add(gc.recipients_delivered);
+  reg.counter("net.invalid_recipients_dropped").add(gc.invalid_recipients_dropped);
+
+  reg.counter("core.infections").add(infected_count_);
+  reg.counter("core.phones_immunized_healthy").add(immunized_healthy_);
+  reg.counter("core.phones_patched_infected").add(patched_infected_);
+  reg.counter("core.bluetooth_push_attempts").add(bluetooth_push_attempts_);
+
+  std::uint64_t draws = topology_stream_.draw_count() + user_stream_.draw_count() +
+                        virus_stream_.draw_count() + net_stream_.draw_count() +
+                        response_stream_.draw_count() + mobility_stream_.draw_count() +
+                        proximity_stream_.draw_count();
+  reg.counter("rng.draws").add(draws);
+
+  context_->collect_metrics(reg);
+  return reg.snapshot();
 }
 
 }  // namespace mvsim::core

@@ -17,6 +17,7 @@
 #include "core/event_trace.h"
 #include "core/scenario.h"
 #include "core/simulation_context.h"
+#include "metrics/registry.h"
 #include "des/scheduler.h"
 #include "graph/contact_graph.h"
 #include "mobility/grid.h"
@@ -49,6 +50,13 @@ struct ReplicationResult {
   /// When the virus crossed the detectability threshold (infinity if
   /// never, e.g. a virus contained before reaching it).
   SimTime detected_at = SimTime::infinity();
+  /// Run telemetry (des/net/core/rng/response counters, see
+  /// docs/observability.md). Deterministic in (scenario, seed);
+  /// collection is observation-only and always on.
+  metrics::Snapshot metrics;
+  /// Wall-clock time this replication took (stamped by the runner;
+  /// 0 when the Simulation was driven directly).
+  double wall_seconds = 0.0;
 };
 
 class Simulation {
@@ -74,6 +82,9 @@ class Simulation {
   void run_until(SimTime t);
 
   [[nodiscard]] ReplicationResult result() const;
+
+  /// The replication's telemetry so far (also embedded in result()).
+  [[nodiscard]] metrics::Snapshot collect_metrics() const;
 
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
   [[nodiscard]] std::uint64_t infected_count() const { return infected_count_; }

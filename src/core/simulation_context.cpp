@@ -26,6 +26,7 @@ void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment&
   // dispatcher fans out to mechanisms in registration order.
   gateway.add_observer(*detector_);
   detector_->on_detected([this](SimTime at) {
+    count_dispatch(mechanisms_.size());
     for (auto& mechanism : mechanisms_) mechanism->on_detectability_crossed(at);
   });
   gateway.add_observer(*this);
@@ -49,16 +50,19 @@ void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment&
 
 void SimulationContext::schedule_tick(response::ResponseMechanism* mechanism, SimTime period) {
   scheduler_->schedule_after(period, [this, mechanism, period] {
+    count_dispatch(1);
     mechanism->on_tick(scheduler_->now());
     schedule_tick(mechanism, period);
   });
 }
 
 void SimulationContext::notify_infection(net::PhoneId phone, SimTime now) {
+  count_dispatch(mechanisms_.size());
   for (auto& mechanism : mechanisms_) mechanism->on_infection(phone, now);
 }
 
 void SimulationContext::notify_patch(net::PhoneId phone, SimTime now) {
+  count_dispatch(mechanisms_.size());
   for (auto& mechanism : mechanisms_) mechanism->on_patch(phone, now);
 }
 
@@ -76,16 +80,25 @@ response::ResponseMetrics SimulationContext::metrics() const {
 }
 
 void SimulationContext::on_submitted(const net::MmsMessage& message, SimTime now) {
+  count_dispatch(mechanisms_.size());
   for (auto& mechanism : mechanisms_) mechanism->on_message_submitted(message, now);
 }
 
 void SimulationContext::on_blocked(const net::MmsMessage& message, SimTime now) {
+  count_dispatch(mechanisms_.size());
   for (auto& mechanism : mechanisms_) mechanism->on_message_blocked(message, now);
 }
 
 void SimulationContext::on_delivered(net::PhoneId recipient, const net::MmsMessage& message,
                                      SimTime now) {
+  count_dispatch(mechanisms_.size());
   for (auto& mechanism : mechanisms_) mechanism->on_message_delivered(recipient, message, now);
+}
+
+void SimulationContext::collect_metrics(metrics::Registry& registry) const {
+  registry.counter("core.dispatch.events").add(dispatch_events_);
+  registry.counter("core.dispatch.hook_calls").add(dispatch_hook_calls_);
+  for (const auto& mechanism : mechanisms_) mechanism->on_metrics(registry);
 }
 
 }  // namespace mvsim::core

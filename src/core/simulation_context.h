@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "des/scheduler.h"
+#include "metrics/registry.h"
 #include "net/gateway.h"
 #include "response/detectability.h"
 #include "response/mechanism.h"
@@ -62,6 +63,11 @@ class SimulationContext final : public net::GatewayObserver {
   /// Aggregates every mechanism's contribute_metrics().
   [[nodiscard]] response::ResponseMetrics metrics() const;
 
+  /// Publishes the dispatch layer's own telemetry (`core.dispatch.*`)
+  /// and every mechanism's `response.<name>.*` counters (via the
+  /// on_metrics hook) into `registry`. Observation-only.
+  void collect_metrics(metrics::Registry& registry) const;
+
   // GatewayObserver — forwards gateway traffic to every mechanism.
   void on_submitted(const net::MmsMessage& message, SimTime now) override;
   void on_blocked(const net::MmsMessage& message, SimTime now) override;
@@ -70,11 +76,21 @@ class SimulationContext final : public net::GatewayObserver {
 
  private:
   void schedule_tick(response::ResponseMechanism* mechanism, SimTime period);
+  /// One dispatched event fanning out to `hooks` mechanism hooks.
+  void count_dispatch(std::size_t hooks) {
+    ++dispatch_events_;
+    dispatch_hook_calls_ += hooks;
+  }
 
   std::unique_ptr<response::DetectabilityMonitor> detector_;
   std::vector<std::unique_ptr<response::ResponseMechanism>> mechanisms_;
   des::Scheduler* scheduler_ = nullptr;
   bool attached_ = false;
+  // Telemetry (`core.dispatch.*`): events fanned out and total
+  // mechanism-hook invocations. Plain counters; never feed back into
+  // the simulation.
+  std::uint64_t dispatch_events_ = 0;
+  std::uint64_t dispatch_hook_calls_ = 0;
 };
 
 }  // namespace mvsim::core

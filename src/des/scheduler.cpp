@@ -30,6 +30,8 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   std::uint64_t generation = records_[id - 1].generation;
   queue_.push(HeapEntry{at, next_seq_++, id, generation});
   ++live_events_;
+  ++scheduled_;
+  if (live_events_ > peak_pending_) peak_pending_ = live_events_;
   return EventHandle{id, generation};
 }
 

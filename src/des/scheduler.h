@@ -75,6 +75,11 @@ class Scheduler {
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
   /// Total events cancelled since construction.
   [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_; }
+  /// Total events ever scheduled (executed + cancelled + pending).
+  [[nodiscard]] std::uint64_t scheduled_count() const { return scheduled_; }
+  /// High-water mark of pending_count() — the queue-depth peak the
+  /// telemetry report exposes as `des.queue_depth_peak`.
+  [[nodiscard]] std::size_t peak_pending_count() const { return peak_pending_; }
 
  private:
   struct Record {
@@ -106,8 +111,10 @@ class Scheduler {
   std::vector<std::uint64_t> free_;   // recycled record slots
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t peak_pending_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t scheduled_ = 0;
 };
 
 }  // namespace mvsim::des

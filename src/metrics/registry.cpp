@@ -1,0 +1,157 @@
+#include "metrics/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvsim::metrics {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)), buckets_(upper_bounds_.size() + 1, 0) {
+  if (!std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()) ||
+      std::adjacent_find(upper_bounds_.begin(), upper_bounds_.end()) != upper_bounds_.end()) {
+    throw std::invalid_argument("Histogram: upper bounds must be strictly increasing");
+  }
+}
+
+void Histogram::record(double value) {
+  auto it = std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+namespace {
+
+/// Merge-join two name-sorted sample vectors; `fold` combines two
+/// samples that share a name (into the first argument).
+template <typename Sample, typename Fold>
+void merge_sorted(std::vector<Sample>& into, const std::vector<Sample>& from, Fold fold) {
+  std::vector<Sample> merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (into[i].name < from[j].name) {
+      merged.push_back(std::move(into[i++]));
+    } else if (from[j].name < into[i].name) {
+      merged.push_back(from[j++]);
+    } else {
+      Sample combined = std::move(into[i++]);
+      fold(combined, from[j++]);
+      merged.push_back(std::move(combined));
+    }
+  }
+  for (; i < into.size(); ++i) merged.push_back(std::move(into[i]));
+  for (; j < from.size(); ++j) merged.push_back(from[j]);
+  into = std::move(merged);
+}
+
+}  // namespace
+
+void Snapshot::merge(const Snapshot& other) {
+  merge_sorted(counters, other.counters, [](CounterSample& a, const CounterSample& b) {
+    a.value += b.value;
+  });
+  merge_sorted(gauges, other.gauges, [](GaugeSample& a, const GaugeSample& b) {
+    a.value = std::max(a.value, b.value);
+    a.peak = std::max(a.peak, b.peak);
+  });
+  merge_sorted(histograms, other.histograms, [](HistogramSample& a, const HistogramSample& b) {
+    if (a.upper_bounds != b.upper_bounds) {
+      throw std::logic_error("Snapshot::merge: histogram '" + a.name +
+                             "' has mismatched bucket bounds");
+    }
+    for (std::size_t k = 0; k < a.bucket_counts.size(); ++k) {
+      a.bucket_counts[k] += b.bucket_counts[k];
+    }
+    if (b.count > 0) {
+      a.min = a.count == 0 ? b.min : std::min(a.min, b.min);
+      a.max = a.count == 0 ? b.max : std::max(a.max, b.max);
+    }
+    a.count += b.count;
+    a.sum += b.sum;
+  });
+}
+
+namespace {
+
+template <typename Sample>
+const Sample* find_by_name(const std::vector<Sample>& samples, std::string_view name) {
+  for (const Sample& sample : samples) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const CounterSample* Snapshot::find_counter(std::string_view name) const {
+  return find_by_name(counters, name);
+}
+
+const GaugeSample* Snapshot::find_gauge(std::string_view name) const {
+  return find_by_name(gauges, name);
+}
+
+const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
+  return find_by_name(histograms, name);
+}
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  const CounterSample* sample = find_counter(name);
+  return sample == nullptr ? 0 : sample->value;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) it = counters_.emplace(std::string(name), Counter()).first;
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) it = gauges_.emplace(std::string(name), Gauge()).first;
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      Histogram(std::vector<double>(upper_bounds.begin(), upper_bounds.end())))
+             .first;
+  } else if (!std::equal(upper_bounds.begin(), upper_bounds.end(),
+                         it->second.upper_bounds().begin(), it->second.upper_bounds().end())) {
+    throw std::invalid_argument("Registry::histogram: '" + std::string(name) +
+                                "' re-registered with different bounds");
+  }
+  return it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter.value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge.value(), gauge.peak()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram.upper_bounds(), histogram.bucket_counts(),
+                               histogram.count(), histogram.sum(), histogram.min(),
+                               histogram.max()});
+  }
+  return snap;
+}
+
+}  // namespace mvsim::metrics

@@ -1,0 +1,151 @@
+// Run-telemetry registry: counters, gauges and fixed-bucket histograms.
+//
+// One Registry belongs to one replication (and therefore to one worker
+// thread), so recording is plain unsynchronized arithmetic — the
+// "lock-free" design is per-thread ownership, not atomics. Aggregation
+// happens after the worker threads join: each replication's immutable
+// Snapshot is merged in replication order, which makes the merged
+// result independent of how replications were scheduled onto threads
+// (counters add, gauges take maxima, histogram buckets add — all
+// commutative and associative over the integers).
+//
+// Metrics are OBSERVATION-ONLY by contract: nothing in this module
+// draws randomness, schedules events or otherwise feeds back into the
+// simulation, so fixed-seed runs are bit-identical with and without a
+// `--metrics` report. The full name catalogue lives in
+// metrics::schema() (report.h) and docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvsim::metrics {
+
+/// Monotone event count. Merges by addition.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Level sample with a high-water mark. Merges by maximum (the merged
+/// gauge answers "how high did this ever get across replications").
+class Gauge {
+ public:
+  void set(std::uint64_t v) {
+    value_ = v;
+    if (v > peak_) peak_ = v;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] std::uint64_t peak() const { return peak_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// Fixed-bucket histogram: N strictly increasing upper bounds plus an
+/// implicit overflow bucket, so a value lands in the first bucket whose
+/// bound is >= value. Bounds are fixed at first registration; merging
+/// requires identical bounds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  /// 0 while empty (keeps JSON output finite).
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// upper_bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// ---- Immutable samples (what a Registry exports) ----
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+  friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::uint64_t value = 0;
+  std::uint64_t peak = 0;
+  friend bool operator==(const GaugeSample&, const GaugeSample&) = default;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;  // upper_bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  friend bool operator==(const HistogramSample&, const HistogramSample&) = default;
+};
+
+/// Value-type export of a Registry, sorted by metric name within each
+/// kind. This is what crosses thread boundaries and what the report
+/// writers consume.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Folds `other` in: counters add, gauges take maxima, histograms
+  /// add bucket-wise (throws std::logic_error on a bound mismatch).
+  /// Merging is commutative and associative, so the result is
+  /// independent of merge order — the property the runner relies on to
+  /// stay thread-count-invariant.
+  void merge(const Snapshot& other);
+
+  [[nodiscard]] const CounterSample* find_counter(std::string_view name) const;
+  [[nodiscard]] const GaugeSample* find_gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSample* find_histogram(std::string_view name) const;
+  /// 0 when the counter is absent.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Name -> instrument map. Lookups are O(log n); hot paths should
+/// resolve their instrument once and keep the reference (references are
+/// stable for the Registry's lifetime).
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Registers on first use; later calls must pass identical bounds
+  /// (throws std::invalid_argument otherwise).
+  Histogram& histogram(std::string_view name, std::span<const double> upper_bounds);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mvsim::metrics

@@ -1,5 +1,7 @@
 #include "response/blacklist.h"
 
+#include "metrics/registry.h"
+
 namespace mvsim::response {
 
 ValidationErrors BlacklistConfig::validate() const {
@@ -24,6 +26,10 @@ void Blacklist::on_message_submitted(const net::MmsMessage& message, SimTime) {
 
 void Blacklist::contribute_metrics(ResponseMetrics& metrics) const {
   metrics.phones_blacklisted += blacklisted_.size();
+}
+
+void Blacklist::on_metrics(metrics::Registry& registry) const {
+  registry.counter("response.blacklist.phones_blacklisted").add(blacklisted_.size());
 }
 
 }  // namespace mvsim::response

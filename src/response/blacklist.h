@@ -44,6 +44,7 @@ class Blacklist final : public ResponseMechanism, public net::OutgoingMmsPolicy 
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
   void contribute_metrics(ResponseMetrics& metrics) const override;
+  void on_metrics(metrics::Registry& registry) const override;
 
   // OutgoingMmsPolicy — blacklisting blocks, never merely delays.
   [[nodiscard]] bool is_blocked(net::PhoneId phone, SimTime) const override {

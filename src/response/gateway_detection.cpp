@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "metrics/registry.h"
+
 namespace mvsim::response {
 
 ValidationErrors GatewayDetectionConfig::validate() const {
@@ -34,6 +36,12 @@ net::DeliveryFilter::Decision GatewayDetection::inspect(const net::MmsMessage& m
   }
   ++missed_;
   return Decision::kDeliver;
+}
+
+void GatewayDetection::on_metrics(metrics::Registry& registry) const {
+  registry.counter("response.gateway_detection.activations").add(active_ ? 1 : 0);
+  registry.counter("response.gateway_detection.messages_blocked").add(stopped_);
+  registry.counter("response.gateway_detection.messages_missed").add(missed_);
 }
 
 }  // namespace mvsim::response

@@ -42,6 +42,7 @@ class GatewayDetection final : public ResponseMechanism, public net::DeliveryFil
   void on_build(BuildContext& context) override;
   void on_detectability_crossed(SimTime now) override;
   [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }
+  void on_metrics(metrics::Registry& registry) const override;
 
   // DeliveryFilter
   [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "metrics/registry.h"
+
 namespace mvsim::response {
 
 ValidationErrors GatewayScanConfig::validate() const {
@@ -31,6 +33,11 @@ net::DeliveryFilter::Decision GatewayScan::inspect(const net::MmsMessage& messag
   if (!active_ || !message.infected) return Decision::kDeliver;
   ++stopped_;
   return Decision::kBlock;
+}
+
+void GatewayScan::on_metrics(metrics::Registry& registry) const {
+  registry.counter("response.gateway_scan.activations").add(active_ ? 1 : 0);
+  registry.counter("response.gateway_scan.messages_blocked").add(stopped_);
 }
 
 }  // namespace mvsim::response

@@ -39,6 +39,7 @@ class GatewayScan final : public ResponseMechanism, public net::DeliveryFilter {
   void on_build(BuildContext& context) override;
   void on_detectability_crossed(SimTime now) override;
   [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }
+  void on_metrics(metrics::Registry& registry) const override;
 
   // DeliveryFilter
   [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "metrics/registry.h"
+
 namespace mvsim::response {
 
 ValidationErrors ImmunizationConfig::validate() const {
@@ -51,6 +53,11 @@ void Immunization::begin_deployment() {
       ++applied_;
     });
   }
+}
+
+void Immunization::on_metrics(metrics::Registry& registry) const {
+  registry.counter("response.immunization.deployments").add(started_ ? 1 : 0);
+  registry.counter("response.immunization.patches_applied").add(applied_);
 }
 
 }  // namespace mvsim::response

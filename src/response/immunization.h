@@ -51,6 +51,7 @@ class Immunization final : public ResponseMechanism {
   /// nothing) and its apply_patch callback — both must be set.
   void on_build(BuildContext& context) override;
   void on_detectability_crossed(SimTime now) override;
+  void on_metrics(metrics::Registry& registry) const override;
 
  private:
   void begin_deployment();

@@ -24,6 +24,10 @@
 #include "rng/stream.h"
 #include "util/sim_time.h"
 
+namespace mvsim::metrics {
+class Registry;
+}
+
 namespace mvsim::response {
 
 class DetectabilityMonitor;
@@ -110,6 +114,14 @@ class ResponseMechanism {
 
   /// Add this mechanism's counters to the replication result.
   virtual void contribute_metrics(ResponseMetrics& metrics) const { (void)metrics; }
+
+  /// Publish this mechanism's runtime counters into the telemetry
+  /// registry under `response.<name()>.*`. Called once per replication
+  /// when the result is collected; register every counter the
+  /// mechanism owns even if it is still zero, so the emitted set of
+  /// names depends only on which mechanisms are enabled. Names must be
+  /// listed in metrics::schema() and docs/observability.md.
+  virtual void on_metrics(metrics::Registry& registry) const { (void)registry; }
 };
 
 }  // namespace mvsim::response

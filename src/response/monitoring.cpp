@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "metrics/registry.h"
+
 namespace mvsim::response {
 
 ValidationErrors MonitoringConfig::validate() const {
@@ -44,6 +46,10 @@ bool Monitoring::is_flagged(net::PhoneId phone) const {
 
 void Monitoring::contribute_metrics(ResponseMetrics& metrics) const {
   metrics.phones_flagged += flagged_total_;
+}
+
+void Monitoring::on_metrics(metrics::Registry& registry) const {
+  registry.counter("response.monitoring.phones_flagged").add(flagged_total_);
 }
 
 SimTime Monitoring::forced_min_gap(net::PhoneId phone, SimTime now) const {

@@ -56,6 +56,7 @@ class RateLimiter final : public ResponseMechanism, public net::OutgoingMmsPolic
   [[nodiscard]] SimTime tick_period() const override { return config_.window; }
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
   void contribute_metrics(ResponseMetrics& metrics) const override;
+  void on_metrics(metrics::Registry& registry) const override;
 
   // OutgoingMmsPolicy — holds until the window rolls over, never cuts.
   [[nodiscard]] bool is_blocked(net::PhoneId, SimTime) const override { return false; }

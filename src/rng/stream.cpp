@@ -25,6 +25,7 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
 }
 
 Xoshiro256::result_type Xoshiro256::operator()() {
+  ++draws_;
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];

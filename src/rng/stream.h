@@ -30,8 +30,13 @@ class Xoshiro256 {
   /// to verify stream-splitting never overlaps in practice.
   void jump();
 
+  /// Raw outputs drawn via operator() since construction (jump() does
+  /// not count). Telemetry only; counting never perturbs the sequence.
+  [[nodiscard]] std::uint64_t draw_count() const { return draws_; }
+
  private:
   std::uint64_t s_[4];
+  std::uint64_t draws_ = 0;
 };
 
 /// High-level sampler facade over Xoshiro256.
@@ -74,6 +79,9 @@ class Stream {
   /// Sample k distinct indices from [0, n) (k <= n), order randomized.
   [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                                       std::uint64_t k);
+
+  /// Raw engine outputs this stream has consumed (telemetry).
+  [[nodiscard]] std::uint64_t draw_count() const { return engine_.draw_count(); }
 
   [[nodiscard]] Xoshiro256& engine() { return engine_; }
 

@@ -10,6 +10,8 @@
 #include "cli/cli.h"
 #include "cli/preset_registry.h"
 #include "config/scenario_io.h"
+#include "metrics/report.h"
+#include "util/json.h"
 
 namespace mvsim::cli {
 namespace {
@@ -208,6 +210,56 @@ TEST(Cli, RunThreadsFlagParses) {
   EXPECT_EQ(invoke({"run", path, "--threads", "many"}).code, 1);
   EXPECT_EQ(invoke({"run", path, "--threads", "9999"}).code, 1);
   std::remove(path.c_str());
+}
+
+TEST(Cli, RunEmitsMetricsJsonToStdout) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"run", path, "--reps", "2", "--quiet", "--metrics", "-"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  json::Value doc = json::parse(r.out);
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(root.at("scenario").as_string(), "cli-test");
+  EXPECT_EQ(root.at("replications").as_number(), 2.0);
+  // Every emitted metric name must be in the documented catalogue.
+  for (const auto& [name, value] : root.at("counters").as_object().entries()) {
+    EXPECT_NE(metrics::schema_find(name), nullptr) << name;
+  }
+  for (const auto& [name, value] : root.at("gauges").as_object().entries()) {
+    EXPECT_NE(metrics::schema_find(name), nullptr) << name;
+  }
+  for (const auto& [name, value] : root.at("histograms").as_object().entries()) {
+    EXPECT_NE(metrics::schema_find(name), nullptr) << name;
+  }
+  EXPECT_GT(root.at("derived").as_object().at("events_processed").as_number(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunWritesMetricsCsvFile) {
+  std::string scenario_path = write_small_scenario();
+  std::string metrics_path = ::testing::TempDir() + "/mvsim_cli_metrics.csv";
+  CliResult r =
+      invoke({"run", scenario_path, "--reps", "2", "--quiet", "--metrics", metrics_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream file(metrics_path);
+  ASSERT_TRUE(file.good());
+  std::string header;
+  std::getline(file, header);
+  EXPECT_EQ(header, "metric,kind,field,value");
+  std::remove(scenario_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, MetricsSchemaMatchesLibraryCatalogue) {
+  CliResult r = invoke({"metrics-schema"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out, json::stringify(metrics::schema_to_json(), 2) + "\n");
+}
+
+TEST(Cli, UsageMentionsMetricsSurface) {
+  CliResult r = invoke({"help"});
+  EXPECT_NE(r.out.find("--metrics"), std::string::npos);
+  EXPECT_NE(r.out.find("metrics-schema"), std::string::npos);
 }
 
 TEST(Cli, ValidateAcceptsGoodFile) {

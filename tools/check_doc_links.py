@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Check relative Markdown links across the repository.
+
+Walks every tracked *.md file, extracts inline links, and fails when a
+relative link points at a file or directory that does not exist (so
+docs cannot silently drift as files move). External links (http/https/
+mailto) and pure in-page anchors are skipped; a `#fragment` suffix on a
+relative link is stripped before the existence check.
+
+Usage: python3 tools/check_doc_links.py [repo-root]
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Inline Markdown links: [text](target). Deliberately simple — the
+# repo's docs do not use reference-style links or angle brackets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                resolved = target.split("#", 1)[0]
+                if not resolved:
+                    continue
+                if resolved.startswith("/"):
+                    candidate = os.path.join(root, resolved.lstrip("/"))
+                else:
+                    candidate = os.path.join(os.path.dirname(path), resolved)
+                if not os.path.exists(candidate):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in markdown_files(root):
+        checked += 1
+        for lineno, target in check_file(path, root):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken relative link '{target}'")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
