@@ -1,0 +1,131 @@
+// MICRO: tracing-overhead microbenchmarks (google-benchmark).
+//
+// Not a paper figure — these quantify the cost of the opt-in causal
+// event trace so "observation-only" stays cheap in wall-clock terms
+// too: raw record() throughput, whole-replication cost with tracing
+// off / bounded / unbounded, and exporter throughput for both on-disk
+// formats.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/presets.h"
+#include "core/simulation.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace mvsim;
+
+core::ScenarioConfig bench_scenario() {
+  core::ScenarioConfig config = core::baseline_scenario(virus::virus1());
+  config.population = 500;
+  config.topology.mean_degree = 40.0;
+  config.horizon = SimTime::days(3.0);
+  return config;
+}
+
+trace::Event sample_event(std::uint64_t i) {
+  trace::Event event;
+  event.time = SimTime::minutes(static_cast<double>(i));
+  event.kind = trace::EventKind::kMessageDelivered;
+  event.phone = static_cast<trace::PhoneId>(i % 997);
+  event.peer = static_cast<trace::PhoneId>((i * 31) % 997);
+  event.message = i;
+  return event;
+}
+
+void BM_TraceRecord(benchmark::State& state) {
+  trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    buffer.record(sample_event(i++));
+    if (buffer.events().size() >= (1u << 20)) buffer.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_TraceRecordSaturated(benchmark::State& state) {
+  // Past the cap, record() only bumps the drop counter — the cost every
+  // event pays once a bounded capture fills up.
+  trace::TraceBuffer buffer(1);
+  buffer.record(sample_event(0));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    buffer.record(sample_event(i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordSaturated);
+
+/// Whole-replication cost: range(0) selects tracing off (0), bounded
+/// to 4096 events (1), or unbounded (2). Comparing the three isolates
+/// the end-to-end overhead of instrumentation.
+void BM_ReplicationTraced(benchmark::State& state) {
+  core::ScenarioConfig config = bench_scenario();
+  std::uint64_t seed = 42;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    trace::TraceBuffer buffer =
+        state.range(0) == 1 ? trace::TraceBuffer(4096) : trace::TraceBuffer::unbounded();
+    trace::TraceBuffer* trace = state.range(0) == 0 ? nullptr : &buffer;
+    core::Simulation sim(config, seed++, trace);
+    core::ReplicationResult result = sim.run();
+    benchmark::DoNotOptimize(result.total_infected);
+    events += buffer.recorded();
+  }
+  state.counters["traced_events"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ReplicationTraced)->Arg(0)->Arg(1)->Arg(2)
+    ->ArgNames({"mode"})  // 0 = off, 1 = bounded(4096), 2 = unbounded
+    ->Unit(benchmark::kMillisecond);
+
+trace::TraceBuffer recorded_replication() {
+  trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
+  core::Simulation sim(bench_scenario(), 42, &buffer);
+  (void)sim.run();
+  return buffer;
+}
+
+void BM_ExportJsonl(benchmark::State& state) {
+  trace::TraceBuffer buffer = recorded_replication();
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::write_jsonl(buffer, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buffer.events().size()));
+}
+BENCHMARK(BM_ExportJsonl)->Unit(benchmark::kMillisecond);
+
+void BM_ExportChromeTrace(benchmark::State& state) {
+  trace::TraceBuffer buffer = recorded_replication();
+  for (auto _ : state) {
+    std::ostringstream out;
+    trace::write_chrome_trace(buffer, out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buffer.events().size()));
+}
+BENCHMARK(BM_ExportChromeTrace)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeTree(benchmark::State& state) {
+  trace::TraceBuffer buffer = recorded_replication();
+  for (auto _ : state) {
+    trace::TreeStats stats = trace::analyze(buffer.events());
+    benchmark::DoNotOptimize(stats.infections);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buffer.events().size()));
+}
+BENCHMARK(BM_AnalyzeTree);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,22 +1,26 @@
 // Narrate one outbreak end to end, with uncertainty bands.
 //
-//   $ ./outbreak_timeline
+//   $ ./outbreak_timeline [trace.jsonl]
 //
 // Uses the two observability features the aggregate figures don't show:
-// the per-event trace (who got infected when, when the provider
+// the causal event trace (who infected whom and when, when the provider
 // detected the virus, when each patch landed) and quantile bands across
 // replications (the median trajectory and its 10-90% envelope — epidemic
-// curves are skewed, so the mean alone misleads).
+// curves are skewed, so the mean alone misleads). With a path argument
+// the traced replication is also written as JSONL for `mvsim
+// trace-analyze` or ad-hoc scripting.
 #include <cstdio>
+#include <fstream>
 
-#include "core/event_trace.h"
 #include "core/presets.h"
 #include "core/simulation.h"
 #include "stats/quantiles.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 
 using namespace mvsim;
 
-int main() {
+int main(int argc, char** argv) {
   core::ScenarioConfig scenario = core::baseline_scenario(virus::virus1());
   response::ImmunizationConfig immunization;
   immunization.development_time = SimTime::hours(24.0);
@@ -25,38 +29,50 @@ int main() {
   scenario.horizon = SimTime::days(7.0);
 
   // --- One traced replication: the narrative. ---
-  core::EventTrace trace;
+  trace::TraceBuffer trace;
   core::Simulation sim(scenario, 2007, &trace);
   core::ReplicationResult result = sim.run();
 
   std::printf("One replication of '%s' (seed 2007):\n", scenario.name.c_str());
   std::printf("  t=0: patient zero infected\n");
   int shown = 0;
-  for (const core::TraceEvent& event : trace.events()) {
+  for (const trace::Event& event : trace.events()) {
     switch (event.kind) {
-      case core::TraceEventKind::kInfection:
+      case trace::EventKind::kInfection:
         if (++shown <= 5 && event.time > SimTime::zero()) {
-          std::printf("  t=%-8s phone %u infected (#%d)\n",
-                      event.time.to_string().c_str(), event.phone, shown);
+          std::printf("  t=%-8s phone %u infected by phone %u via %s (#%d)\n",
+                      event.time.to_string().c_str(), event.phone, event.peer,
+                      event.detail.c_str(), shown);
         }
         break;
-      case core::TraceEventKind::kVirusDetected:
+      case trace::EventKind::kDetectabilityCrossed:
         std::printf("  t=%-8s gateways cross the detectability threshold\n",
                     event.time.to_string().c_str());
         break;
-      case core::TraceEventKind::kPatchApplied:
       default:
         break;
     }
   }
-  SimTime first_patch = trace.first_time(core::TraceEventKind::kPatchApplied);
-  SimTime last_patch = trace.last_time(core::TraceEventKind::kPatchApplied);
+  SimTime first_patch = trace.first_time(trace::EventKind::kPatchApplied);
+  SimTime last_patch = trace.last_time(trace::EventKind::kPatchApplied);
   std::printf("  t=%-8s first immunization patch lands\n", first_patch.to_string().c_str());
   std::printf("  t=%-8s rollout complete (%zu patches)\n", last_patch.to_string().c_str(),
-              trace.count(core::TraceEventKind::kPatchApplied));
+              trace.count(trace::EventKind::kPatchApplied));
   std::printf("  final: %lu phones infected (%zu infection events traced)\n\n",
               static_cast<unsigned long>(result.total_infected),
-              trace.count(core::TraceEventKind::kInfection));
+              trace.count(trace::EventKind::kInfection));
+
+  if (argc > 1) {
+    std::ofstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s for writing\n", argv[1]);
+      return 1;
+    }
+    trace::write_jsonl(trace, file);
+    std::printf("Traced replication written to %s (%zu events, JSONL);\n"
+                "inspect it with `mvsim trace-analyze %s`.\n\n",
+                argv[1], trace.events().size(), argv[1]);
+  }
 
   // --- Twenty replications: the uncertainty envelope. ---
   stats::QuantileSeries quantiles(SimTime::hours(6.0), scenario.horizon);

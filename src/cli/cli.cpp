@@ -3,8 +3,11 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "cli/preset_registry.h"
 #include "config/results_io.h"
@@ -12,6 +15,9 @@
 #include "core/runner.h"
 #include "metrics/report.h"
 #include "response/registry.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/json.h"
 
 namespace mvsim::cli {
@@ -30,9 +36,17 @@ usage:
       --metrics PATH       write the telemetry report ('-' = stdout; a path
                            ending in .csv selects CSV, anything else JSON;
                            see docs/observability.md)
+      --trace PATH         record one replication's causal event trace
+                           ('-' or a .jsonl path = JSONL, anything else =
+                           Chrome trace JSON, loadable in Perfetto)
+      --trace-rep N        which replication to trace (default 0)
+      --trace-cap N        trace event capacity (default 1048576; 0 = unbounded)
       --quiet              suppress the human-readable summary
   mvsim compare <a> <b> [...] [--reps N] [--seed N]
                            run several scenarios/presets, print a comparison table
+  mvsim trace-analyze <file>
+                           transmission-tree report from a --trace export
+                           (generations, effective R, per-mechanism blocks)
   mvsim preset <name>      print a preset scenario as JSON (edit & rerun)
   mvsim presets            list available presets
   mvsim mechanisms         list available response mechanisms (scenario "responses" keys)
@@ -49,6 +63,9 @@ struct RunOptions {
   std::string curve_csv;
   std::string summary_json;
   std::string metrics_path;
+  std::string trace_path;
+  int trace_replication = 0;
+  std::size_t trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   bool quiet = false;
 };
 
@@ -114,6 +131,29 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
       const std::string* v = next("--metrics");
       if (v == nullptr) return 1;
       options.metrics_path = *v;
+    } else if (arg == "--trace") {
+      const std::string* v = next("--trace");
+      if (v == nullptr) return 1;
+      options.trace_path = *v;
+    } else if (arg == "--trace-rep") {
+      const std::string* v = next("--trace-rep");
+      if (v == nullptr) return 1;
+      std::uint64_t rep = 0;
+      if (!parse_u64(*v, rep) || rep > 100000) {
+        err << "--trace-rep: expected a replication index, got '" << *v << "'\n";
+        return 1;
+      }
+      options.trace_replication = static_cast<int>(rep);
+    } else if (arg == "--trace-cap") {
+      const std::string* v = next("--trace-cap");
+      if (v == nullptr) return 1;
+      std::uint64_t cap = 0;
+      if (!parse_u64(*v, cap)) {
+        err << "--trace-cap: expected an event count (0 = unbounded), got '" << *v << "'\n";
+        return 1;
+      }
+      options.trace_capacity =
+          cap == 0 ? std::numeric_limits<std::size_t>::max() : static_cast<std::size_t>(cap);
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -159,6 +199,15 @@ int write_to(const std::string& path, const std::string& content, std::ostream& 
   return 0;
 }
 
+/// JSONL for '-' (streams line by line) and .jsonl paths; Chrome trace
+/// JSON for everything else.
+bool trace_path_is_jsonl(const std::string& path) {
+  if (path == "-") return true;
+  constexpr std::string_view kExt = ".jsonl";
+  return path.size() >= kExt.size() &&
+         path.compare(path.size() - kExt.size(), kExt.size(), kExt) == 0;
+}
+
 int command_run(const std::vector<std::string>& args, std::ostream& out, std::ostream& err) {
   RunOptions options;
   if (int rc = parse_run_options(args, options, err); rc != 0) return rc;
@@ -166,11 +215,23 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
   core::ScenarioConfig scenario;
   if (int rc = resolve_scenario(options.target, scenario, err); rc != 0) return rc;
 
+  if (options.trace_replication >= options.replications) {
+    err << "--trace-rep: replication " << options.trace_replication << " does not exist (only "
+        << options.replications << " replication(s))\n";
+    return 1;
+  }
+
+  std::unique_ptr<trace::TraceBuffer> trace_buffer;
   core::RunnerOptions runner;
   runner.replications = options.replications;
   runner.master_seed = options.seed;
   runner.keep_replications = false;
   runner.threads = options.threads;
+  if (!options.trace_path.empty()) {
+    trace_buffer = std::make_unique<trace::TraceBuffer>(options.trace_capacity);
+    runner.trace = trace_buffer.get();
+    runner.trace_replication = options.trace_replication;
+  }
   core::ExperimentResult result = core::run_experiment(scenario, runner);
 
   if (!options.quiet) {
@@ -209,7 +270,38 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     }
     if (int rc = write_to(options.metrics_path, text, out, err); rc != 0) return rc;
   }
+  if (trace_buffer != nullptr) {
+    std::ostringstream text;
+    if (trace_path_is_jsonl(options.trace_path)) {
+      trace::write_jsonl(*trace_buffer, text);
+    } else {
+      trace::write_chrome_trace(*trace_buffer, text);
+    }
+    if (int rc = write_to(options.trace_path, text.str(), out, err); rc != 0) return rc;
+    if (!options.quiet && trace_buffer->dropped() > 0) {
+      err << "trace: capacity " << trace_buffer->capacity() << " reached, dropped "
+          << trace_buffer->dropped() << " event(s); raise --trace-cap (0 = unbounded)\n";
+    }
+  }
   return 0;
+}
+
+int command_trace_analyze(const std::vector<std::string>& args, std::ostream& out,
+                          std::ostream& err) {
+  if (args.size() != 1) {
+    err << "trace-analyze: expected exactly one trace file (from `mvsim run --trace`)\n";
+    return 1;
+  }
+  try {
+    trace::LoadedTrace loaded = trace::read_trace_file(args[0]);
+    trace::TreeStats stats = trace::analyze(loaded.events);
+    stats.dropped = loaded.meta.dropped;
+    trace::write_report(stats, out);
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << '\n';
+    return 2;
+  }
 }
 
 int command_compare(const std::vector<std::string>& args, std::ostream& out,
@@ -348,6 +440,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
   try {
     if (command == "run") return command_run(rest, out, err);
     if (command == "compare") return command_compare(rest, out, err);
+    if (command == "trace-analyze") return command_trace_analyze(rest, out, err);
     if (command == "preset") return command_preset(rest, out, err);
     if (command == "presets") return command_presets(out);
     if (command == "mechanisms") return command_mechanisms(out);

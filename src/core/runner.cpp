@@ -22,13 +22,15 @@ namespace {
 /// owned exclusively by the replication that claimed it. Each
 /// replication is wall-clock timed here (construction + run), feeding
 /// the runner's `timing.*` metrics.
-void run_worker(const ScenarioConfig& config, std::uint64_t master_seed, int count,
+void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int count,
                 std::atomic<int>& next, std::vector<ReplicationResult>& slots) {
   for (;;) {
     int rep = next.fetch_add(1, std::memory_order_relaxed);
     if (rep >= count) return;
     auto started = std::chrono::steady_clock::now();
-    Simulation sim(config, rng::derive_seed(master_seed, static_cast<std::uint64_t>(rep)));
+    trace::TraceBuffer* trace = rep == options.trace_replication ? options.trace : nullptr;
+    Simulation sim(config, rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)),
+                   trace);
     ReplicationResult result = sim.run();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
@@ -74,6 +76,11 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   if (options.threads < 0) {
     throw std::invalid_argument("run_experiment: threads must be >= 0");
   }
+  if (options.trace != nullptr &&
+      (options.trace_replication < 0 || options.trace_replication >= options.replications)) {
+    throw std::invalid_argument(
+        "run_experiment: trace_replication must name one of the replications");
+  }
   config.validate().throw_if_invalid();
 
   auto experiment_started = std::chrono::steady_clock::now();
@@ -88,13 +95,13 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   std::vector<ReplicationResult> slots(static_cast<std::size_t>(options.replications));
   if (thread_count <= 1) {
     std::atomic<int> next{0};
-    run_worker(config, options.master_seed, options.replications, next, slots);
+    run_worker(config, options, options.replications, next, slots);
   } else {
     std::atomic<int> next{0};
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(thread_count));
     for (int t = 0; t < thread_count; ++t) {
-      workers.emplace_back(run_worker, std::cref(config), options.master_seed,
+      workers.emplace_back(run_worker, std::cref(config), std::cref(options),
                            options.replications, std::ref(next), std::ref(slots));
     }
     for (std::thread& worker : workers) worker.join();

@@ -55,6 +55,13 @@ struct RunnerOptions {
   /// afterwards, so the outcome is bit-identical for any thread count.
   /// 0 = use the hardware concurrency.
   int threads = 1;
+  /// When `trace` is non-null, the replication with this index records
+  /// its causal event stream into it. One replication, not all: a trace
+  /// is a microscope on a single run, and a shared buffer across
+  /// workers would interleave unrelated runs. Tracing is
+  /// observation-only — results are bit-identical with it on or off.
+  int trace_replication = 0;
+  trace::TraceBuffer* trace = nullptr;
 };
 
 /// Runs `options.replications` independent replications of `config`.

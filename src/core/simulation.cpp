@@ -26,7 +26,7 @@ enum StreamIndex : std::uint64_t {
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-                       EventTrace* trace)
+                       trace::TraceBuffer* trace)
     : config_(config),
       topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
       user_stream_(rng::derive_seed(replication_seed, kUserStream)),
@@ -43,9 +43,17 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
 
   gateway_ = std::make_unique<net::Gateway>(scheduler_, net_stream_,
                                             config_.delivery_delay_mean);
-  gateway_->set_delivery_callback([this](graph::PhoneId recipient, const net::MmsMessage&) {
-    phones_[recipient].receive_infected_message();
+  gateway_->set_delivery_callback([this](graph::PhoneId recipient, const net::MmsMessage& msg) {
+    phones_[recipient].receive_infected_message(
+        {msg.sender, msg.sequence, phone::InfectionChannel::kMms});
   });
+  if (trace_ != nullptr) {
+    // First observer on the gateway, so each submission's trace event
+    // precedes any mechanism reaction to it. Observers are passive —
+    // registering one more never perturbs RNG draws or event order.
+    recorder_ = std::make_unique<trace::GatewayRecorder>(*trace_);
+    gateway_->add_observer(*recorder_);
+  }
 
   build_phones();
   build_responses();
@@ -53,8 +61,12 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
   seed_patient_zero();
 
   if (trace_ != nullptr) {
-    context_->detector().on_detected(
-        [this](SimTime at) { trace_->record(at, TraceEventKind::kVirusDetected, 0); });
+    context_->detector().on_detected([this](SimTime at) {
+      trace::Event event;
+      event.time = at;
+      event.kind = trace::EventKind::kDetectabilityCrossed;
+      trace_->record(std::move(event));
+    });
   }
 }
 
@@ -79,7 +91,8 @@ void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
         graph::PhoneId victim = 0;
         if (proximity_grid_->sample_co_located(id, proximity_stream_, victim)) {
           ++bluetooth_push_attempts_;
-          phones_[victim].receive_infected_message();
+          phones_[victim].receive_infected_message(
+              {id, net::kInvalidMessageId, phone::InfectionChannel::kBluetooth});
         }
         schedule_bluetooth_scan(id);
       });
@@ -156,6 +169,7 @@ void Simulation::build_responses() {
   sending_env_.scheduler = &scheduler_;
   sending_env_.virus_stream = &virus_stream_;
   sending_env_.gateway = gateway_.get();
+  sending_env_.trace = trace_;
 
   response::BuildContext build;
   build.scheduler = &scheduler_;
@@ -163,6 +177,7 @@ void Simulation::build_responses() {
   build.patch_targets = &susceptible_ids_;
   build.apply_patch = [this](net::PhoneId id) { on_patch_applied(id); };
   build.population = config_.population;
+  build.trace = trace_;
   context_->attach(*gateway_, sending_env_, std::move(build));
 }
 
@@ -179,7 +194,17 @@ void Simulation::seed_patient_zero() {
 void Simulation::on_phone_infected(graph::PhoneId id) {
   ++infected_count_;
   infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
-  if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kInfection, id);
+  if (trace_ != nullptr) {
+    const phone::InfectionSource& source = phones_[id].infection_source();
+    trace::Event event;
+    event.time = scheduler_.now();
+    event.kind = trace::EventKind::kInfection;
+    event.phone = id;
+    event.peer = source.sender;
+    event.message = source.message;
+    event.detail = phone::to_string(source.channel);
+    trace_->record(std::move(event));
+  }
   context_->notify_infection(id, scheduler_.now());
 
   std::unique_ptr<virus::Targeter> targeter;
@@ -204,7 +229,13 @@ void Simulation::on_patch_applied(graph::PhoneId id) {
   bool was_patched = phones_[id].patched();
   phones_[id].apply_patch();
   if (was_patched) return;
-  if (trace_ != nullptr) trace_->record(scheduler_.now(), TraceEventKind::kPatchApplied, id);
+  if (trace_ != nullptr) {
+    trace::Event event;
+    event.time = scheduler_.now();
+    event.kind = trace::EventKind::kPatchApplied;
+    event.phone = id;
+    trace_->record(std::move(event));
+  }
   context_->notify_patch(id, scheduler_.now());
   if (was_infected) {
     ++patched_infected_;

@@ -14,7 +14,6 @@
 #include <string>
 #include <utility>
 
-#include "core/event_trace.h"
 #include "core/scenario.h"
 #include "core/simulation_context.h"
 #include "metrics/registry.h"
@@ -26,6 +25,8 @@
 #include "phone/phone.h"
 #include "rng/stream.h"
 #include "stats/time_series.h"
+#include "trace/recorder.h"
+#include "trace/trace.h"
 #include "virus/sending_process.h"
 
 namespace mvsim::core {
@@ -62,11 +63,15 @@ struct ReplicationResult {
 class Simulation {
  public:
   /// Validates `config`; the replication seed makes runs reproducible
-  /// and replications independent. When `trace` is non-null, every
-  /// infection/patch/detection event is recorded into it (the trace
-  /// must outlive the simulation).
+  /// and replications independent. When `trace` is non-null the whole
+  /// causal event stream — message sent/blocked/delivered, infection
+  /// (victim + infector + carrier message), patch, reboot, detectability
+  /// crossing, mechanism actions — is recorded into it (the buffer must
+  /// outlive the simulation). Tracing is observation-only: it never
+  /// draws randomness or schedules events, so traced and untraced runs
+  /// are bit-identical.
   Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-             EventTrace* trace = nullptr);
+             trace::TraceBuffer* trace = nullptr);
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -143,7 +148,10 @@ class Simulation {
   std::uint64_t patched_infected_ = 0;
   std::uint64_t immunized_healthy_ = 0;
   std::uint64_t bluetooth_push_attempts_ = 0;
-  EventTrace* trace_ = nullptr;  // non-owning, may be null
+  trace::TraceBuffer* trace_ = nullptr;  // non-owning, may be null
+  /// Turns gateway observer callbacks into trace events; only built
+  /// when trace_ is set.
+  std::unique_ptr<trace::GatewayRecorder> recorder_;
   bool ran_ = false;
 };
 

@@ -84,9 +84,10 @@ void SimulationContext::on_submitted(const net::MmsMessage& message, SimTime now
   for (auto& mechanism : mechanisms_) mechanism->on_message_submitted(message, now);
 }
 
-void SimulationContext::on_blocked(const net::MmsMessage& message, SimTime now) {
+void SimulationContext::on_blocked(const net::MmsMessage& message, const char* blocked_by,
+                                   SimTime now) {
   count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_message_blocked(message, now);
+  for (auto& mechanism : mechanisms_) mechanism->on_message_blocked(message, blocked_by, now);
 }
 
 void SimulationContext::on_delivered(net::PhoneId recipient, const net::MmsMessage& message,

@@ -70,7 +70,7 @@ class SimulationContext final : public net::GatewayObserver {
 
   // GatewayObserver — forwards gateway traffic to every mechanism.
   void on_submitted(const net::MmsMessage& message, SimTime now) override;
-  void on_blocked(const net::MmsMessage& message, SimTime now) override;
+  void on_blocked(const net::MmsMessage& message, const char* blocked_by, SimTime now) override;
   void on_delivered(net::PhoneId recipient, const net::MmsMessage& message,
                     SimTime now) override;
 

@@ -16,6 +16,12 @@ namespace mvsim::graph {
 
 using PhoneId = std::uint32_t;
 
+/// "No phone": phone id 0 is a real phone, so fields that may be
+/// unset (a trace event with no subject, an unknown infector) carry
+/// this sentinel instead. No simulated population ever reaches 2^32-1
+/// phones — ScenarioConfig validates far below that.
+inline constexpr PhoneId kInvalidPhoneId = 0xFFFF'FFFFu;
+
 class ContactGraph {
  public:
   /// An undirected edge; normalized so a <= b is not required on input.

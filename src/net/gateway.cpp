@@ -32,7 +32,7 @@ void Gateway::submit(MmsMessage message) {
   for (DeliveryFilter* filter : filters_) {
     if (filter->inspect(message, now) == DeliveryFilter::Decision::kBlock) {
       ++counters_.messages_blocked;
-      for (GatewayObserver* obs : observers_) obs->on_blocked(message, now);
+      for (GatewayObserver* obs : observers_) obs->on_blocked(message, filter->name(), now);
       return;
     }
   }

@@ -41,8 +41,13 @@ class GatewayObserver {
   /// A phone handed a message to the network (even if every recipient
   /// is an invalid number or a filter later blocks it).
   virtual void on_submitted(const MmsMessage& message, SimTime now) = 0;
-  /// A filter blocked the message.
-  virtual void on_blocked(const MmsMessage& message, SimTime now) { (void)message; (void)now; }
+  /// A filter blocked the message; `blocked_by` is the filter's name()
+  /// (the mechanism's registry name), valid only for the call's duration.
+  virtual void on_blocked(const MmsMessage& message, const char* blocked_by, SimTime now) {
+    (void)message;
+    (void)blocked_by;
+    (void)now;
+  }
   /// The message reached a valid recipient (once per recipient, at
   /// delivery time, after the transit delay).
   virtual void on_delivered(PhoneId recipient, const MmsMessage& message, SimTime now) {

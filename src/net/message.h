@@ -18,6 +18,12 @@
 namespace mvsim::net {
 
 using graph::PhoneId;
+using graph::kInvalidPhoneId;
+
+/// "No message": sequence numbers start at 0, so an unset message
+/// reference (e.g. a Bluetooth infection, which never transits the
+/// gateway) carries this sentinel.
+inline constexpr std::uint64_t kInvalidMessageId = 0xFFFF'FFFF'FFFF'FFFFull;
 
 /// One dialed destination of an MMS message.
 struct DialedRecipient {

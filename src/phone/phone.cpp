@@ -13,6 +13,16 @@ const char* to_string(HealthState state) {
   return "?";
 }
 
+const char* to_string(InfectionChannel channel) {
+  switch (channel) {
+    case InfectionChannel::kNone: return "none";
+    case InfectionChannel::kMms: return "mms";
+    case InfectionChannel::kBluetooth: return "bluetooth";
+    case InfectionChannel::kSeed: return "seed";
+  }
+  return "?";
+}
+
 Phone::Phone(PhoneId id, bool susceptible, const PhoneEnvironment* env)
     : id_(id), susceptible_(susceptible), env_(env) {
   if (env == nullptr || env->scheduler == nullptr || env->user_stream == nullptr ||
@@ -21,7 +31,7 @@ Phone::Phone(PhoneId id, bool susceptible, const PhoneEnvironment* env)
   }
 }
 
-void Phone::receive_infected_message() {
+void Phone::receive_infected_message(InfectionSource source) {
   ++received_count_;
   // Past the cutoff the acceptance probability is ~2^-cutoff: skip the
   // decision event entirely. This keeps long runs of aggressive viruses
@@ -33,21 +43,22 @@ void Phone::receive_infected_message() {
   // infected messages had been received when *this* one arrived.
   const int message_index = received_count_;
   SimTime read_delay = env_->user_stream->exponential(env_->read_delay_mean);
-  env_->scheduler->schedule_after(read_delay, [this, message_index] {
+  env_->scheduler->schedule_after(read_delay, [this, message_index, source] {
     --pending_decisions_;
     double p = env_->consent->acceptance_probability(message_index);
     if (env_->user_stream->bernoulli(p)) {
-      try_infect();
+      try_infect(source);
     }
   });
 }
 
-bool Phone::try_infect() {
+bool Phone::try_infect(const InfectionSource& source) {
   if (state_ != HealthState::kHealthy) return false;  // already infected or immunized
   if (!susceptible_) return false;                    // wrong platform for this virus
   if (patched_) return false;                         // defensive; patched implies immunized
   state_ = HealthState::kInfected;
   infected_at_ = env_->scheduler->now();
+  infection_source_ = source;
   if (env_->on_infected) env_->on_infected(id_);
   return true;
 }
@@ -64,6 +75,7 @@ bool Phone::force_infect() {
   if (state_ != HealthState::kHealthy || !susceptible_ || patched_) return false;
   state_ = HealthState::kInfected;
   infected_at_ = env_->scheduler->now();
+  infection_source_ = {net::kInvalidPhoneId, net::kInvalidMessageId, InfectionChannel::kSeed};
   if (env_->on_infected) env_->on_infected(id_);
   return true;
 }

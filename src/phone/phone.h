@@ -29,6 +29,25 @@ enum class HealthState : std::uint8_t {
 
 [[nodiscard]] const char* to_string(HealthState state);
 
+/// How an infection reached a phone.
+enum class InfectionChannel : std::uint8_t {
+  kNone,       ///< not infected (or provenance untracked)
+  kMms,        ///< accepted an infected MMS attachment
+  kBluetooth,  ///< proximity push (never transits the gateway)
+  kSeed,       ///< patient zero, force-infected at t=0
+};
+
+[[nodiscard]] const char* to_string(InfectionChannel channel);
+
+/// Provenance of one infection attempt: who sent the carrier, which
+/// gateway message it was, over which channel. Purely observational —
+/// infection mechanics never read it.
+struct InfectionSource {
+  PhoneId sender = net::kInvalidPhoneId;
+  std::uint64_t message = net::kInvalidMessageId;
+  InfectionChannel channel = InfectionChannel::kNone;
+};
+
 /// Shared environment for all phones of one simulation replication.
 struct PhoneEnvironment {
   des::Scheduler* scheduler = nullptr;
@@ -61,8 +80,10 @@ class Phone {
   [[nodiscard]] int pending_decisions() const { return pending_decisions_; }
 
   /// An infected MMS reached this phone's inbox: schedules the user's
-  /// accept/reject decision.
-  void receive_infected_message();
+  /// accept/reject decision. `source` is carried along purely for
+  /// provenance (who would have infected us, via what) and never
+  /// influences the decision.
+  void receive_infected_message(InfectionSource source = {});
 
   /// Immunization patch arrives (paper §3.2). Healthy -> kImmunized;
   /// infected phones stay infected but `propagation_stopped()` flips,
@@ -78,9 +99,12 @@ class Phone {
   bool force_infect();
 
   [[nodiscard]] SimTime infected_at() const { return infected_at_; }
+  /// Provenance of the successful infection; channel == kNone while the
+  /// phone is uninfected.
+  [[nodiscard]] const InfectionSource& infection_source() const { return infection_source_; }
 
  private:
-  bool try_infect();
+  bool try_infect(const InfectionSource& source);
 
   PhoneId id_;
   bool susceptible_;
@@ -90,6 +114,7 @@ class Phone {
   int received_count_ = 0;
   int pending_decisions_ = 0;
   SimTime infected_at_ = SimTime::infinity();
+  InfectionSource infection_source_;
 };
 
 }  // namespace mvsim::phone

@@ -1,6 +1,7 @@
 #include "response/blacklist.h"
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -14,14 +15,18 @@ Blacklist::Blacklist(const BlacklistConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
 }
 
-void Blacklist::on_message_submitted(const net::MmsMessage& message, SimTime) {
+void Blacklist::on_build(BuildContext& context) { trace_ = context.trace; }
+
+void Blacklist::on_message_submitted(const net::MmsMessage& message, SimTime now) {
   // Only virus traffic transits the simulated network, so every
   // infected message is a "suspected" one; clean traffic (none is
   // simulated) would not be counted.
   if (!message.infected) return;
   std::uint32_t& count = suspected_counts_[message.sender];
   ++count;
-  if (count >= config_.message_threshold) blacklisted_.insert(message.sender);
+  if (count >= config_.message_threshold && blacklisted_.insert(message.sender).second) {
+    trace::record_action(trace_, now, name(), "blacklisted", message.sender);
+  }
 }
 
 void Blacklist::contribute_metrics(ResponseMetrics& metrics) const {

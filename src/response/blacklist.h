@@ -41,6 +41,7 @@ class Blacklist final : public ResponseMechanism, public net::OutgoingMmsPolicy 
 
   // ResponseMechanism — counts suspected (infected) submissions only.
   [[nodiscard]] const char* name() const override { return "blacklist"; }
+  void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
   void contribute_metrics(ResponseMetrics& metrics) const override;
@@ -58,6 +59,7 @@ class Blacklist final : public ResponseMechanism, public net::OutgoingMmsPolicy 
   BlacklistConfig config_;
   std::unordered_map<net::PhoneId, std::uint32_t> suspected_counts_;
   std::unordered_set<net::PhoneId> blacklisted_;
+  trace::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace mvsim::response

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -21,11 +22,17 @@ GatewayDetection::GatewayDetection(const GatewayDetectionConfig& config) : confi
 void GatewayDetection::on_build(BuildContext& context) {
   scheduler_ = context.scheduler;
   stream_ = context.response_stream;
+  trace_ = context.trace;
 }
 
 void GatewayDetection::on_detectability_crossed(SimTime) {
   if (scheduler_ == nullptr) throw std::logic_error("GatewayDetection: on_build never ran");
-  scheduler_->schedule_after(config_.analysis_period, [this] { active_ = true; });
+  scheduler_->schedule_after(config_.analysis_period, [this] { activate(scheduler_->now()); });
+}
+
+void GatewayDetection::activate(SimTime now) {
+  active_ = true;
+  trace::record_action(trace_, now, name(), "analysis_complete");
 }
 
 net::DeliveryFilter::Decision GatewayDetection::inspect(const net::MmsMessage& message, SimTime) {

@@ -48,9 +48,12 @@ class GatewayDetection final : public ResponseMechanism, public net::DeliveryFil
   [[nodiscard]] Decision inspect(const net::MmsMessage& message, SimTime now) override;
 
  private:
+  void activate(SimTime now);
+
   GatewayDetectionConfig config_;
   des::Scheduler* scheduler_ = nullptr;
   rng::Stream* stream_ = nullptr;
+  trace::TraceBuffer* trace_ = nullptr;
   bool active_ = false;
   std::uint64_t stopped_ = 0;
   std::uint64_t missed_ = 0;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -17,7 +18,10 @@ GatewayScan::GatewayScan(const GatewayScanConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
 }
 
-void GatewayScan::on_build(BuildContext& context) { scheduler_ = context.scheduler; }
+void GatewayScan::on_build(BuildContext& context) {
+  scheduler_ = context.scheduler;
+  trace_ = context.trace;
+}
 
 void GatewayScan::on_detectability_crossed(SimTime) {
   if (scheduler_ == nullptr) throw std::logic_error("GatewayScan: on_build never ran");
@@ -27,6 +31,7 @@ void GatewayScan::on_detectability_crossed(SimTime) {
 void GatewayScan::activate(SimTime now) {
   active_ = true;
   activated_at_ = now;
+  trace::record_action(trace_, now, name(), "signature_active");
 }
 
 net::DeliveryFilter::Decision GatewayScan::inspect(const net::MmsMessage& message, SimTime) {

@@ -49,6 +49,7 @@ class GatewayScan final : public ResponseMechanism, public net::DeliveryFilter {
 
   GatewayScanConfig config_;
   des::Scheduler* scheduler_ = nullptr;
+  trace::TraceBuffer* trace_ = nullptr;
   bool active_ = false;
   SimTime activated_at_ = SimTime::infinity();
   std::uint64_t stopped_ = 0;

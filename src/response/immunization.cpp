@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -30,6 +31,7 @@ void Immunization::on_build(BuildContext& context) {
   stream_ = context.response_stream;
   targets_ = *context.patch_targets;
   apply_patch_ = context.apply_patch;
+  trace_ = context.trace;
 }
 
 void Immunization::on_detectability_crossed(SimTime) {
@@ -41,6 +43,7 @@ void Immunization::begin_deployment() {
   started_ = true;
   begins_at_ = scheduler_->now();
   ends_at_ = begins_at_ + config_.deployment_duration;
+  trace::record_action(trace_, begins_at_, name(), "rollout_started");
   // "The patch is rolled out to the entire phone population uniformly
   // over a period of time": each target gets an independent uniform
   // arrival offset in [0, deployment_duration].

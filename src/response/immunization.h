@@ -59,6 +59,7 @@ class Immunization final : public ResponseMechanism {
   ImmunizationConfig config_;
   des::Scheduler* scheduler_ = nullptr;
   rng::Stream* stream_ = nullptr;
+  trace::TraceBuffer* trace_ = nullptr;
   std::vector<net::PhoneId> targets_;
   std::function<void(net::PhoneId)> apply_patch_;
   bool started_ = false;

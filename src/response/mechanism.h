@@ -28,6 +28,10 @@ namespace mvsim::metrics {
 class Registry;
 }
 
+namespace mvsim::trace {
+class TraceBuffer;
+}
+
 namespace mvsim::response {
 
 class DetectabilityMonitor;
@@ -47,6 +51,10 @@ struct BuildContext {
   /// dissemination silenced.
   std::function<void(net::PhoneId)> apply_patch;
   std::uint32_t population = 0;
+  /// Event capture for this replication, or nullptr when tracing is
+  /// off. Observation-only: mechanisms may record state transitions
+  /// (see trace::record_action) but must never branch on it.
+  trace::TraceBuffer* trace = nullptr;
 };
 
 /// Counters mechanisms report into the replication result. Standard
@@ -74,9 +82,12 @@ class ResponseMechanism {
     (void)message;
     (void)now;
   }
-  /// A delivery filter blocked the message in transit.
-  virtual void on_message_blocked(const net::MmsMessage& message, SimTime now) {
+  /// A delivery filter blocked the message in transit; `blocked_by` is
+  /// that filter's registry name.
+  virtual void on_message_blocked(const net::MmsMessage& message, const char* blocked_by,
+                                  SimTime now) {
     (void)message;
+    (void)blocked_by;
     (void)now;
   }
   /// The message reached one valid recipient.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -20,6 +21,8 @@ Monitoring::Monitoring(const MonitoringConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
 }
 
+void Monitoring::on_build(BuildContext& context) { trace_ = context.trace; }
+
 std::int64_t Monitoring::window_index(SimTime now) const {
   return static_cast<std::int64_t>(std::floor(now / config_.observation_window));
 }
@@ -36,6 +39,7 @@ void Monitoring::on_message_submitted(const net::MmsMessage& message, SimTime no
   if (!rec.flagged && rec.count_in_window > config_.window_message_threshold) {
     rec.flagged = true;
     ++flagged_total_;
+    trace::record_action(trace_, now, name(), "flagged", message.sender);
   }
 }
 

@@ -55,6 +55,7 @@ class Monitoring final : public ResponseMechanism, public net::OutgoingMmsPolicy
 
   // ResponseMechanism — counts every submission.
   [[nodiscard]] const char* name() const override { return "monitoring"; }
+  void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }
   void contribute_metrics(ResponseMetrics& metrics) const override;
@@ -76,6 +77,7 @@ class Monitoring final : public ResponseMechanism, public net::OutgoingMmsPolicy
   MonitoringConfig config_;
   mutable std::unordered_map<net::PhoneId, PhoneRecord> records_;
   std::size_t flagged_total_ = 0;
+  trace::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace mvsim::response

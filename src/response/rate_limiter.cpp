@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "metrics/registry.h"
+#include "trace/trace.h"
 
 namespace mvsim::response {
 
@@ -17,6 +18,8 @@ ValidationErrors RateLimiterConfig::validate() const {
 RateLimiter::RateLimiter(const RateLimiterConfig& config) : config_(config) {
   config.validate().throw_if_invalid();
 }
+
+void RateLimiter::on_build(BuildContext& context) { trace_ = context.trace; }
 
 std::int64_t RateLimiter::window_index(SimTime now) const {
   return static_cast<std::int64_t>(std::floor(now / config_.window));
@@ -34,6 +37,7 @@ void RateLimiter::on_message_submitted(const net::MmsMessage& message, SimTime n
   if (rec.count_in_window == config_.max_messages_per_window) {
     ++windows_capped_;
     limited_phones_.insert(message.sender);
+    trace::record_action(trace_, now, name(), "window_capped", message.sender);
   }
 }
 

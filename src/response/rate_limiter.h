@@ -49,6 +49,7 @@ class RateLimiter final : public ResponseMechanism, public net::OutgoingMmsPolic
 
   // ResponseMechanism
   [[nodiscard]] const char* name() const override { return "rate_limiter"; }
+  void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   /// Prunes per-phone records from windows long past (memory hygiene
   /// over multi-day horizons).
@@ -77,6 +78,7 @@ class RateLimiter final : public ResponseMechanism, public net::OutgoingMmsPolic
   std::unordered_map<net::PhoneId, PhoneRecord> records_;
   std::unordered_set<net::PhoneId> limited_phones_;
   std::uint64_t windows_capped_ = 0;
+  trace::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace mvsim::response

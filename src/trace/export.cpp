@@ -1,0 +1,242 @@
+#include "trace/export.h"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace mvsim::trace {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+/// Chrome-trace track (tid) per event family; purely presentational.
+int chrome_track(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMessageSent:
+    case EventKind::kMessageBlocked:
+    case EventKind::kMessageDelivered:
+      return 1;
+    case EventKind::kInfection: return 2;
+    case EventKind::kPatchApplied: return 3;
+    case EventKind::kDetectabilityCrossed:
+    case EventKind::kMechanismAction:
+      return 4;
+    case EventKind::kReboot: return 5;
+  }
+  return 0;
+}
+
+const char* chrome_track_name(int tid) {
+  switch (tid) {
+    case 1: return "messages";
+    case 2: return "infections";
+    case 3: return "patches";
+    case 4: return "mechanisms";
+    case 5: return "reboots";
+  }
+  return "?";
+}
+
+std::uint64_t exported_capacity(const TraceBuffer& buffer) {
+  // SIZE_MAX means "unbounded"; the formats encode that as 0 so the
+  // number survives the double-typed JSON layer.
+  return buffer.capacity() == std::numeric_limits<std::size_t>::max()
+             ? 0
+             : static_cast<std::uint64_t>(buffer.capacity());
+}
+
+/// The event's payload fields, sentinels omitted. Shared by both
+/// formats so a round-trip through either reconstructs the same Event.
+json::Object event_fields(const Event& event) {
+  json::Object fields;
+  fields.set("t", json::Value(event.time.to_minutes()));
+  fields.set("kind", json::Value(to_string(event.kind)));
+  if (event.phone != kInvalidPhoneId) fields.set("phone", json::Value(event.phone));
+  if (event.peer != kInvalidPhoneId) fields.set("peer", json::Value(event.peer));
+  if (event.message != kInvalidMessageId) {
+    fields.set("msg", json::Value(static_cast<double>(event.message)));
+  }
+  if (event.value != 0) fields.set("value", json::Value(event.value));
+  if (!event.detail.empty()) fields.set("detail", json::Value(event.detail));
+  return fields;
+}
+
+Event event_from_fields(const json::Object& fields, const char* where) {
+  Event event;
+  const json::Value* t = fields.find("t");
+  const json::Value* kind = fields.find("kind");
+  if (t == nullptr || kind == nullptr) {
+    throw std::runtime_error(std::string(where) + ": event record lacks \"t\" or \"kind\"");
+  }
+  event.time = SimTime::minutes(t->as_number());
+  if (!event_kind_from_string(kind->as_string(), event.kind)) {
+    throw std::runtime_error(std::string(where) + ": unknown event kind '" +
+                             kind->as_string() + "'");
+  }
+  if (const json::Value* v = fields.find("phone")) {
+    event.phone = static_cast<PhoneId>(v->as_number());
+  }
+  if (const json::Value* v = fields.find("peer")) {
+    event.peer = static_cast<PhoneId>(v->as_number());
+  }
+  if (const json::Value* v = fields.find("msg")) {
+    event.message = static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const json::Value* v = fields.find("value")) {
+    event.value = static_cast<std::uint32_t>(v->as_number());
+  }
+  if (const json::Value* v = fields.find("detail")) event.detail = v->as_string();
+  return event;
+}
+
+TraceMeta meta_from_object(const json::Object& object) {
+  TraceMeta meta;
+  if (const json::Value* v = object.find("capacity")) {
+    meta.capacity = static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const json::Value* v = object.find("dropped")) {
+    meta.dropped = static_cast<std::uint64_t>(v->as_number());
+  }
+  return meta;
+}
+
+LoadedTrace read_jsonl(const std::string& text) {
+  LoadedTrace loaded;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::Value value = json::parse(line);
+    const json::Object& object = value.as_object();
+    const json::Value* type = object.find("type");
+    if (type != nullptr && type->as_string() == "mvsim-trace") {
+      loaded.meta = meta_from_object(object);
+      continue;
+    }
+    loaded.events.push_back(
+        event_from_fields(object, ("jsonl line " + std::to_string(lineno)).c_str()));
+  }
+  return loaded;
+}
+
+LoadedTrace read_chrome(const json::Object& document) {
+  LoadedTrace loaded;
+  const json::Value* events = document.find("traceEvents");
+  if (events == nullptr) {
+    throw std::runtime_error("chrome trace: document lacks \"traceEvents\"");
+  }
+  if (const json::Value* other = document.find("otherData")) {
+    loaded.meta = meta_from_object(other->as_object());
+  }
+  for (const json::Value& entry : events->as_array()) {
+    const json::Object& object = entry.as_object();
+    const json::Value* phase = object.find("ph");
+    if (phase == nullptr || phase->as_string() != "i") continue;  // metadata etc.
+    const json::Value* args = object.find("args");
+    if (args == nullptr) throw std::runtime_error("chrome trace: instant event lacks args");
+    loaded.events.push_back(event_from_fields(args->as_object(), "chrome traceEvents"));
+  }
+  return loaded;
+}
+
+}  // namespace
+
+void write_jsonl(const TraceBuffer& buffer, std::ostream& out) {
+  json::Object meta;
+  meta.set("type", json::Value("mvsim-trace"));
+  meta.set("version", json::Value(kFormatVersion));
+  meta.set("capacity", json::Value(exported_capacity(buffer)));
+  meta.set("dropped", json::Value(buffer.dropped()));
+  out << json::stringify(json::Value(std::move(meta)), 0) << '\n';
+  for (const Event& event : buffer.events()) {
+    out << json::stringify(json::Value(event_fields(event)), 0) << '\n';
+  }
+}
+
+void write_chrome_trace(const TraceBuffer& buffer, std::ostream& out) {
+  json::Object other;
+  other.set("generator", json::Value("mvsim"));
+  other.set("version", json::Value(kFormatVersion));
+  other.set("capacity", json::Value(exported_capacity(buffer)));
+  other.set("dropped", json::Value(buffer.dropped()));
+
+  json::Array events;
+  json::Object process_name;
+  process_name.set("name", json::Value("process_name"));
+  process_name.set("ph", json::Value("M"));
+  process_name.set("pid", json::Value(1));
+  json::Object process_args;
+  process_args.set("name", json::Value("mvsim"));
+  process_name.set("args", json::Value(std::move(process_args)));
+  events.push_back(json::Value(std::move(process_name)));
+  for (int tid = 1; tid <= 5; ++tid) {
+    json::Object thread_name;
+    thread_name.set("name", json::Value("thread_name"));
+    thread_name.set("ph", json::Value("M"));
+    thread_name.set("pid", json::Value(1));
+    thread_name.set("tid", json::Value(tid));
+    json::Object thread_args;
+    thread_args.set("name", json::Value(chrome_track_name(tid)));
+    thread_name.set("args", json::Value(std::move(thread_args)));
+    events.push_back(json::Value(std::move(thread_name)));
+  }
+
+  for (const Event& event : buffer.events()) {
+    json::Object entry;
+    // Blocks and mechanism actions read best when the slice itself
+    // names the mechanism; args.kind stays authoritative for loading.
+    const bool labeled = !event.detail.empty() && (event.kind == EventKind::kMessageBlocked ||
+                                                   event.kind == EventKind::kMechanismAction);
+    entry.set("name", labeled ? json::Value(event.detail) : json::Value(to_string(event.kind)));
+    entry.set("ph", json::Value("i"));
+    entry.set("s", json::Value("t"));
+    // Microseconds of simulation time (trace viewers assume µs).
+    entry.set("ts", json::Value(event.time.to_seconds() * 1e6));
+    entry.set("pid", json::Value(1));
+    entry.set("tid", json::Value(chrome_track(event.kind)));
+    entry.set("args", json::Value(event_fields(event)));
+    events.push_back(json::Value(std::move(entry)));
+  }
+
+  json::Object document;
+  document.set("displayTimeUnit", json::Value("ms"));
+  document.set("otherData", json::Value(std::move(other)));
+  document.set("traceEvents", json::Value(std::move(events)));
+  out << json::stringify(json::Value(std::move(document)), 1) << '\n';
+}
+
+LoadedTrace read_trace(const std::string& text) {
+  // A JSONL export's first line is a complete JSON object of its own;
+  // a Chrome trace's first line is the opening brace of a multi-line
+  // document. Parse the first non-empty line to tell them apart.
+  std::size_t start = text.find_first_not_of(" \t\r\n");
+  if (start == std::string::npos) throw std::runtime_error("trace: empty input");
+  std::size_t eol = text.find('\n', start);
+  std::string first_line = text.substr(start, eol == std::string::npos ? eol : eol - start);
+  try {
+    json::Value value = json::parse(first_line);
+    if (value.is_object() && value.as_object().find("traceEvents") == nullptr) {
+      return read_jsonl(text.substr(start));
+    }
+  } catch (const json::ParseError&) {
+    // Fall through: not a single-line document, so try the whole text.
+  }
+  return read_chrome(json::parse(text).as_object());
+}
+
+LoadedTrace read_trace_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot read trace file '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  return read_trace(content.str());
+}
+
+}  // namespace mvsim::trace

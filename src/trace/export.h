@@ -1,0 +1,47 @@
+// Trace exporters and loaders.
+//
+// Two on-disk formats, both lossless for every Event field:
+//
+//  * JSONL — one compact JSON object per line, preceded by a meta
+//    record carrying the capture bounds (capacity, dropped). Greppable,
+//    streamable, trivially consumed from any language.
+//  * Chrome trace_event JSON — a {"traceEvents": [...]} document of
+//    instant events on per-category tracks, loadable in Perfetto /
+//    chrome://tracing for interactive timeline inspection. Timestamps
+//    are microseconds of *simulation* time.
+//
+// `mvsim run --trace <path>` picks the format from the extension
+// (.jsonl → JSONL, anything else → Chrome trace); read_trace()
+// auto-detects when loading, so `mvsim trace-analyze` accepts either.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace mvsim::trace {
+
+/// Capture bounds, round-tripped through both formats.
+struct TraceMeta {
+  std::uint64_t capacity = 0;  ///< 0 = unknown/unbounded
+  std::uint64_t dropped = 0;
+};
+
+void write_jsonl(const TraceBuffer& buffer, std::ostream& out);
+void write_chrome_trace(const TraceBuffer& buffer, std::ostream& out);
+
+struct LoadedTrace {
+  std::vector<Event> events;
+  TraceMeta meta;
+};
+
+/// Parses either export format (auto-detected). Throws
+/// std::runtime_error with a descriptive message on malformed input.
+[[nodiscard]] LoadedTrace read_trace(const std::string& text);
+/// Reads and parses `path`; throws std::runtime_error when unreadable.
+[[nodiscard]] LoadedTrace read_trace_file(const std::string& path);
+
+}  // namespace mvsim::trace

@@ -1,0 +1,93 @@
+#include "trace/trace.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/csv.h"
+
+namespace mvsim::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMessageSent: return "message_sent";
+    case EventKind::kMessageBlocked: return "message_blocked";
+    case EventKind::kMessageDelivered: return "message_delivered";
+    case EventKind::kInfection: return "infection";
+    case EventKind::kPatchApplied: return "patch";
+    case EventKind::kReboot: return "reboot";
+    case EventKind::kDetectabilityCrossed: return "detected";
+    case EventKind::kMechanismAction: return "mechanism";
+  }
+  return "?";
+}
+
+bool event_kind_from_string(std::string_view text, EventKind& out) {
+  for (EventKind kind :
+       {EventKind::kMessageSent, EventKind::kMessageBlocked, EventKind::kMessageDelivered,
+        EventKind::kInfection, EventKind::kPatchApplied, EventKind::kReboot,
+        EventKind::kDetectabilityCrossed, EventKind::kMechanismAction}) {
+    if (text == to_string(kind)) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceBuffer::record(Event event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceBuffer::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+SimTime TraceBuffer::first_time(EventKind kind) const {
+  for (const Event& e : events_) {
+    if (e.kind == kind) return e.time;
+  }
+  return SimTime::infinity();
+}
+
+SimTime TraceBuffer::last_time(EventKind kind) const {
+  SimTime last = SimTime::infinity();
+  for (const Event& e : events_) {
+    if (e.kind == kind) last = e.time;
+  }
+  return last;
+}
+
+void TraceBuffer::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.header({"hours", "kind", "phone", "peer", "message", "value", "detail"});
+  for (const Event& e : events_) {
+    csv.row(e.time.to_hours(), to_string(e.kind),
+            e.phone == kInvalidPhoneId ? std::string() : std::to_string(e.phone),
+            e.peer == kInvalidPhoneId ? std::string() : std::to_string(e.peer),
+            e.message == kInvalidMessageId ? std::string() : std::to_string(e.message), e.value,
+            e.detail);
+  }
+}
+
+void record_action(TraceBuffer* buffer, SimTime now, const char* mechanism, const char* action,
+                   PhoneId phone) {
+  if (buffer == nullptr) return;
+  Event event;
+  event.time = now;
+  event.kind = EventKind::kMechanismAction;
+  event.phone = phone;
+  event.detail = std::string(mechanism) + ":" + action;
+  buffer->record(std::move(event));
+}
+
+}  // namespace mvsim::trace

@@ -198,6 +198,13 @@ void SendingProcess::schedule_reboot() {
 
 void SendingProcess::on_reboot() {
   if (!running_) return;
+  if (env_.trace != nullptr) {
+    trace::Event event;
+    event.time = env_.scheduler->now();
+    event.kind = trace::EventKind::kReboot;
+    event.phone = host_->id();
+    env_.trace->record(std::move(event));
+  }
   sent_in_window_ = 0;
   if (waiting_for_reboot_) {
     waiting_for_reboot_ = false;

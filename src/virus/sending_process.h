@@ -22,6 +22,7 @@
 #include "net/gateway.h"
 #include "phone/phone.h"
 #include "rng/stream.h"
+#include "trace/trace.h"
 #include "virus/profile.h"
 #include "virus/targeting.h"
 
@@ -34,6 +35,8 @@ struct SendingEnvironment {
   net::Gateway* gateway = nullptr;
   /// Dissemination-point mechanisms, consulted before every send.
   std::vector<net::OutgoingMmsPolicy*> policies;
+  /// Event capture (reboots), or nullptr when tracing is off.
+  trace::TraceBuffer* trace = nullptr;
 };
 
 class SendingProcess {

@@ -262,6 +262,72 @@ TEST(Cli, UsageMentionsMetricsSurface) {
   EXPECT_NE(r.out.find("metrics-schema"), std::string::npos);
 }
 
+TEST(Cli, RunWritesJsonlTraceAndAnalyzeReadsIt) {
+  std::string scenario_path = write_small_scenario();
+  std::string trace_path = ::testing::TempDir() + "/mvsim_cli_trace.jsonl";
+  CliResult r = invoke({"run", scenario_path, "--reps", "2", "--quiet", "--trace", trace_path,
+                        "--trace-rep", "1"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::string meta_line;
+  std::getline(file, meta_line);
+  EXPECT_NE(meta_line.find("\"type\":\"mvsim-trace\""), std::string::npos) << meta_line;
+
+  CliResult analyzed = invoke({"trace-analyze", trace_path});
+  ASSERT_EQ(analyzed.code, 0) << analyzed.err;
+  EXPECT_NE(analyzed.out.find("transmission tree"), std::string::npos);
+  EXPECT_NE(analyzed.out.find("effective_R"), std::string::npos);
+  std::remove(scenario_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, RunWritesChromeTraceByDefaultExtension) {
+  std::string scenario_path = write_small_scenario();
+  std::string trace_path = ::testing::TempDir() + "/mvsim_cli_trace.json";
+  CliResult r = invoke({"run", scenario_path, "--reps", "1", "--quiet", "--trace", trace_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream file(trace_path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  json::Value doc = json::parse(content.str());
+  const json::Object& root = doc.as_object();
+  EXPECT_NE(root.find("traceEvents"), nullptr);
+  EXPECT_NE(root.find("otherData"), nullptr);
+
+  // trace-analyze auto-detects the Chrome format too.
+  CliResult analyzed = invoke({"trace-analyze", trace_path});
+  EXPECT_EQ(analyzed.code, 0) << analyzed.err;
+  std::remove(scenario_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, RunRejectsBadTraceFlags) {
+  std::string path = write_small_scenario();
+  EXPECT_EQ(invoke({"run", path, "--trace"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--reps", "2", "--trace", "t.jsonl", "--trace-rep", "2"}).code,
+            1);
+  EXPECT_EQ(invoke({"run", path, "--trace", "t.jsonl", "--trace-rep", "-1"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--trace", "t.jsonl", "--trace-cap", "lots"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, TraceAnalyzeRejectsBadInput) {
+  EXPECT_EQ(invoke({"trace-analyze"}).code, 1);
+  EXPECT_EQ(invoke({"trace-analyze", "/no/such/trace.jsonl"}).code, 2);
+  std::string path = ::testing::TempDir() + "/mvsim_cli_not_a_trace.json";
+  std::ofstream(path) << "{ not json";
+  EXPECT_EQ(invoke({"trace-analyze", path}).code, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, UsageMentionsTraceSurface) {
+  CliResult r = invoke({"help"});
+  EXPECT_NE(r.out.find("--trace"), std::string::npos);
+  EXPECT_NE(r.out.find("trace-analyze"), std::string::npos);
+}
+
 TEST(Cli, ValidateAcceptsGoodFile) {
   std::string path = write_small_scenario();
   CliResult r = invoke({"validate", path});

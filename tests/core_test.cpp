@@ -4,11 +4,11 @@
 
 #include <sstream>
 
-#include "core/event_trace.h"
 #include "core/presets.h"
 #include "core/runner.h"
 #include "core/scenario.h"
 #include "core/simulation.h"
+#include "trace/trace.h"
 
 namespace mvsim::core {
 namespace {
@@ -292,48 +292,69 @@ TEST(EventTrace, RecordsInfectionsPatchesAndDetection) {
   immunization.deployment_duration = SimTime::hours(2.0);
   config.responses.immunization = immunization;
 
-  EventTrace trace;
+  trace::TraceBuffer trace;
   Simulation sim(config, 17, &trace);
   ReplicationResult r = sim.run();
 
-  EXPECT_EQ(trace.count(TraceEventKind::kInfection), r.total_infected);
-  EXPECT_EQ(trace.count(TraceEventKind::kPatchApplied),
+  EXPECT_EQ(trace.count(trace::EventKind::kInfection), r.total_infected);
+  EXPECT_EQ(trace.count(trace::EventKind::kPatchApplied),
             r.immunized_healthy + r.patched_infected);
-  EXPECT_EQ(trace.count(TraceEventKind::kVirusDetected), 1u);
-  EXPECT_EQ(trace.first_time(TraceEventKind::kInfection), SimTime::zero())
+  EXPECT_EQ(trace.count(trace::EventKind::kDetectabilityCrossed), 1u);
+  EXPECT_EQ(trace.count(trace::EventKind::kMessageSent),
+            r.gateway.messages_submitted);
+  EXPECT_EQ(trace.first_time(trace::EventKind::kInfection), SimTime::zero())
       << "patient zero at t=0";
-  EXPECT_EQ(trace.first_time(TraceEventKind::kVirusDetected), r.detected_at);
+  EXPECT_EQ(trace.first_time(trace::EventKind::kDetectabilityCrossed), r.detected_at);
   // The rollout window brackets every patch event.
-  SimTime first_patch = trace.first_time(TraceEventKind::kPatchApplied);
-  SimTime last_patch = trace.last_time(TraceEventKind::kPatchApplied);
+  SimTime first_patch = trace.first_time(trace::EventKind::kPatchApplied);
+  SimTime last_patch = trace.last_time(trace::EventKind::kPatchApplied);
   EXPECT_GE(first_patch, r.detected_at + SimTime::hours(12.0));
   EXPECT_LE(last_patch, r.detected_at + SimTime::hours(14.0) + SimTime::minutes(1.0));
+  // The immunization mechanism marks its rollout in the trace.
+  bool rollout_marked = false;
+  for (const trace::Event& event : trace.events()) {
+    if (event.kind == trace::EventKind::kMechanismAction &&
+        event.detail == "immunization:rollout_started") {
+      rollout_marked = true;
+    }
+  }
+  EXPECT_TRUE(rollout_marked);
 }
 
 TEST(EventTrace, EventsAreTimeOrdered) {
   ScenarioConfig config = small_scenario();
-  EventTrace trace;
+  trace::TraceBuffer trace;
   Simulation sim(config, 18, &trace);
   (void)sim.run();
   SimTime last = SimTime::zero();
-  for (const TraceEvent& event : trace.events()) {
+  for (const trace::Event& event : trace.events()) {
     ASSERT_GE(event.time, last);
     last = event.time;
   }
   EXPECT_GT(trace.events().size(), 1u);
 }
 
-TEST(EventTrace, CsvExportAndQueries) {
-  EventTrace trace;
-  trace.record(SimTime::hours(1.0), TraceEventKind::kInfection, 7);
-  trace.record(SimTime::hours(2.0), TraceEventKind::kVirusDetected, 0);
-  std::ostringstream out;
-  trace.write_csv(out);
-  EXPECT_EQ(out.str(), "hours,kind,phone\n1,infection,7\n2,detected,0\n");
-  EXPECT_EQ(trace.first_time(TraceEventKind::kPatchApplied), SimTime::infinity());
-  EXPECT_EQ(trace.last_time(TraceEventKind::kPatchApplied), SimTime::infinity());
-  trace.clear();
-  EXPECT_TRUE(trace.events().empty());
+TEST(EventTrace, InfectionsCarryProvenance) {
+  ScenarioConfig config = small_scenario();
+  trace::TraceBuffer trace;
+  Simulation sim(config, 20, &trace);
+  (void)sim.run();
+  std::size_t seeds = 0;
+  std::size_t with_infector = 0;
+  for (const trace::Event& event : trace.events()) {
+    if (event.kind != trace::EventKind::kInfection) continue;
+    if (event.detail == "seed") {
+      ++seeds;
+      EXPECT_EQ(event.peer, trace::kInvalidPhoneId);
+    } else {
+      EXPECT_EQ(event.detail, "mms") << "no Bluetooth channel in this scenario";
+      EXPECT_NE(event.peer, trace::kInvalidPhoneId) << "MMS infection must name its infector";
+      EXPECT_NE(event.message, trace::kInvalidMessageId);
+      ++with_infector;
+    }
+  }
+  EXPECT_EQ(seeds, config.initial_infected);
+  EXPECT_GT(with_infector, 0u);
 }
 
 TEST(EventTrace, NullTraceIsFine) {

@@ -23,6 +23,7 @@
 
 #include "core/presets.h"
 #include "core/runner.h"
+#include "trace/trace.h"
 
 namespace mvsim::core {
 namespace {
@@ -174,6 +175,27 @@ TEST(GoldenResults, PresetCurvesBitIdenticalAtFourThreads) {
   for (const GoldenCase& golden : kCases) {
     EXPECT_EQ(case_hash(golden, 4), case_hash(golden, 1))
         << golden.name << ": results depend on the worker-thread count";
+  }
+}
+
+// Tracing is observation-only: attaching a TraceBuffer must not change
+// a single bit of any preset's results, at any thread count.
+TEST(GoldenResults, PresetCurvesUnperturbedByTracing) {
+  for (const GoldenCase& golden : kCases) {
+    for (int threads : {1, 4}) {
+      trace::TraceBuffer buffer;
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = threads;
+      options.trace = &buffer;
+      options.trace_replication = 1;
+      std::uint64_t digest = hash_result(run_experiment(golden.make(), options));
+      EXPECT_EQ(digest, case_hash(golden, 1))
+          << golden.name << " @" << threads << " threads: tracing perturbed the results";
+      EXPECT_GT(buffer.events().size(), 0u) << golden.name << ": traced replication was empty";
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 // observer/filter/delivery semantics.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "des/scheduler.h"
@@ -32,11 +33,13 @@ class RecordingObserver final : public GatewayObserver {
   void on_submitted(const MmsMessage& message, SimTime) override {
     submitted.push_back(message.sequence);
   }
-  void on_blocked(const MmsMessage& message, SimTime) override {
+  void on_blocked(const MmsMessage& message, const char* blocked_by, SimTime) override {
     blocked.push_back(message.sequence);
+    blocked_by_names.emplace_back(blocked_by);
   }
   std::vector<std::uint64_t> submitted;
   std::vector<std::uint64_t> blocked;
+  std::vector<std::string> blocked_by_names;
 };
 
 class BlockInfectedFilter final : public DeliveryFilter {
@@ -122,6 +125,9 @@ TEST(Gateway, FilterBlocksAndObserversSeeIt) {
   EXPECT_TRUE(fx.delivered.empty());
   EXPECT_EQ(obs.submitted.size(), 1u) << "observers see the submission before filtering";
   EXPECT_EQ(obs.blocked.size(), 1u);
+  ASSERT_EQ(obs.blocked_by_names.size(), 1u);
+  EXPECT_EQ(obs.blocked_by_names[0], "block-infected")
+      << "on_blocked must name the filter that blocked";
   EXPECT_EQ(fx.gateway.counters().messages_blocked, 1u);
 }
 

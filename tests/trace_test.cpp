@@ -1,0 +1,348 @@
+// Unit tests for src/trace: the bounded event buffer, causal-link
+// integrity of recorded simulations, transmission-tree analytics and
+// the JSONL / Chrome trace_event exporters (lossless round-trips).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/presets.h"
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "trace/analysis.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace mvsim::trace {
+namespace {
+
+core::ScenarioConfig traced_scenario() {
+  core::ScenarioConfig config;
+  config.name = "trace-test";
+  config.population = 150;
+  config.topology.mean_degree = 12.0;
+  config.virus = virus::virus1();
+  config.horizon = SimTime::hours(72.0);
+  config.sample_step = SimTime::hours(1.0);
+  return config;
+}
+
+Event make_event(double hours, EventKind kind, PhoneId phone) {
+  Event event;
+  event.time = SimTime::hours(hours);
+  event.kind = kind;
+  event.phone = phone;
+  return event;
+}
+
+TEST(EventKindNames, RoundTripThroughStrings) {
+  for (EventKind kind :
+       {EventKind::kMessageSent, EventKind::kMessageBlocked, EventKind::kMessageDelivered,
+        EventKind::kInfection, EventKind::kPatchApplied, EventKind::kReboot,
+        EventKind::kDetectabilityCrossed, EventKind::kMechanismAction}) {
+    EventKind parsed = EventKind::kInfection;
+    ASSERT_TRUE(event_kind_from_string(to_string(kind), parsed)) << to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  EventKind parsed = EventKind::kInfection;
+  EXPECT_FALSE(event_kind_from_string("not-a-kind", parsed));
+}
+
+TEST(TraceBufferTest, CountsAndTimeQueries) {
+  TraceBuffer buffer;
+  buffer.record(make_event(1.0, EventKind::kInfection, 7));
+  buffer.record(make_event(2.0, EventKind::kDetectabilityCrossed, kInvalidPhoneId));
+  buffer.record(make_event(3.0, EventKind::kInfection, 9));
+  EXPECT_EQ(buffer.count(EventKind::kInfection), 2u);
+  EXPECT_EQ(buffer.count(EventKind::kDetectabilityCrossed), 1u);
+  EXPECT_EQ(buffer.first_time(EventKind::kInfection), SimTime::hours(1.0));
+  EXPECT_EQ(buffer.last_time(EventKind::kInfection), SimTime::hours(3.0));
+  EXPECT_EQ(buffer.first_time(EventKind::kPatchApplied), SimTime::infinity());
+  EXPECT_EQ(buffer.last_time(EventKind::kPatchApplied), SimTime::infinity());
+  buffer.clear();
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.recorded(), 0u);
+}
+
+TEST(TraceBufferTest, CsvExport) {
+  TraceBuffer buffer;
+  Event infection = make_event(1.0, EventKind::kInfection, 7);
+  infection.peer = 3;
+  infection.message = 12;
+  infection.detail = "mms";
+  buffer.record(infection);
+  buffer.record(make_event(2.0, EventKind::kDetectabilityCrossed, kInvalidPhoneId));
+  std::ostringstream out;
+  buffer.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "hours,kind,phone,peer,message,value,detail\n"
+            "1,infection,7,3,12,0,mms\n"
+            "2,detected,,,,0,\n");
+}
+
+TEST(TraceBufferTest, BoundedCaptureDropsAndCounts) {
+  TraceBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) {
+    buffer.record(make_event(static_cast<double>(i), EventKind::kInfection,
+                             static_cast<PhoneId>(i)));
+  }
+  EXPECT_EQ(buffer.capacity(), 3u);
+  ASSERT_EQ(buffer.events().size(), 3u);
+  EXPECT_EQ(buffer.dropped(), 2u);
+  EXPECT_EQ(buffer.recorded(), 5u);
+  // The kept prefix is the *earliest* events — the ones that explain
+  // how the outbreak started.
+  EXPECT_EQ(buffer.events().back().phone, 2u);
+  buffer.clear();
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_EQ(buffer.capacity(), 3u) << "clear() keeps the capacity";
+}
+
+TEST(TraceBufferTest, RecordActionHelper) {
+  TraceBuffer buffer;
+  record_action(&buffer, SimTime::hours(5.0), "blacklist", "blacklisted", 42);
+  ASSERT_EQ(buffer.events().size(), 1u);
+  const Event& event = buffer.events().front();
+  EXPECT_EQ(event.kind, EventKind::kMechanismAction);
+  EXPECT_EQ(event.phone, 42u);
+  EXPECT_EQ(event.detail, "blacklist:blacklisted");
+  EXPECT_NO_THROW(record_action(nullptr, SimTime::zero(), "x", "y"));
+}
+
+// Every MMS infection must be explained by a prior delivery of the
+// triggering message from the named infector, and every delivery by a
+// prior submission — the causal chain the tentpole promises.
+TEST(CausalIntegrity, InfectionsTraceBackToDeliveriesAndSends) {
+  TraceBuffer buffer = TraceBuffer::unbounded();
+  core::Simulation sim(traced_scenario(), 101, &buffer);
+  core::ReplicationResult result = sim.run();
+  ASSERT_GT(result.total_infected, 1u) << "outbreak fizzled; pick another seed";
+
+  std::unordered_set<std::uint64_t> submitted;
+  // delivery key: message id -> recipients seen so far.
+  std::unordered_map<std::uint64_t, std::set<PhoneId>> delivered;
+  std::unordered_set<PhoneId> infected;
+  SimTime last = SimTime::zero();
+  for (const Event& event : buffer.events()) {
+    ASSERT_GE(event.time, last) << "trace must be time-ordered";
+    last = event.time;
+    switch (event.kind) {
+      case EventKind::kMessageSent:
+        EXPECT_TRUE(infected.count(event.phone))
+            << "phone " << event.phone << " sent a virus message while not traced as infected";
+        submitted.insert(event.message);
+        break;
+      case EventKind::kMessageDelivered:
+        EXPECT_TRUE(submitted.count(event.message))
+            << "delivery of message " << event.message << " without a prior submission";
+        delivered[event.message].insert(event.phone);
+        break;
+      case EventKind::kMessageBlocked:
+        EXPECT_TRUE(submitted.count(event.message));
+        EXPECT_FALSE(event.detail.empty()) << "blocks must name the blocking mechanism";
+        break;
+      case EventKind::kInfection:
+        if (event.detail == "seed") {
+          EXPECT_EQ(event.peer, kInvalidPhoneId);
+        } else if (event.detail == "mms") {
+          EXPECT_TRUE(infected.count(event.peer))
+              << "infector " << event.peer << " was never traced as infected";
+          auto it = delivered.find(event.message);
+          ASSERT_NE(it, delivered.end())
+              << "infection via message " << event.message << " that was never delivered";
+          EXPECT_TRUE(it->second.count(event.phone))
+              << "message " << event.message << " was not delivered to victim " << event.phone;
+        }
+        infected.insert(event.phone);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(infected.size(), result.total_infected);
+}
+
+TEST(Analysis, ReconstructsGenerationsAndAttribution) {
+  // Hand-built tree: seed 0 infects 1 and 2 (gen 1); 1 infects 3
+  // (gen 2). One message from 2 is blocked by "gateway-scan" with two
+  // prospective recipients — a truncated chain. Phone 9's infector
+  // never appears: an orphan root.
+  std::vector<Event> events;
+  Event seed = make_event(0.0, EventKind::kInfection, 0);
+  seed.detail = "seed";
+  events.push_back(seed);
+
+  auto infect = [](double hours, PhoneId victim, PhoneId infector, std::uint64_t msg,
+                   const char* channel) {
+    Event e = make_event(hours, EventKind::kInfection, victim);
+    e.peer = infector;
+    e.message = msg;
+    e.detail = channel;
+    return e;
+  };
+  Event sent1 = make_event(0.5, EventKind::kMessageSent, 0);
+  sent1.message = 1;
+  sent1.value = 2;
+  events.push_back(sent1);
+  events.push_back(infect(1.0, 1, 0, 1, "mms"));
+  events.push_back(infect(2.0, 2, 0, 1, "mms"));
+  events.push_back(infect(6.0, 3, 1, 2, "mms"));
+  events.push_back(infect(7.0, 9, 77, 3, "bluetooth"));  // infector 77 unknown
+
+  Event blocked = make_event(8.0, EventKind::kMessageBlocked, 2);
+  blocked.message = 4;
+  blocked.value = 2;
+  blocked.detail = "gateway-scan";
+  events.push_back(blocked);
+  Event detected = make_event(9.0, EventKind::kDetectabilityCrossed, kInvalidPhoneId);
+  events.push_back(detected);
+
+  TreeStats stats = analyze(events);
+  EXPECT_EQ(stats.infections, 5u);
+  EXPECT_EQ(stats.seeds, 1u);
+  EXPECT_EQ(stats.orphans, 1u);
+  EXPECT_EQ(stats.max_generation, 2u);
+  EXPECT_EQ(stats.infections_via_mms, 3u);
+  EXPECT_EQ(stats.infections_via_bluetooth, 1u);
+  EXPECT_EQ(stats.detected_at, SimTime::hours(9.0));
+
+  ASSERT_EQ(stats.generations.size(), 3u);
+  EXPECT_EQ(stats.generations[0].infections, 2u);  // seed + orphan root
+  EXPECT_EQ(stats.generations[1].infections, 2u);
+  EXPECT_EQ(stats.generations[2].infections, 1u);
+  // Gen 0 (seed + orphan) caused the two gen-1 infections: R = 1.0.
+  EXPECT_DOUBLE_EQ(stats.generations[0].effective_r, 1.0);
+  EXPECT_DOUBLE_EQ(stats.generations[1].effective_r, 0.5);
+  EXPECT_DOUBLE_EQ(stats.generations[2].effective_r, 0.0);
+
+  ASSERT_EQ(stats.mechanism_blocks.size(), 1u);
+  EXPECT_EQ(stats.mechanism_blocks[0].mechanism, "gateway-scan");
+  EXPECT_EQ(stats.mechanism_blocks[0].messages_blocked, 1u);
+  EXPECT_EQ(stats.mechanism_blocks[0].chains_truncated, 1u)
+      << "sender 2 is an infected tree node, so the block truncated a chain";
+  EXPECT_EQ(stats.mechanism_blocks[0].recipients_spared, 2u);
+
+  std::ostringstream report;
+  write_report(stats, report);
+  EXPECT_NE(report.str().find("gateway-scan"), std::string::npos);
+  EXPECT_NE(report.str().find("generation"), std::string::npos);
+}
+
+TEST(Analysis, AgreesWithSimulationTotals) {
+  TraceBuffer buffer = TraceBuffer::unbounded();
+  core::ScenarioConfig config = traced_scenario();
+  config.responses.gateway_scan = response::GatewayScanConfig{};
+  core::Simulation sim(config, 202, &buffer);
+  core::ReplicationResult result = sim.run();
+
+  TreeStats stats = analyze(buffer.events());
+  EXPECT_EQ(stats.infections, result.total_infected);
+  EXPECT_EQ(stats.seeds, 1u);
+  EXPECT_EQ(stats.orphans, 0u) << "an unbounded trace loses no infectors";
+  EXPECT_EQ(stats.messages_sent, result.gateway.messages_submitted);
+  EXPECT_EQ(stats.messages_blocked, result.gateway.messages_blocked);
+  EXPECT_EQ(stats.detected_at, result.detected_at);
+  if (result.gateway.messages_blocked > 0) {
+    ASSERT_FALSE(stats.mechanism_blocks.empty());
+    std::uint64_t attributed = 0;
+    for (const MechanismBlockRow& row : stats.mechanism_blocks) {
+      attributed += row.messages_blocked;
+    }
+    EXPECT_EQ(attributed, result.gateway.messages_blocked)
+        << "every block must be attributed to exactly one mechanism";
+  }
+}
+
+TEST(Export, JsonlRoundTripIsLossless) {
+  TraceBuffer buffer(100);
+  Event infection = make_event(1.25, EventKind::kInfection, 7);
+  infection.peer = 3;
+  infection.message = 12;
+  infection.detail = "mms";
+  buffer.record(infection);
+  Event blocked = make_event(2.75, EventKind::kMessageBlocked, 3);
+  blocked.message = 13;
+  blocked.value = 4;
+  blocked.detail = "blacklist";
+  buffer.record(blocked);
+  buffer.record(make_event(3.5, EventKind::kDetectabilityCrossed, kInvalidPhoneId));
+
+  std::ostringstream out;
+  write_jsonl(buffer, out);
+  LoadedTrace loaded = read_trace(out.str());
+  EXPECT_EQ(loaded.meta.capacity, 100u);
+  EXPECT_EQ(loaded.meta.dropped, 0u);
+  ASSERT_EQ(loaded.events.size(), buffer.events().size());
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i], buffer.events()[i]) << "event " << i;
+  }
+}
+
+TEST(Export, ChromeTraceRoundTripIsLossless) {
+  TraceBuffer buffer = TraceBuffer::unbounded();
+  core::Simulation sim(traced_scenario(), 101, &buffer);
+  (void)sim.run();
+  ASSERT_GT(buffer.events().size(), 10u);
+
+  std::ostringstream out;
+  write_chrome_trace(buffer, out);
+  LoadedTrace loaded = read_trace(out.str());
+  EXPECT_EQ(loaded.meta.capacity, 0u) << "unbounded encodes as capacity 0";
+  EXPECT_EQ(loaded.meta.dropped, 0u);
+  ASSERT_EQ(loaded.events.size(), buffer.events().size());
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    ASSERT_EQ(loaded.events[i], buffer.events()[i]) << "event " << i;
+  }
+}
+
+TEST(Export, BothFormatsCarryDropCounts) {
+  TraceBuffer buffer(2);
+  for (int i = 0; i < 5; ++i) {
+    buffer.record(make_event(static_cast<double>(i), EventKind::kInfection,
+                             static_cast<PhoneId>(i)));
+  }
+  for (bool jsonl : {true, false}) {
+    std::ostringstream out;
+    if (jsonl) {
+      write_jsonl(buffer, out);
+    } else {
+      write_chrome_trace(buffer, out);
+    }
+    LoadedTrace loaded = read_trace(out.str());
+    EXPECT_EQ(loaded.meta.capacity, 2u);
+    EXPECT_EQ(loaded.meta.dropped, 3u);
+    EXPECT_EQ(loaded.events.size(), 2u);
+  }
+}
+
+TEST(Export, RejectsMalformedInput) {
+  EXPECT_THROW((void)read_trace(""), std::runtime_error);
+  EXPECT_THROW((void)read_trace("{\"no\": \"events\"}\n{\"kind\": \"infection\"}\n"),
+               std::runtime_error);  // second line lacks "t"
+  EXPECT_THROW((void)read_trace("{\"t\": 1, \"kind\": \"warp-drive\"}\n"), std::runtime_error);
+  EXPECT_THROW((void)read_trace_file("/nonexistent/trace.jsonl"), std::runtime_error);
+}
+
+// The golden tests pin bit-identical *results* under tracing; this
+// pins the trace itself: same seed, same events, independent of the
+// buffer's bound (the kept prefix matches).
+TEST(Determinism, SameSeedSameTrace) {
+  TraceBuffer full = TraceBuffer::unbounded();
+  core::Simulation a(traced_scenario(), 303, &full);
+  (void)a.run();
+  TraceBuffer capped(50);
+  core::Simulation b(traced_scenario(), 303, &capped);
+  (void)b.run();
+  ASSERT_EQ(capped.events().size(), 50u);
+  EXPECT_EQ(capped.recorded(), full.recorded());
+  for (std::size_t i = 0; i < capped.events().size(); ++i) {
+    ASSERT_EQ(capped.events()[i], full.events()[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mvsim::trace
