@@ -13,6 +13,7 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim ABL-2: behavioral-constant ablation\n";
+  Harness harness("ablation_behavior");
 
   // --- Read-delay sweep: Virus 1 baseline growth speed. ---
   std::cout << "-- read delay (Virus 1 baseline) --\n";
@@ -20,7 +21,8 @@ int main() {
   for (double minutes : {15.0, 30.0, 60.0, 120.0, 240.0}) {
     core::ScenarioConfig config = core::baseline_scenario(virus::virus1());
     config.read_delay_mean = SimTime::minutes(minutes);
-    core::ExperimentResult result = core::run_experiment(config, default_options());
+    core::ExperimentResult result =
+        run_experiment_case(harness, "read_delay " + fmt(minutes, 0) + "min", config);
     SimTime half = result.curve.mean_first_time_at_or_above(160.0);
     std::cout << fmt(minutes, 0) << "," << fmt(result.final_infections.mean()) << ","
               << fmt(half.is_finite() ? half.to_hours() : -1.0) << "\n";
@@ -36,7 +38,8 @@ int main() {
     config.responses.detectability_threshold = threshold;
     core::RunnerOptions options = default_options();
     options.keep_replications = true;
-    core::ExperimentResult result = core::run_experiment(config, options);
+    core::ExperimentResult result = run_experiment_case(
+        harness, "detect_threshold " + std::to_string(threshold), config, options);
     stats::Accumulator detected_at;
     for (const auto& rep : result.replications) {
       if (rep.detected_at.is_finite()) detected_at.add(rep.detected_at.to_hours());
@@ -53,12 +56,14 @@ int main() {
   for (double hours : {1.0, 2.0, 4.0}) {
     core::ScenarioConfig config = core::baseline_scenario(virus::virus4());
     config.virus.legit_traffic_gap_mean = SimTime::hours(hours);
-    core::ExperimentResult result = core::run_experiment(config, default_options());
+    core::ExperimentResult result =
+        run_experiment_case(harness, "legit_gap " + fmt(hours, 0) + "h", config);
     SimTime half = result.curve.mean_first_time_at_or_above(160.0);
     std::cout << fmt(hours, 0) << "," << fmt(result.final_infections.mean()) << ","
               << fmt(half.is_finite() ? half.to_hours() : -1.0) << "\n";
   }
   report("Virus 4's time scale tracks the legitimate-traffic rate it hides behind",
          "halving the gap roughly halves the half-plateau time; plateau unchanged");
+  harness.write_report();
   return 0;
 }

@@ -10,11 +10,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/presets.h"
 #include "core/runner.h"
+#include "harness.h"
 #include "stats/summary.h"
 
 namespace mvsim::bench {
@@ -34,8 +37,30 @@ inline core::RunnerOptions default_options() {
   return options;
 }
 
-inline NamedRun run_labelled(std::string label, const core::ScenarioConfig& config) {
-  return NamedRun{std::move(label), core::run_experiment(config, default_options())};
+/// Runs the experiment as a harness case (timed, in the BENCH report;
+/// the case's throughput unit is engine events executed) and hands the
+/// result back for the figure tables. With repeat > 1 the runs are
+/// identical (fixed seed) and the last result is returned.
+inline core::ExperimentResult run_experiment_case(Harness& harness, const std::string& label,
+                                                  const core::ScenarioConfig& config,
+                                                  const core::RunnerOptions& options) {
+  std::optional<core::ExperimentResult> result;
+  harness.run_case(label, [&config, &options, &result] {
+    result.emplace(core::run_experiment(config, options));
+    return result->metrics.counter_value("des.events_executed");
+  });
+  return std::move(*result);
+}
+
+inline core::ExperimentResult run_experiment_case(Harness& harness, const std::string& label,
+                                                  const core::ScenarioConfig& config) {
+  return run_experiment_case(harness, label, config, default_options());
+}
+
+inline NamedRun run_labelled(Harness& harness, std::string label,
+                             const core::ScenarioConfig& config) {
+  core::ExperimentResult result = run_experiment_case(harness, label, config);
+  return NamedRun{std::move(label), std::move(result)};
 }
 
 /// Prints the figure table plus per-curve summaries and an engine

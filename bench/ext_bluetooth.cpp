@@ -21,28 +21,38 @@ using namespace mvsim::bench;
 
 namespace {
 
-mobility::BluetoothExperimentResult run_bt(const mobility::BluetoothScenarioConfig& config) {
-  return mobility::run_bluetooth_experiment(config, core::replications_from_env(10),
-                                            0xB1'0E'00'07ULL);
+// Bluetooth experiments expose no event counter, so their harness cases
+// report wall-clock only (events = 0).
+mobility::BluetoothExperimentResult run_bt(Harness& harness, const std::string& label,
+                                           const mobility::BluetoothScenarioConfig& config) {
+  std::optional<mobility::BluetoothExperimentResult> result;
+  harness.run_case(label, [&config, &result] {
+    result.emplace(mobility::run_bluetooth_experiment(config, core::replications_from_env(10),
+                                                      0xB1'0E'00'07ULL));
+    return std::uint64_t{0};
+  });
+  return std::move(*result);
 }
 
 }  // namespace
 
 int main() {
   std::cout << "mvsim EXT-BT: Bluetooth proximity worm (paper section 6 extension)\n";
+  Harness harness("ext_bluetooth");
 
   mobility::BluetoothScenarioConfig base;  // 1000 phones, 16x16 grid
-  mobility::BluetoothExperimentResult baseline = run_bt(base);
+  mobility::BluetoothExperimentResult baseline = run_bt(harness, "Baseline", base);
 
   mobility::BluetoothScenarioConfig educated = base;
   response::UserEducationConfig education;
   education.eventual_acceptance = 0.20;
   educated.user_education = education;
-  mobility::BluetoothExperimentResult with_education = run_bt(educated);
+  mobility::BluetoothExperimentResult with_education =
+      run_bt(harness, "User education 0.20", educated);
 
   mobility::BluetoothScenarioConfig patched = base;
   patched.immunization = mobility::BluetoothImmunizationConfig{};  // 24h detect + 24h dev + 6h
-  mobility::BluetoothExperimentResult with_patches = run_bt(patched);
+  mobility::BluetoothExperimentResult with_patches = run_bt(harness, "Patch 24h+24h+6h", patched);
 
   mobility::BluetoothScenarioConfig fast_patched = base;
   mobility::BluetoothImmunizationConfig fast;
@@ -50,7 +60,8 @@ int main() {
   fast.development_time = SimTime::hours(12.0);
   fast.deployment_duration = SimTime::hours(1.0);
   fast_patched.immunization = fast;
-  mobility::BluetoothExperimentResult with_fast_patches = run_bt(fast_patched);
+  mobility::BluetoothExperimentResult with_fast_patches =
+      run_bt(harness, "Patch 12h+12h+1h", fast_patched);
 
   std::cout << "== Bluetooth worm: infection curves ==\n";
   std::cout << "Hours,Baseline,User Education 0.20,Patch 24h+24h+6h,Patch 12h+12h+1h\n";
@@ -83,7 +94,8 @@ int main() {
     mobility::BluetoothScenarioConfig config = base;
     config.grid_width = side;
     config.grid_height = side;
-    mobility::BluetoothExperimentResult result = run_bt(config);
+    mobility::BluetoothExperimentResult result =
+        run_bt(harness, "Density " + std::to_string(side) + "x" + std::to_string(side), config);
     SimTime half = result.curve.mean_first_time_at_or_above(160.0);
     std::cout << side << "x" << side << ","
               << fmt(1000.0 / (static_cast<double>(side) * side), 2) << ","
@@ -92,5 +104,6 @@ int main() {
   }
   report("a proximity worm is density-limited (no analogue in MMS propagation)",
          "sparser grids spread strictly slower at equal population (table above)");
+  harness.write_report();
   return 0;
 }

@@ -30,7 +30,13 @@ int main() {
   kit.blacklist = response::BlacklistConfig{};                 // 10 messages
 
   core::RunnerOptions options = default_options();
-  analysis::StrategyStudy study = analysis::evaluate_strategies(base, kit, 2, options);
+  Harness harness("ext_combinations");
+  std::optional<analysis::StrategyStudy> study_opt;
+  harness.run_case("evaluate_strategies <=2 of 6", [&] {
+    study_opt.emplace(analysis::evaluate_strategies(base, kit, 2, options));
+    return std::uint64_t{0};
+  });
+  analysis::StrategyStudy study = std::move(*study_opt);
 
   std::cout << "strategy,mechanisms,final_infected,containment\n";
   for (const analysis::StrategyOutcome& outcome : study.outcomes) {
@@ -64,5 +70,6 @@ int main() {
                fmt(scan->final_infections) + ", monitoring+scan " +
                fmt(combo->final_infections) + " infected");
   }
+  harness.write_report();
   return 0;
 }

@@ -27,26 +27,28 @@ core::ScenarioConfig dual_vector_base() {
 int main() {
   std::cout << "mvsim EXT-DUAL: dual-vector Virus 1 (MMS + Bluetooth, paper section 6)\n";
 
+  Harness harness("ext_dual_vector");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("MMS-only baseline", core::baseline_scenario(virus::virus1())));
-  runs.push_back(run_labelled("Dual-vector baseline", dual_vector_base()));
+  runs.push_back(
+      run_labelled(harness, "MMS-only baseline", core::baseline_scenario(virus::virus1())));
+  runs.push_back(run_labelled(harness, "Dual-vector baseline", dual_vector_base()));
 
   core::ScenarioConfig scanned_single = core::fig2_scan_scenario(SimTime::hours(6.0));
-  runs.push_back(run_labelled("MMS-only + 6h scan", scanned_single));
+  runs.push_back(run_labelled(harness, "MMS-only + 6h scan", scanned_single));
 
   core::ScenarioConfig scanned_dual = dual_vector_base();
   response::GatewayScanConfig scan;
   scan.activation_delay = SimTime::hours(6.0);
   scanned_dual.responses.gateway_scan = scan;
-  runs.push_back(run_labelled("Dual-vector + 6h scan", scanned_dual));
+  runs.push_back(run_labelled(harness, "Dual-vector + 6h scan", scanned_dual));
 
   core::ScenarioConfig patched_dual = dual_vector_base();
   patched_dual.responses.immunization = response::ImmunizationConfig{};
-  runs.push_back(run_labelled("Dual-vector + patching", patched_dual));
+  runs.push_back(run_labelled(harness, "Dual-vector + patching", patched_dual));
 
   core::ScenarioConfig educated_dual = dual_vector_base();
   educated_dual.responses.user_education = response::UserEducationConfig{};
-  runs.push_back(run_labelled("Dual-vector + education 0.20", educated_dual));
+  runs.push_back(run_labelled(harness, "Dual-vector + education 0.20", educated_dual));
 
   print_figure("Dual-vector Virus 1: infection curves", runs, SimTime::hours(16.0));
 
@@ -67,5 +69,6 @@ int main() {
   report("infection-point mechanisms still work: they protect the phone, not the channel",
          "dual + patching -> " + fmt(runs[4].result.final_infections.mean()) +
              ", dual + education -> " + fmt(runs[5].result.final_infections.mean()));
+  harness.write_report();
   return 0;
 }

@@ -15,13 +15,14 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-1: baseline infection curves (Figure 1)\n";
+  Harness harness("fig1_baseline");
   std::vector<NamedRun> runs;
   for (const auto& profile : virus::paper_virus_suite()) {
     core::ScenarioConfig config = core::baseline_scenario(profile);
     // Common axis so the four curves print as one table.
     config.horizon = SimTime::hours(400.0);
     config.sample_step = SimTime::hours(1.0);
-    runs.push_back(run_labelled(profile.name, config));
+    runs.push_back(run_labelled(harness, profile.name, config));
   }
   print_figure("Figure 1: Baseline Infection Curves without Response Mechanisms", runs,
                SimTime::hours(8.0));
@@ -45,5 +46,6 @@ int main() {
          "half-plateau at " + fmt_hours(runs[0].result.curve.mean_first_time_at_or_above(160.0)) +
              " (Virus 1) and " +
              fmt_hours(runs[3].result.curve.mean_first_time_at_or_above(160.0)) + " (Virus 4)");
+  harness.write_report();
   return 0;
 }

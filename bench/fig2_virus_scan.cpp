@@ -13,10 +13,11 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-2: gateway virus scan, activation delay sweep (Figure 2)\n";
+  Harness harness("fig2_virus_scan");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus1())));
+  runs.push_back(run_labelled(harness, "Baseline", core::baseline_scenario(virus::virus1())));
   for (double hours : {6.0, 12.0, 24.0}) {
-    runs.push_back(run_labelled(fmt(hours, 0) + "-Hour Delay",
+    runs.push_back(run_labelled(harness, fmt(hours, 0) + "-Hour Delay",
                                 core::fig2_scan_scenario(SimTime::hours(hours))));
   }
   print_figure("Figure 2: Virus Scan, Varying the Activation Time Delay (Virus 1)", runs,
@@ -37,9 +38,10 @@ int main() {
     response::GatewayScanConfig scan;
     scan.activation_delay = SimTime::hours(6.0);
     with_scan.responses.gateway_scan = scan;
-    core::ExperimentResult scanned = core::run_experiment(with_scan, default_options());
+    core::ExperimentResult scanned =
+        run_experiment_case(harness, profile.name + " + 6h scan", with_scan);
     core::ExperimentResult baseline =
-        core::run_experiment(core::baseline_scenario(profile), default_options());
+        run_experiment_case(harness, profile.name + " baseline", core::baseline_scenario(profile));
     return 100.0 * scanned.final_infections.mean() / baseline.final_infections.mean();
   };
   report("results with the gateway scan look similar for Viruses 1, 2 and 4",
@@ -48,5 +50,6 @@ int main() {
   report("the gateway scan is completely ineffectual against rapid Virus 3",
          "Virus 3 with 6h-delay scan reaches " + fmt(side_run(virus::virus3())) +
              "% of its baseline penetration");
+  harness.write_report();
   return 0;
 }

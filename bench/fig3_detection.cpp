@@ -12,11 +12,12 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-3: gateway detection algorithm, accuracy sweep (Figure 3)\n";
+  Harness harness("fig3_detection");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus2())));
+  runs.push_back(run_labelled(harness, "Baseline", core::baseline_scenario(virus::virus2())));
   for (double accuracy : {0.99, 0.95, 0.90, 0.85, 0.80}) {
-    runs.push_back(
-        run_labelled(fmt(accuracy, 2) + " Accuracy", core::fig3_detection_scenario(accuracy)));
+    runs.push_back(run_labelled(harness, fmt(accuracy, 2) + " Accuracy",
+                                core::fig3_detection_scenario(accuracy)));
   }
   print_figure("Figure 3: Virus Detection Algorithm, Varying Detection Accuracy (Virus 2)", runs,
                SimTime::hours(8.0));
@@ -39,5 +40,6 @@ int main() {
     std::cout << runs[i].label << "=" << fmt(runs[i].result.final_infections.mean()) << " ";
   }
   std::cout << "\n";
+  harness.write_report();
   return 0;
 }

@@ -14,17 +14,18 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-4: phone user education, acceptance sweep (Figure 4)\n";
+  Harness harness("fig4_user_education");
   std::vector<NamedRun> runs;
   for (const auto& profile : virus::paper_virus_suite()) {
     core::ScenarioConfig base = core::baseline_scenario(profile);
     base.horizon = SimTime::hours(400.0);
     base.sample_step = SimTime::hours(1.0);
-    runs.push_back(run_labelled(profile.name, base));
+    runs.push_back(run_labelled(harness, profile.name, base));
     for (double acceptance : {0.20, 0.10}) {
       core::ScenarioConfig educated = core::fig4_education_scenario(profile, acceptance);
       educated.horizon = SimTime::hours(400.0);
       educated.sample_step = SimTime::hours(1.0);
-      runs.push_back(run_labelled(profile.name + " Ed" + fmt(acceptance, 2), educated));
+      runs.push_back(run_labelled(harness, profile.name + " Ed" + fmt(acceptance, 2), educated));
     }
   }
   print_figure("Figure 4: Phone User Education, Effective for All Viruses", runs,
@@ -42,5 +43,6 @@ int main() {
   }
   report("education both slows and eventually stops the virus spread (plateau reduced)",
          "all educated curves plateau below their baselines");
+  harness.write_report();
   return 0;
 }

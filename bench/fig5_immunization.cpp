@@ -15,8 +15,9 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-5: immunization patches, deployment sweep (Figure 5)\n";
+  Harness harness("fig5_immunization");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus4())));
+  runs.push_back(run_labelled(harness, "Baseline", core::baseline_scenario(virus::virus4())));
   struct Variant {
     double dev;
     double deploy;
@@ -27,7 +28,8 @@ int main() {
     std::string label =
         "Hours " + fmt(v.dev, 0) + "-" + fmt(v.dev + v.deploy, 0);
     runs.push_back(run_labelled(
-        label, core::fig5_immunization_scenario(SimTime::hours(v.dev), SimTime::hours(v.deploy))));
+        harness, label,
+        core::fig5_immunization_scenario(SimTime::hours(v.dev), SimTime::hours(v.deploy))));
   }
   print_figure("Figure 5: Immunization Using Patches, Varying the Deployment Times (Virus 4)",
                runs, SimTime::hours(8.0));
@@ -52,12 +54,13 @@ int main() {
   immunization.development_time = SimTime::hours(24.0);
   immunization.deployment_duration = SimTime::hours(1.0);
   v3.responses.immunization = immunization;
-  core::ExperimentResult v3_patched = core::run_experiment(v3, default_options());
+  core::ExperimentResult v3_patched = run_experiment_case(harness, "Virus 3 + 24h+1h patch", v3);
   core::ExperimentResult v3_base =
-      core::run_experiment(core::baseline_scenario(virus::virus3()), default_options());
+      run_experiment_case(harness, "Virus 3 baseline", core::baseline_scenario(virus::virus3()));
   report("Virus 3 moves too fast for a patch to be developed and deployed in time",
          "Virus 3 with 24h+1h patching reaches " +
              fmt(100.0 * v3_patched.final_infections.mean() / v3_base.final_infections.mean()) +
              "% of its baseline penetration");
+  harness.write_report();
   return 0;
 }

@@ -14,10 +14,11 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-6: monitoring, forced-wait sweep (Figure 6)\n";
+  Harness harness("fig6_monitoring");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus3())));
+  runs.push_back(run_labelled(harness, "Baseline", core::baseline_scenario(virus::virus3())));
   for (double minutes : {15.0, 30.0, 60.0}) {
-    runs.push_back(run_labelled(fmt(minutes, 0) + "-Minute Wait",
+    runs.push_back(run_labelled(harness, fmt(minutes, 0) + "-Minute Wait",
                                 core::fig6_monitoring_scenario(SimTime::minutes(minutes))));
   }
   print_figure("Figure 6: Monitoring, Varying the Wait Time for Suspicious Phones (Virus 3)",
@@ -42,12 +43,14 @@ int main() {
   for (const auto& profile : {virus::virus1(), virus::virus2(), virus::virus4()}) {
     core::ScenarioConfig monitored = core::baseline_scenario(profile);
     monitored.responses.monitoring = response::MonitoringConfig{};
-    core::ExperimentResult with = core::run_experiment(monitored, default_options());
+    core::ExperimentResult with =
+        run_experiment_case(harness, profile.name + " + monitoring", monitored);
     core::ExperimentResult base =
-        core::run_experiment(core::baseline_scenario(profile), default_options());
+        run_experiment_case(harness, profile.name + " baseline", core::baseline_scenario(profile));
     std::cout << "    " << profile.name << ": "
               << fmt(100.0 * with.final_infections.mean() / base.final_infections.mean())
               << "% (phones flagged: " << fmt(with.phones_flagged.mean()) << ")\n";
   }
+  harness.write_report();
   return 0;
 }

@@ -15,10 +15,11 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim FIG-7: blacklisting, threshold sweep (Figure 7)\n";
+  Harness harness("fig7_blacklist");
   std::vector<NamedRun> runs;
-  runs.push_back(run_labelled("Baseline", core::baseline_scenario(virus::virus3())));
+  runs.push_back(run_labelled(harness, "Baseline", core::baseline_scenario(virus::virus3())));
   for (std::uint32_t threshold : {10u, 20u, 30u, 40u}) {
-    runs.push_back(run_labelled(std::to_string(threshold) + " Messages",
+    runs.push_back(run_labelled(harness, std::to_string(threshold) + " Messages",
                                 core::fig7_blacklist_scenario(threshold)));
   }
   print_figure("Figure 7: Blacklisting, Varying the Activation Threshold (Virus 3)", runs,
@@ -39,9 +40,10 @@ int main() {
   response::BlacklistConfig bl10;
   bl10.message_threshold = 10;
   v1_bl10.responses.blacklist = bl10;
-  core::ExperimentResult v1_blacklisted = core::run_experiment(v1_bl10, default_options());
+  core::ExperimentResult v1_blacklisted =
+      run_experiment_case(harness, "Virus 1 + blacklist@10", v1_bl10);
   core::ExperimentResult v1_base =
-      core::run_experiment(core::baseline_scenario(virus::virus1()), default_options());
+      run_experiment_case(harness, "Virus 1 baseline", core::baseline_scenario(virus::virus1()));
   double v1_ratio = v1_blacklisted.final_infections.mean() / v1_base.final_infections.mean();
   double v3_ratio30 = runs[3].result.final_infections.mean() / base;
   report("threshold 30 vs random dialing is equivalent to threshold 10 vs contact lists",
@@ -53,13 +55,15 @@ int main() {
   // Evasion claim: Virus 2's multi-recipient messages defeat counting.
   core::ScenarioConfig v2_bl = core::baseline_scenario(virus::virus2());
   v2_bl.responses.blacklist = bl10;
-  core::ExperimentResult v2_blacklisted = core::run_experiment(v2_bl, default_options());
+  core::ExperimentResult v2_blacklisted =
+      run_experiment_case(harness, "Virus 2 + blacklist@10", v2_bl);
   core::ExperimentResult v2_base =
-      core::run_experiment(core::baseline_scenario(virus::virus2()), default_options());
+      run_experiment_case(harness, "Virus 2 baseline", core::baseline_scenario(virus::virus2()));
   report("blacklisting is completely ineffective for Virus 2 at any threshold",
          "Virus 2 @10 reaches " +
              fmt(100.0 * v2_blacklisted.final_infections.mean() /
                  v2_base.final_infections.mean()) +
              "% of its baseline");
+  harness.write_report();
   return 0;
 }

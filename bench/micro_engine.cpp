@@ -1,10 +1,14 @@
-// MICRO: engine microbenchmarks (google-benchmark).
+// MICRO: engine microbenchmarks.
 //
 // Not a paper figure — these guard the substrate's performance so the
 // figure benches stay fast: scheduler throughput, graph generation,
 // consent math, and whole-replication cost for each virus preset.
-#include <benchmark/benchmark.h>
+// Each case runs a fixed inner iteration count and reports the unit
+// count as its events figure, so events/sec is directly comparable
+// across BENCH reports.
+#include <cstdint>
 
+#include "harness.h"
 #include "core/presets.h"
 #include "core/simulation.h"
 #include "des/scheduler.h"
@@ -16,71 +20,91 @@ namespace {
 
 using namespace mvsim;
 
-void BM_SchedulerScheduleFire(benchmark::State& state) {
-  for (auto _ : state) {
+// Keeps a computed value alive so the optimizer cannot delete the work.
+volatile std::uint64_t g_sink = 0;
+
+std::uint64_t scheduler_schedule_fire() {
+  constexpr int kRounds = 200;
+  std::uint64_t executed = 0;
+  for (int round = 0; round < kRounds; ++round) {
     des::Scheduler sched;
     for (int i = 0; i < 1000; ++i) {
       sched.schedule_at(SimTime::minutes(static_cast<double>(i % 97)), [] {});
     }
     sched.run_to_quiescence();
-    benchmark::DoNotOptimize(sched.executed_count());
+    executed += sched.executed_count();
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  g_sink = executed;
+  return executed;
 }
-BENCHMARK(BM_SchedulerScheduleFire);
 
-void BM_SchedulerCancelHeavy(benchmark::State& state) {
-  for (auto _ : state) {
+std::uint64_t scheduler_cancel_heavy() {
+  constexpr int kRounds = 200;
+  std::uint64_t scheduled = 0;
+  for (int round = 0; round < kRounds; ++round) {
     des::Scheduler sched;
     std::vector<des::EventHandle> handles;
     handles.reserve(1000);
     for (int i = 0; i < 1000; ++i) {
-      handles.push_back(
-          sched.schedule_at(SimTime::minutes(static_cast<double>(i)), [] {}));
+      handles.push_back(sched.schedule_at(SimTime::minutes(static_cast<double>(i)), [] {}));
     }
     for (std::size_t i = 0; i < handles.size(); i += 2) sched.cancel(handles[i]);
     sched.run_to_quiescence();
-    benchmark::DoNotOptimize(sched.cancelled_count());
+    scheduled += 1000;
+    g_sink = sched.cancelled_count();
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  return scheduled;
 }
-BENCHMARK(BM_SchedulerCancelHeavy);
 
-void BM_PowerLawGraph(benchmark::State& state) {
-  auto n = static_cast<graph::PhoneId>(state.range(0));
+std::uint64_t power_law_graph(graph::PhoneId node_count) {
+  constexpr int kRounds = 10;
   rng::Stream stream(42);
   graph::PowerLawConfig config;
-  config.node_count = n;
+  config.node_count = node_count;
   config.target_mean_degree = 80.0;
-  for (auto _ : state) {
+  std::uint64_t edges = 0;
+  for (int round = 0; round < kRounds; ++round) {
     graph::ContactGraph g = graph::generate_power_law(config, stream);
-    benchmark::DoNotOptimize(g.edge_count());
+    edges += g.edge_count();
   }
+  g_sink = edges;
+  return edges;
 }
-BENCHMARK(BM_PowerLawGraph)->Arg(1000)->Arg(2000)->Arg(4000);
 
-void BM_ConsentSolver(benchmark::State& state) {
-  for (auto _ : state) {
-    double af = phone::ConsentModel::solve_acceptance_factor(0.40);
-    benchmark::DoNotOptimize(af);
+std::uint64_t consent_solver() {
+  constexpr int kRounds = 1000;
+  double sum = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    sum += phone::ConsentModel::solve_acceptance_factor(0.40);
   }
+  g_sink = static_cast<std::uint64_t>(sum);
+  return kRounds;
 }
-BENCHMARK(BM_ConsentSolver);
 
-void BM_FullReplication(benchmark::State& state) {
-  const auto suite = virus::paper_virus_suite();
-  const auto& profile = suite[static_cast<std::size_t>(state.range(0))];
+std::uint64_t full_replication(const virus::VirusProfile& profile) {
   core::ScenarioConfig config = core::baseline_scenario(profile);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    core::Simulation sim(config, seed++);
-    core::ReplicationResult r = sim.run();
-    benchmark::DoNotOptimize(r.total_infected);
-  }
-  state.SetLabel(profile.name);
+  core::Simulation sim(config, 1);
+  core::ReplicationResult result = sim.run();
+  g_sink = result.total_infected;
+  return result.metrics.counter_value("des.events_executed");
 }
-BENCHMARK(BM_FullReplication)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::Harness harness("micro_engine", {.warmup = 1, .repeat = 5});
+
+  harness.run_case("scheduler_schedule_fire", scheduler_schedule_fire);
+  harness.run_case("scheduler_cancel_heavy", scheduler_cancel_heavy);
+  for (graph::PhoneId n : {1000u, 2000u, 4000u}) {
+    harness.run_case("power_law_graph/" + std::to_string(n), [n] { return power_law_graph(n); });
+  }
+  harness.run_case("consent_solver", consent_solver);
+  for (const auto& profile : virus::paper_virus_suite()) {
+    harness.run_case("full_replication/" + profile.name,
+                     [&profile] { return full_replication(profile); });
+  }
+
+  harness.write_report();
+  return 0;
+}

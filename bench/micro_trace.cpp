@@ -1,14 +1,15 @@
-// MICRO: tracing-overhead microbenchmarks (google-benchmark).
+// MICRO: tracing-overhead microbenchmarks.
 //
 // Not a paper figure — these quantify the cost of the opt-in causal
 // event trace so "observation-only" stays cheap in wall-clock terms
 // too: raw record() throughput, whole-replication cost with tracing
 // off / bounded / unbounded, and exporter throughput for both on-disk
-// formats.
-#include <benchmark/benchmark.h>
-
+// formats. Each case reports the number of trace events (or simulator
+// events) it pushed through as its events figure.
+#include <cstdint>
 #include <sstream>
 
+#include "harness.h"
 #include "core/presets.h"
 #include "core/simulation.h"
 #include "trace/analysis.h"
@@ -18,6 +19,8 @@
 namespace {
 
 using namespace mvsim;
+
+volatile std::uint64_t g_sink = 0;
 
 core::ScenarioConfig bench_scenario() {
   core::ScenarioConfig config = core::baseline_scenario(virus::virus1());
@@ -37,52 +40,40 @@ trace::Event sample_event(std::uint64_t i) {
   return event;
 }
 
-void BM_TraceRecord(benchmark::State& state) {
+std::uint64_t trace_record() {
+  constexpr std::uint64_t kRecords = 1u << 20;
   trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    buffer.record(sample_event(i++));
-    if (buffer.events().size() >= (1u << 20)) buffer.clear();
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    buffer.record(sample_event(i));
   }
-  state.SetItemsProcessed(state.iterations());
+  g_sink = buffer.events().size();
+  return kRecords;
 }
-BENCHMARK(BM_TraceRecord);
 
-void BM_TraceRecordSaturated(benchmark::State& state) {
+std::uint64_t trace_record_saturated() {
   // Past the cap, record() only bumps the drop counter — the cost every
   // event pays once a bounded capture fills up.
+  constexpr std::uint64_t kRecords = 1u << 20;
   trace::TraceBuffer buffer(1);
-  buffer.record(sample_event(0));
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    buffer.record(sample_event(i++));
+  for (std::uint64_t i = 0; i < kRecords; ++i) {
+    buffer.record(sample_event(i));
   }
-  state.SetItemsProcessed(state.iterations());
+  g_sink = buffer.recorded();
+  return kRecords;
 }
-BENCHMARK(BM_TraceRecordSaturated);
 
-/// Whole-replication cost: range(0) selects tracing off (0), bounded
-/// to 4096 events (1), or unbounded (2). Comparing the three isolates
-/// the end-to-end overhead of instrumentation.
-void BM_ReplicationTraced(benchmark::State& state) {
+/// Whole-replication cost: mode selects tracing off (0), bounded to
+/// 4096 events (1), or unbounded (2). Comparing the three isolates the
+/// end-to-end overhead of instrumentation.
+std::uint64_t replication_traced(int mode) {
   core::ScenarioConfig config = bench_scenario();
-  std::uint64_t seed = 42;
-  std::uint64_t events = 0;
-  for (auto _ : state) {
-    trace::TraceBuffer buffer =
-        state.range(0) == 1 ? trace::TraceBuffer(4096) : trace::TraceBuffer::unbounded();
-    trace::TraceBuffer* trace = state.range(0) == 0 ? nullptr : &buffer;
-    core::Simulation sim(config, seed++, trace);
-    core::ReplicationResult result = sim.run();
-    benchmark::DoNotOptimize(result.total_infected);
-    events += buffer.recorded();
-  }
-  state.counters["traced_events"] =
-      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  trace::TraceBuffer buffer = mode == 1 ? trace::TraceBuffer(4096) : trace::TraceBuffer::unbounded();
+  trace::TraceBuffer* trace = mode == 0 ? nullptr : &buffer;
+  core::Simulation sim(config, 42, trace);
+  core::ReplicationResult result = sim.run();
+  g_sink = result.total_infected;
+  return result.metrics.counter_value("des.events_executed");
 }
-BENCHMARK(BM_ReplicationTraced)->Arg(0)->Arg(1)->Arg(2)
-    ->ArgNames({"mode"})  // 0 = off, 1 = bounded(4096), 2 = unbounded
-    ->Unit(benchmark::kMillisecond);
 
 trace::TraceBuffer recorded_replication() {
   trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
@@ -91,41 +82,38 @@ trace::TraceBuffer recorded_replication() {
   return buffer;
 }
 
-void BM_ExportJsonl(benchmark::State& state) {
-  trace::TraceBuffer buffer = recorded_replication();
-  for (auto _ : state) {
-    std::ostringstream out;
-    trace::write_jsonl(buffer, out);
-    benchmark::DoNotOptimize(out.str().size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(buffer.events().size()));
-}
-BENCHMARK(BM_ExportJsonl)->Unit(benchmark::kMillisecond);
-
-void BM_ExportChromeTrace(benchmark::State& state) {
-  trace::TraceBuffer buffer = recorded_replication();
-  for (auto _ : state) {
-    std::ostringstream out;
-    trace::write_chrome_trace(buffer, out);
-    benchmark::DoNotOptimize(out.str().size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(buffer.events().size()));
-}
-BENCHMARK(BM_ExportChromeTrace)->Unit(benchmark::kMillisecond);
-
-void BM_AnalyzeTree(benchmark::State& state) {
-  trace::TraceBuffer buffer = recorded_replication();
-  for (auto _ : state) {
-    trace::TreeStats stats = trace::analyze(buffer.events());
-    benchmark::DoNotOptimize(stats.infections);
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(buffer.events().size()));
-}
-BENCHMARK(BM_AnalyzeTree);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::Harness harness("micro_trace", {.warmup = 1, .repeat = 5});
+
+  harness.run_case("trace_record", trace_record);
+  harness.run_case("trace_record_saturated", trace_record_saturated);
+  for (int mode : {0, 1, 2}) {
+    // mode 0 = off, 1 = bounded(4096), 2 = unbounded
+    harness.run_case("replication_traced/mode" + std::to_string(mode),
+                     [mode] { return replication_traced(mode); });
+  }
+
+  const trace::TraceBuffer buffer = recorded_replication();
+  harness.run_case("export_jsonl", [&buffer] {
+    std::ostringstream out;
+    trace::write_jsonl(buffer, out);
+    g_sink = out.str().size();
+    return static_cast<std::uint64_t>(buffer.events().size());
+  });
+  harness.run_case("export_chrome_trace", [&buffer] {
+    std::ostringstream out;
+    trace::write_chrome_trace(buffer, out);
+    g_sink = out.str().size();
+    return static_cast<std::uint64_t>(buffer.events().size());
+  });
+  harness.run_case("analyze_tree", [&buffer] {
+    trace::TreeStats stats = trace::analyze(buffer.events());
+    g_sink = stats.infections;
+    return static_cast<std::uint64_t>(buffer.events().size());
+  });
+
+  harness.write_report();
+  return 0;
+}

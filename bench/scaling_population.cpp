@@ -12,6 +12,7 @@ using namespace mvsim::bench;
 
 int main() {
   std::cout << "mvsim SCALE: population scaling (paper section 5.3)\n";
+  Harness harness("scaling_population");
   std::cout << "virus,population,final_infected,penetration_of_susceptible,half_plateau_hours\n";
   for (const auto& profile : virus::paper_virus_suite()) {
     double fractions[2] = {0.0, 0.0};
@@ -19,7 +20,8 @@ int main() {
     for (graph::PhoneId population : {1000u, 2000u}) {
       core::ScenarioConfig config = core::baseline_scenario(profile);
       config.population = population;
-      core::ExperimentResult result = core::run_experiment(config, default_options());
+      core::ExperimentResult result = run_experiment_case(
+          harness, profile.name + " @" + std::to_string(population), config);
       double susceptible = static_cast<double>(population) * config.susceptible_fraction;
       double fraction = result.final_infections.mean() / susceptible;
       fractions[slot++] = fraction;
@@ -33,5 +35,6 @@ int main() {
            "penetration " + fmt(100.0 * fractions[0]) + "% at 1000 phones vs " +
                fmt(100.0 * fractions[1]) + "% at 2000 phones");
   }
+  harness.write_report();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "analysis/sweep.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace mvsim::analysis {
@@ -12,8 +13,23 @@ SweepResult run_sweep(const std::string& parameter_name, const std::vector<doubl
   SweepResult sweep;
   sweep.parameter_name = parameter_name;
   sweep.points.reserve(values.size());
-  for (double value : values) {
-    sweep.points.push_back({value, core::run_experiment(make_scenario(value), options)});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double value = values[i];
+    core::ScenarioConfig config = make_scenario(value);
+    core::RunnerOptions point_options = options;
+    if (options.progress) {
+      // Situate each point's updates inside the sweep so a renderer
+      // can show "point 3/7" alongside the replication counter.
+      point_options.progress_config_index = static_cast<int>(i);
+      point_options.progress_config_count = static_cast<int>(values.size());
+      if (options.progress_label.empty()) {
+        char label[160];
+        std::snprintf(label, sizeof label, "%s %s=%g", config.name.c_str(),
+                      parameter_name.c_str(), value);
+        point_options.progress_label = label;
+      }
+    }
+    sweep.points.push_back({value, core::run_experiment(config, point_options)});
   }
   return sweep;
 }

@@ -14,6 +14,7 @@
 #include "config/scenario_io.h"
 #include "core/runner.h"
 #include "metrics/report.h"
+#include "prof/profile_io.h"
 #include "response/registry.h"
 #include "trace/analysis.h"
 #include "trace/export.h"
@@ -41,12 +42,19 @@ usage:
                            Chrome trace JSON, loadable in Perfetto)
       --trace-rep N        which replication to trace (default 0)
       --trace-cap N        trace event capacity (default 1048576; 0 = unbounded)
+      --profile PATH       time the event loop: write a per-event-type wall-clock
+                           profile as JSON ('-' = stdout; results bit-identical,
+                           see docs/observability.md)
+      --progress           live progress on stderr (replications done, events/sec,
+                           ETA); observation-only
       --quiet              suppress the human-readable summary
   mvsim compare <a> <b> [...] [--reps N] [--seed N]
                            run several scenarios/presets, print a comparison table
   mvsim trace-analyze <file>
                            transmission-tree report from a --trace export
                            (generations, effective R, per-mechanism blocks)
+  mvsim profile-analyze <file> [--top N]
+                           "where the time goes" report from a --profile export
   mvsim preset <name>      print a preset scenario as JSON (edit & rerun)
   mvsim presets            list available presets
   mvsim mechanisms         list available response mechanisms (scenario "responses" keys)
@@ -66,6 +74,8 @@ struct RunOptions {
   std::string trace_path;
   int trace_replication = 0;
   std::size_t trace_capacity = trace::TraceBuffer::kDefaultCapacity;
+  std::string profile_path;
+  bool progress = false;
   bool quiet = false;
 };
 
@@ -154,6 +164,12 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
       }
       options.trace_capacity =
           cap == 0 ? std::numeric_limits<std::size_t>::max() : static_cast<std::size_t>(cap);
+    } else if (arg == "--profile") {
+      const std::string* v = next("--profile");
+      if (v == nullptr) return 1;
+      options.profile_path = *v;
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -196,8 +212,47 @@ int write_to(const std::string& path, const std::string& content, std::ostream& 
     return 2;
   }
   file << content;
+  file.flush();
+  if (!file) {
+    // Opened but the write failed (disk full, stream error mid-write):
+    // same contract as an unopenable path — report and fail.
+    err << "cannot write '" << path << "'\n";
+    return 2;
+  }
   return 0;
 }
+
+/// Renders ProgressUpdate lines on `err` as a carriage-return ticker;
+/// call finish() (newline) before printing anything else to `err`.
+class ProgressTicker {
+ public:
+  explicit ProgressTicker(std::ostream& err) : err_(&err) {}
+
+  void operator()(const core::ProgressUpdate& update) {
+    char line[256];
+    if (update.config_count > 1) {
+      std::snprintf(line, sizeof line, "\r[%d/%d] %s: rep %d/%d, %.0f ev/s, ETA %.1fs   ",
+                    update.config_index + 1, update.config_count, update.label.c_str(),
+                    update.replications_done, update.replications_total, update.events_per_sec,
+                    update.eta_seconds);
+    } else {
+      std::snprintf(line, sizeof line, "\r%s: rep %d/%d, %.0f ev/s, ETA %.1fs   ",
+                    update.label.c_str(), update.replications_done, update.replications_total,
+                    update.events_per_sec, update.eta_seconds);
+    }
+    *err_ << line << std::flush;
+    ticked_ = true;
+  }
+
+  void finish() {
+    if (ticked_) *err_ << '\n';
+    ticked_ = false;
+  }
+
+ private:
+  std::ostream* err_;
+  bool ticked_ = false;
+};
 
 /// JSONL for '-' (streams line by line) and .jsonl paths; Chrome trace
 /// JSON for everything else.
@@ -232,7 +287,13 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     runner.trace = trace_buffer.get();
     runner.trace_replication = options.trace_replication;
   }
+  runner.profile = !options.profile_path.empty();
+  ProgressTicker ticker(err);
+  if (options.progress) {
+    runner.progress = [&ticker](const core::ProgressUpdate& update) { ticker(update); };
+  }
   core::ExperimentResult result = core::run_experiment(scenario, runner);
+  ticker.finish();
 
   if (!options.quiet) {
     out << "scenario: " << scenario.name << "\n"
@@ -270,6 +331,15 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     }
     if (int rc = write_to(options.metrics_path, text, out, err); rc != 0) return rc;
   }
+  if (!options.profile_path.empty()) {
+    metrics::ReportInfo info;
+    info.scenario = scenario.name;
+    info.replications = options.replications;
+    info.threads = result.threads_used;
+    info.master_seed = options.seed;
+    std::string text = json::stringify(prof::profile_to_json(info, result.metrics), 2) + "\n";
+    if (int rc = write_to(options.profile_path, text, out, err); rc != 0) return rc;
+  }
   if (trace_buffer != nullptr) {
     std::ostringstream text;
     if (trace_path_is_jsonl(options.trace_path)) {
@@ -297,6 +367,43 @@ int command_trace_analyze(const std::vector<std::string>& args, std::ostream& ou
     trace::TreeStats stats = trace::analyze(loaded.events);
     stats.dropped = loaded.meta.dropped;
     trace::write_report(stats, out);
+    return 0;
+  } catch (const std::exception& e) {
+    err << e.what() << '\n';
+    return 2;
+  }
+}
+
+int command_profile_analyze(const std::vector<std::string>& args, std::ostream& out,
+                            std::ostream& err) {
+  std::string path;
+  int top_n = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top") {
+      if (i + 1 >= args.size()) {
+        err << "--top: missing value\n";
+        return 1;
+      }
+      std::uint64_t value = 0;
+      if (!parse_u64(args[i + 1], value) || value == 0 || value > 1000) {
+        err << "--top: expected a positive integer, got '" << args[i + 1] << "'\n";
+        return 1;
+      }
+      top_n = static_cast<int>(value);
+      ++i;
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      err << "profile-analyze: unexpected argument '" << args[i] << "'\n";
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    err << "profile-analyze: expected a profile file (from `mvsim run --profile`)\n";
+    return 1;
+  }
+  try {
+    prof::write_profile_report(prof::read_profile_file(path), out, top_n);
     return 0;
   } catch (const std::exception& e) {
     err << e.what() << '\n';
@@ -441,6 +548,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out, std::ostrea
     if (command == "run") return command_run(rest, out, err);
     if (command == "compare") return command_compare(rest, out, err);
     if (command == "trace-analyze") return command_trace_analyze(rest, out, err);
+    if (command == "profile-analyze") return command_profile_analyze(rest, out, err);
     if (command == "preset") return command_preset(rest, out, err);
     if (command == "presets") return command_presets(out);
     if (command == "mechanisms") return command_mechanisms(out);

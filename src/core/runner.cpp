@@ -6,35 +6,101 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "metrics/registry.h"
+#include "prof/profiler.h"
 #include "rng/seed.h"
 
 namespace mvsim::core {
 
 namespace {
 
+/// Serializes progress callbacks across workers and accumulates the
+/// experiment-so-far counts they report. Mutex-guarded shared state is
+/// fine here: one lock per completed replication, nothing on the event
+/// loop's hot path.
+class ProgressSink {
+ public:
+  ProgressSink(const RunnerOptions& options, const ScenarioConfig& config)
+      : options_(&options),
+        started_(std::chrono::steady_clock::now()) {
+    update_.label = options.progress_label.empty() ? config.name : options.progress_label;
+    update_.replications_total = options.replications;
+    update_.config_index = options.progress_config_index;
+    update_.config_count = options.progress_config_count;
+  }
+
+  void replication_done(const ReplicationResult& result) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++update_.replications_done;
+    update_.events_executed += result.metrics.counter_value("des.events_executed");
+    update_.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+    update_.events_per_sec = update_.elapsed_seconds > 0.0
+                                 ? static_cast<double>(update_.events_executed) /
+                                       update_.elapsed_seconds
+                                 : 0.0;
+    const int remaining = update_.replications_total - update_.replications_done;
+    update_.eta_seconds = update_.replications_done > 0
+                              ? update_.elapsed_seconds /
+                                    static_cast<double>(update_.replications_done) *
+                                    static_cast<double>(remaining)
+                              : 0.0;
+    options_->progress(update_);
+  }
+
+ private:
+  const RunnerOptions* options_;
+  std::chrono::steady_clock::time_point started_;
+  std::mutex mutex_;
+  ProgressUpdate update_;
+};
+
 /// Runs replications [0, count) into `slots`, pulling indices from a
 /// shared counter. Each replication is a fully independent Simulation;
-/// the only shared state is the index counter and the output slot
-/// owned exclusively by the replication that claimed it. Each
-/// replication is wall-clock timed here (construction + run), feeding
-/// the runner's `timing.*` metrics.
+/// the only shared state is the index counter, the output slot owned
+/// exclusively by the replication that claimed it, and the (mutex-
+/// serialized) progress sink. Each replication is wall-clock timed
+/// here (construction + run), feeding the runner's `timing.*` metrics;
+/// under `options.profile` it additionally carries its own Profiler,
+/// whose snapshot rides along in the replication's metrics.
 void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int count,
-                std::atomic<int>& next, std::vector<ReplicationResult>& slots) {
+                std::atomic<int>& next, std::vector<ReplicationResult>& slots,
+                ProgressSink* progress) {
   for (;;) {
     int rep = next.fetch_add(1, std::memory_order_relaxed);
     if (rep >= count) return;
     auto started = std::chrono::steady_clock::now();
     trace::TraceBuffer* trace = rep == options.trace_replication ? options.trace : nullptr;
-    Simulation sim(config, rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)),
-                   trace);
-    ReplicationResult result = sim.run();
+    std::unique_ptr<prof::Profiler> profiler;
+    if (options.profile) profiler = std::make_unique<prof::Profiler>();
+
+    std::optional<Simulation> sim;
+    {
+      prof::ScopedPhase phase(profiler.get(), prof::Phase::kBuild);
+      sim.emplace(config,
+                  rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)), trace,
+                  profiler.get());
+    }
+    {
+      prof::ScopedPhase phase(profiler.get(), prof::Phase::kRun);
+      sim->run_until(config.horizon);
+    }
+    ReplicationResult result;
+    {
+      prof::ScopedPhase phase(profiler.get(), prof::Phase::kCollect);
+      result = sim->result();
+    }
+    if (profiler != nullptr) result.metrics.merge(profiler->snapshot());
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
     slots[static_cast<std::size_t>(rep)] = std::move(result);
+    if (progress != nullptr) progress->replication_done(slots[static_cast<std::size_t>(rep)]);
   }
 }
 
@@ -93,16 +159,19 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   thread_count = std::min(thread_count, options.replications);
 
   std::vector<ReplicationResult> slots(static_cast<std::size_t>(options.replications));
+  std::optional<ProgressSink> progress;
+  if (options.progress) progress.emplace(options, config);
+  ProgressSink* sink = progress ? &*progress : nullptr;
   if (thread_count <= 1) {
     std::atomic<int> next{0};
-    run_worker(config, options, options.replications, next, slots);
+    run_worker(config, options, options.replications, next, slots, sink);
   } else {
     std::atomic<int> next{0};
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(thread_count));
     for (int t = 0; t < thread_count; ++t) {
       workers.emplace_back(run_worker, std::cref(config), std::cref(options),
-                           options.replications, std::ref(next), std::ref(slots));
+                           options.replications, std::ref(next), std::ref(slots), sink);
     }
     for (std::thread& worker : workers) worker.join();
   }

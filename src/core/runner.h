@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,6 +46,27 @@ struct ExperimentResult {
   explicit ExperimentResult(stats::AggregatedSeries aggregated) : curve(std::move(aggregated)) {}
 };
 
+/// One live progress observation, delivered after each replication
+/// completes. Counts are cumulative over the experiment so far;
+/// `config_index`/`config_count` situate the experiment inside a
+/// multi-config driver (a sweep point, a figure series), both 0-based /
+/// 1 for a standalone run.
+struct ProgressUpdate {
+  std::string label;               ///< scenario (or sweep-point) label
+  int replications_done = 0;
+  int replications_total = 0;
+  std::uint64_t events_executed = 0;  ///< summed over completed replications
+  double elapsed_seconds = 0.0;
+  double events_per_sec = 0.0;        ///< events_executed / elapsed_seconds
+  double eta_seconds = 0.0;           ///< naive: elapsed/done * remaining
+  int config_index = 0;
+  int config_count = 1;
+};
+
+/// Invocations are serialized by the runner (never concurrent), in
+/// completion order — which under threads is not replication order.
+using ProgressReporter = std::function<void(const ProgressUpdate&)>;
+
 struct RunnerOptions {
   int replications = 10;
   std::uint64_t master_seed = 0x5eed'0000'0001ULL;
@@ -62,6 +84,20 @@ struct RunnerOptions {
   /// observation-only — results are bit-identical with it on or off.
   int trace_replication = 0;
   trace::TraceBuffer* trace = nullptr;
+  /// Attach a prof::Profiler to every replication: per-event-type
+  /// wall-clock histograms plus build/run/collect phase timers, merged
+  /// into ExperimentResult::metrics as the `prof.*` series. Like
+  /// `timing.*` the values are machine-dependent; like tracing the
+  /// instrumentation is observation-only, so profiled runs are
+  /// bit-identical to unprofiled ones.
+  bool profile = false;
+  /// When set, called after every completed replication (serialized,
+  /// in completion order). Observation-only.
+  ProgressReporter progress;
+  /// Label for ProgressUpdate::label; empty = the scenario's name.
+  std::string progress_label;
+  int progress_config_index = 0;
+  int progress_config_count = 1;
 };
 
 /// Runs `options.replications` independent replications of `config`.

@@ -26,7 +26,7 @@ enum StreamIndex : std::uint64_t {
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-                       trace::TraceBuffer* trace)
+                       trace::TraceBuffer* trace, des::EventTimer* event_timer)
     : config_(config),
       topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
       user_stream_(rng::derive_seed(replication_seed, kUserStream)),
@@ -38,6 +38,7 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
       consent_(response::consent_for_suite(config.responses, config.eventual_acceptance)),
       trace_(trace) {
   config.validate().throw_if_invalid();
+  scheduler_.set_event_timer(event_timer);
 
   build_topology();
 
@@ -83,7 +84,8 @@ void Simulation::build_proximity_channel() {
 
 void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
   scheduler_.schedule_after(
-      proximity_stream_.exponential(config_.proximity->scan_interval_mean), [this, id] {
+      proximity_stream_.exponential(config_.proximity->scan_interval_mean),
+      des::EventType::kBluetoothScan, [this, id] {
         // A patch kills the worm outright. Blacklisting and monitoring
         // do NOT apply: the provider's MMS-side levers cannot touch
         // point-to-point Bluetooth transfers.
@@ -187,7 +189,8 @@ void Simulation::seed_patient_zero() {
                                                            config_.initial_infected);
   for (auto pick : picks) {
     graph::PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
-    scheduler_.schedule_at(SimTime::zero(), [this, id] { phones_[id].force_infect(); });
+    scheduler_.schedule_at(SimTime::zero(), des::EventType::kSeedInfection,
+                           [this, id] { phones_[id].force_infect(); });
   }
 }
 
@@ -219,7 +222,7 @@ void Simulation::on_phone_infected(graph::PhoneId id) {
   processes_[id]->start();
 
   if (config_.proximity) {
-    scheduler_.schedule_after(config_.virus.dormancy,
+    scheduler_.schedule_after(config_.virus.dormancy, des::EventType::kBluetoothScan,
                               [this, id] { schedule_bluetooth_scan(id); });
   }
 }

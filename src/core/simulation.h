@@ -70,8 +70,14 @@ class Simulation {
   /// outlive the simulation). Tracing is observation-only: it never
   /// draws randomness or schedules events, so traced and untraced runs
   /// are bit-identical.
+  ///
+  /// When `event_timer` is non-null the scheduler reports each executed
+  /// event's type and wall-clock duration to it (see des::EventTimer).
+  /// Like tracing this is observation-only: timing never draws
+  /// randomness or schedules events, so profiled runs are bit-identical
+  /// to unprofiled ones.
   Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-             trace::TraceBuffer* trace = nullptr);
+             trace::TraceBuffer* trace = nullptr, des::EventTimer* event_timer = nullptr);
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

@@ -49,7 +49,8 @@ void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment&
 }
 
 void SimulationContext::schedule_tick(response::ResponseMechanism* mechanism, SimTime period) {
-  scheduler_->schedule_after(period, [this, mechanism, period] {
+  scheduler_->schedule_after(period, des::EventType::kResponseTick,
+                             [this, mechanism, period] {
     count_dispatch(1);
     mechanism->on_tick(scheduler_->now());
     schedule_tick(mechanism, period);

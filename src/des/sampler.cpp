@@ -15,14 +15,14 @@ PeriodicSampler::PeriodicSampler(Scheduler& scheduler, SimTime period, SimTime h
   }
   if (!probe_) throw std::invalid_argument("PeriodicSampler: empty probe");
   samples_.reserve(static_cast<std::size_t>(horizon / period) + 2);
-  scheduler_->schedule_at(scheduler_->now(), [this] { take_sample(); });
+  scheduler_->schedule_at(scheduler_->now(), EventType::kSample, [this] { take_sample(); });
 }
 
 void PeriodicSampler::take_sample() {
   samples_.emplace_back(scheduler_->now(), probe_());
   SimTime next = scheduler_->now() + period_;
   if (next <= horizon_) {
-    scheduler_->schedule_at(next, [this] { take_sample(); });
+    scheduler_->schedule_at(next, EventType::kSample, [this] { take_sample(); });
   }
 }
 

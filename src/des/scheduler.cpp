@@ -1,11 +1,12 @@
 #include "des/scheduler.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace mvsim::des {
 
-std::uint64_t Scheduler::allocate_record(Callback fn) {
+std::uint64_t Scheduler::allocate_record(Callback fn, EventType type) {
   std::uint64_t id;
   if (!free_.empty()) {
     id = free_.back();
@@ -17,16 +18,17 @@ std::uint64_t Scheduler::allocate_record(Callback fn) {
   Record& rec = records_[id - 1];
   rec.fn = std::move(fn);
   rec.live = true;
+  rec.type = type;
   return id;
 }
 
-EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
+EventHandle Scheduler::schedule_at(SimTime at, EventType type, Callback fn) {
   if (!(at >= now_)) {
     throw std::invalid_argument("Scheduler::schedule_at: time " + at.to_string() +
                                 " is before now " + now_.to_string());
   }
   if (!fn) throw std::invalid_argument("Scheduler::schedule_at: empty callback");
-  std::uint64_t id = allocate_record(std::move(fn));
+  std::uint64_t id = allocate_record(std::move(fn), type);
   std::uint64_t generation = records_[id - 1].generation;
   queue_.push(HeapEntry{at, next_seq_++, id, generation});
   ++live_events_;
@@ -35,11 +37,11 @@ EventHandle Scheduler::schedule_at(SimTime at, Callback fn) {
   return EventHandle{id, generation};
 }
 
-EventHandle Scheduler::schedule_after(SimTime delay, Callback fn) {
+EventHandle Scheduler::schedule_after(SimTime delay, EventType type, Callback fn) {
   if (!delay.is_nonnegative()) {
     throw std::invalid_argument("Scheduler::schedule_after: negative delay " + delay.to_string());
   }
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, type, std::move(fn));
 }
 
 bool Scheduler::cancel(EventHandle handle) {
@@ -73,13 +75,23 @@ bool Scheduler::step() {
     queue_.pop();
     now_ = top.at;
     Callback fn = std::move(rec.fn);
+    const EventType type = rec.type;
     rec.live = false;
     rec.fn = nullptr;
     ++rec.generation;
     free_.push_back(top.id);
     --live_events_;
     ++executed_;
-    fn();
+    if (timer_ != nullptr) {
+      const auto started = std::chrono::steady_clock::now();
+      fn();
+      timer_->record_event(
+          type, std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                          started)
+                    .count());
+    } else {
+      fn();
+    }
     return true;
   }
   return false;

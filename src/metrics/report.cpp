@@ -57,6 +57,52 @@ constexpr MetricDescriptor kSchema[] = {
      "MMS messages phones handed to the gateway (before filtering)."},
     {"net.recipients_delivered", MetricKind::kCounter, "deliveries", "net",
      "Per-recipient deliveries that reached a valid phone."},
+    {"prof.event.bluetooth_scan", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of proximity-channel scan/push events. Emitted only under "
+     "--profile.", true},
+    {"prof.event.generic", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of untagged scheduler events. Emitted only under --profile.", true},
+    {"prof.event.message_delivery", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of gateway delivery fan-outs. Emitted only under --profile.", true},
+    {"prof.event.mobility_move", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of mobility-grid movement events. Emitted only under --profile.",
+     true},
+    {"prof.event.phone_read", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of phones reading received messages. Emitted only under --profile.",
+     true},
+    {"prof.event.response_activation", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of response mechanisms going live or starting deployment. Emitted "
+     "only under --profile.", true},
+    {"prof.event.response_patch", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of individual patch deliveries. Emitted only under --profile.",
+     true},
+    {"prof.event.response_tick", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of periodic response-mechanism ticks. Emitted only under "
+     "--profile.", true},
+    {"prof.event.sample", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of time-series sampling events. Emitted only under --profile.",
+     true},
+    {"prof.event.seed_infection", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of patient-zero seeding events. Emitted only under --profile.",
+     true},
+    {"prof.event.virus_legit_traffic", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of legitimate-traffic events (piggyback viruses). Emitted only "
+     "under --profile.", true},
+    {"prof.event.virus_reboot", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of per-reboot budget refresh events. Emitted only under "
+     "--profile.", true},
+    {"prof.event.virus_send", MetricKind::kHistogram, "us", "prof",
+     "Per-event wall-clock of virus dissemination attempts. Emitted only under --profile.",
+     true},
+    {"prof.phase.build_ms", MetricKind::kHistogram, "ms", "prof",
+     "Per-replication wall-clock of simulation construction (topology, phones, responses). "
+     "Emitted only under --profile.", true},
+    {"prof.phase.collect_ms", MetricKind::kHistogram, "ms", "prof",
+     "Per-replication wall-clock of result collection and metric snapshotting. Emitted only "
+     "under --profile.", true},
+    {"prof.phase.run_ms", MetricKind::kHistogram, "ms", "prof",
+     "Per-replication wall-clock of the event loop (run to horizon). Emitted only under "
+     "--profile.", true},
     {"response.blacklist.phones_blacklisted", MetricKind::kCounter, "phones", "response",
      "Phones whose MMS service the blacklist cut off. Emitted when blacklist is enabled."},
     {"response.gateway_detection.activations", MetricKind::kCounter, "activations", "response",

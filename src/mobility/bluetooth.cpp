@@ -100,13 +100,15 @@ BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
                                                            config_.initial_infected);
   for (auto pick : picks) {
     PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
-    scheduler_.schedule_at(SimTime::zero(), [this, id] { phones_[id].force_infect(); });
+    scheduler_.schedule_at(SimTime::zero(), des::EventType::kSeedInfection,
+                           [this, id] { phones_[id].force_infect(); });
   }
 
   if (config_.immunization) {
     SimTime rollout_start =
         config_.immunization->detection_time + config_.immunization->development_time;
-    scheduler_.schedule_at(rollout_start, [this] { begin_patch_rollout(); });
+    scheduler_.schedule_at(rollout_start, des::EventType::kResponseActivation,
+                           [this] { begin_patch_rollout(); });
   }
 }
 
@@ -115,11 +117,13 @@ BluetoothSimulation::~BluetoothSimulation() = default;
 void BluetoothSimulation::on_phone_infected(PhoneId id) {
   ++infected_count_;
   infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
-  scheduler_.schedule_after(config_.dormancy, [this, id] { schedule_scan(id); });
+  scheduler_.schedule_after(config_.dormancy, des::EventType::kBluetoothScan,
+                            [this, id] { schedule_scan(id); });
 }
 
 void BluetoothSimulation::schedule_scan(PhoneId id) {
-  scheduler_.schedule_after(worm_stream_.exponential(config_.scan_interval_mean), [this, id] {
+  scheduler_.schedule_after(worm_stream_.exponential(config_.scan_interval_mean),
+                            des::EventType::kBluetoothScan, [this, id] {
     // A patch on an infected phone disables the worm (same semantics
     // as the MMS sending process).
     if (phones_[id].propagation_stopped()) return;
@@ -140,7 +144,7 @@ void BluetoothSimulation::begin_patch_rollout() {
                          ? response_stream_.uniform(SimTime::zero(),
                                                     config_.immunization->deployment_duration)
                          : SimTime::zero();
-    scheduler_.schedule_after(offset, [this, target] {
+    scheduler_.schedule_after(offset, des::EventType::kResponsePatch, [this, target] {
       phones_[target].apply_patch();
       ++patches_applied_;
     });

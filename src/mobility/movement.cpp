@@ -14,7 +14,8 @@ MovementProcess::MovementProcess(des::Scheduler& scheduler, MobilityGrid& grid,
 }
 
 void MovementProcess::schedule_move(PhoneId phone) {
-  scheduler_->schedule_after(stream_->exponential(dwell_mean_), [this, phone] {
+  scheduler_->schedule_after(stream_->exponential(dwell_mean_), des::EventType::kMobilityMove,
+                             [this, phone] {
     grid_->move_to_random_neighbour(phone, *stream_);
     ++moves_;
     schedule_move(phone);

@@ -50,7 +50,7 @@ void Gateway::submit(MmsMessage message) {
 
   SimTime delay = stream_->exponential(delivery_delay_mean_);
   auto shared = std::make_shared<MmsMessage>(std::move(message));
-  scheduler_->schedule_after(delay, [this, shared] {
+  scheduler_->schedule_after(delay, des::EventType::kMessageDelivery, [this, shared] {
     const SimTime at = scheduler_->now();
     for (const DialedRecipient& r : shared->recipients) {
       if (r.valid) {

@@ -43,7 +43,8 @@ void Phone::receive_infected_message(InfectionSource source) {
   // infected messages had been received when *this* one arrived.
   const int message_index = received_count_;
   SimTime read_delay = env_->user_stream->exponential(env_->read_delay_mean);
-  env_->scheduler->schedule_after(read_delay, [this, message_index, source] {
+  env_->scheduler->schedule_after(read_delay, des::EventType::kPhoneRead,
+                                  [this, message_index, source] {
     --pending_decisions_;
     double p = env_->consent->acceptance_probability(message_index);
     if (env_->user_stream->bernoulli(p)) {

@@ -27,7 +27,8 @@ void GatewayDetection::on_build(BuildContext& context) {
 
 void GatewayDetection::on_detectability_crossed(SimTime) {
   if (scheduler_ == nullptr) throw std::logic_error("GatewayDetection: on_build never ran");
-  scheduler_->schedule_after(config_.analysis_period, [this] { activate(scheduler_->now()); });
+  scheduler_->schedule_after(config_.analysis_period, des::EventType::kResponseActivation,
+                             [this] { activate(scheduler_->now()); });
 }
 
 void GatewayDetection::activate(SimTime now) {

@@ -25,7 +25,8 @@ void GatewayScan::on_build(BuildContext& context) {
 
 void GatewayScan::on_detectability_crossed(SimTime) {
   if (scheduler_ == nullptr) throw std::logic_error("GatewayScan: on_build never ran");
-  scheduler_->schedule_after(config_.activation_delay, [this] { activate(scheduler_->now()); });
+  scheduler_->schedule_after(config_.activation_delay, des::EventType::kResponseActivation,
+                             [this] { activate(scheduler_->now()); });
 }
 
 void GatewayScan::activate(SimTime now) {

@@ -36,7 +36,8 @@ void Immunization::on_build(BuildContext& context) {
 
 void Immunization::on_detectability_crossed(SimTime) {
   if (scheduler_ == nullptr) throw std::logic_error("Immunization: on_build never ran");
-  scheduler_->schedule_after(config_.development_time, [this] { begin_deployment(); });
+  scheduler_->schedule_after(config_.development_time, des::EventType::kResponseActivation,
+                             [this] { begin_deployment(); });
 }
 
 void Immunization::begin_deployment() {
@@ -51,7 +52,7 @@ void Immunization::begin_deployment() {
     SimTime offset = config_.deployment_duration > SimTime::zero()
                          ? stream_->uniform(SimTime::zero(), config_.deployment_duration)
                          : SimTime::zero();
-    scheduler_->schedule_after(offset, [this, target] {
+    scheduler_->schedule_after(offset, des::EventType::kResponsePatch, [this, target] {
       apply_patch_(target);
       ++applied_;
     });

@@ -29,7 +29,7 @@ void SendingProcess::start() {
     // MMS activity, and not before the dormancy period has elapsed.
     pending_legit_ = env_.scheduler->schedule_after(
         profile_->dormancy + env_.virus_stream->exponential(profile_->legit_traffic_gap_mean),
-        [this] { on_legit_traffic(); });
+        des::EventType::kVirusLegitTraffic, [this] { on_legit_traffic(); });
   } else {
     SimTime first = env_.scheduler->now() + profile_->dormancy;
     if (profile_->align_first_burst) {
@@ -98,6 +98,7 @@ bool SendingProcess::budget_available(SimTime now, SimTime& resume_at) {
 void SendingProcess::schedule_attempt_at(SimTime at) {
   env_.scheduler->cancel(pending_attempt_);
   pending_attempt_ = env_.scheduler->schedule_at(max(at, env_.scheduler->now()),
+                                                 des::EventType::kVirusSend,
                                                  [this] { attempt_send(); });
 }
 
@@ -193,7 +194,7 @@ void SendingProcess::schedule_reboot() {
   // "30 messages per day"-style prose clearly excludes.
   pending_reboot_ = env_.scheduler->schedule_after(
       env_.virus_stream->uniform(profile_->budget_window * 0.75, profile_->budget_window * 1.25),
-      [this] { on_reboot(); });
+      des::EventType::kVirusReboot, [this] { on_reboot(); });
 }
 
 void SendingProcess::on_reboot() {
@@ -218,7 +219,7 @@ void SendingProcess::on_reboot() {
 void SendingProcess::schedule_legit_traffic() {
   pending_legit_ = env_.scheduler->schedule_after(
       env_.virus_stream->exponential(profile_->legit_traffic_gap_mean),
-      [this] { on_legit_traffic(); });
+      des::EventType::kVirusLegitTraffic, [this] { on_legit_traffic(); });
 }
 
 void SendingProcess::on_legit_traffic() {

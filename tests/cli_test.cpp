@@ -328,6 +328,74 @@ TEST(Cli, UsageMentionsTraceSurface) {
   EXPECT_NE(r.out.find("trace-analyze"), std::string::npos);
 }
 
+TEST(Cli, RunWritesProfileJsonAndProfileAnalyzeReadsIt) {
+  std::string scenario_path = write_small_scenario();
+  std::string profile_path = ::testing::TempDir() + "/mvsim_cli_profile.json";
+  CliResult r =
+      invoke({"run", scenario_path, "--reps", "2", "--quiet", "--profile", profile_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream file(profile_path);
+  ASSERT_TRUE(file.good());
+  std::ostringstream content;
+  content << file.rdbuf();
+  json::Value doc = json::parse(content.str());
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("type").as_string(), "mvsim-profile");
+  EXPECT_EQ(root.at("scenario").as_string(), "cli-test");
+  EXPECT_DOUBLE_EQ(root.at("replications").as_number(), 2.0);
+  EXPECT_FALSE(root.at("events").as_array().empty());
+  EXPECT_GT(root.at("event_wall_ms").as_number(), 0.0);
+
+  CliResult analyzed = invoke({"profile-analyze", profile_path, "--top", "3"});
+  EXPECT_EQ(analyzed.code, 0) << analyzed.err;
+  EXPECT_NE(analyzed.out.find("where the time goes"), std::string::npos);
+  std::remove(scenario_path.c_str());
+  std::remove(profile_path.c_str());
+}
+
+TEST(Cli, ProfileAnalyzeRejectsBadInput) {
+  EXPECT_EQ(invoke({"profile-analyze"}).code, 1);
+  EXPECT_EQ(invoke({"profile-analyze", "/no/such/profile.json"}).code, 2);
+  EXPECT_EQ(invoke({"profile-analyze", "p.json", "--top", "0"}).code, 1);
+  EXPECT_EQ(invoke({"profile-analyze", "p.json", "--top", "lots"}).code, 1);
+  // A JSON file without the profile type marker is rejected cleanly.
+  std::string path = ::testing::TempDir() + "/mvsim_cli_not_a_profile.json";
+  std::ofstream(path) << R"({"type": "something-else"})";
+  CliResult r = invoke({"profile-analyze", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("not an mvsim profile"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunProgressTicksOnStderr) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"run", path, "--reps", "2", "--quiet", "--progress"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("rep 2/2"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("ev/s"), std::string::npos) << r.err;
+  EXPECT_EQ(r.err.back(), '\n') << "ticker must finish its line";
+
+  // Progress is observation-only: summary output matches a plain run.
+  CliResult quiet = invoke({"run", path, "--reps", "2"});
+  CliResult with_progress = invoke({"run", path, "--reps", "2", "--progress"});
+  EXPECT_EQ(quiet.out, with_progress.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunReportsUnwritableOutputPaths) {
+  std::string path = write_small_scenario();
+  const char* kUnwritable = "/no/such/dir/mvsim_out.json";
+  for (const char* flag :
+       {"--metrics", "--trace", "--profile", "--curve-csv", "--summary-json"}) {
+    CliResult r = invoke({"run", path, "--reps", "1", "--quiet", flag, kUnwritable});
+    EXPECT_EQ(r.code, 2) << flag;
+    EXPECT_NE(r.err.find("cannot write"), std::string::npos) << flag << ": " << r.err;
+    EXPECT_NE(r.err.find(kUnwritable), std::string::npos) << flag << ": " << r.err;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Cli, ValidateAcceptsGoodFile) {
   std::string path = write_small_scenario();
   CliResult r = invoke({"validate", path});

@@ -23,6 +23,7 @@
 
 #include "core/presets.h"
 #include "core/runner.h"
+#include "metrics/registry.h"
 #include "trace/trace.h"
 
 namespace mvsim::core {
@@ -195,6 +196,36 @@ TEST(GoldenResults, PresetCurvesUnperturbedByTracing) {
       EXPECT_EQ(digest, case_hash(golden, 1))
           << golden.name << " @" << threads << " threads: tracing perturbed the results";
       EXPECT_GT(buffer.events().size(), 0u) << golden.name << ": traced replication was empty";
+    }
+  }
+}
+
+// Profiling and progress reporting are observation-only too: turning
+// both on must leave every preset's results bit-identical, at any
+// thread count, while still producing profile data and progress ticks.
+TEST(GoldenResults, PresetCurvesUnperturbedByProfilingAndProgress) {
+  for (const GoldenCase& golden : kCases) {
+    for (int threads : {1, 4}) {
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = threads;
+      options.profile = true;
+      int updates = 0;
+      options.progress = [&updates](const ProgressUpdate& update) {
+        ++updates;
+        EXPECT_EQ(update.replications_total, kReplications);
+      };
+      ExperimentResult result = run_experiment(golden.make(), options);
+      EXPECT_EQ(hash_result(result), case_hash(golden, 1))
+          << golden.name << " @" << threads
+          << " threads: profiling/progress perturbed the results";
+      EXPECT_EQ(updates, kReplications) << golden.name << ": progress updates missed";
+      const metrics::HistogramSample* run_phase =
+          result.metrics.find_histogram("prof.phase.run_ms");
+      ASSERT_NE(run_phase, nullptr) << golden.name << ": no profile data in merged metrics";
+      EXPECT_EQ(run_phase->count, static_cast<std::uint64_t>(kReplications));
     }
   }
 }

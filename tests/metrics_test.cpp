@@ -243,11 +243,12 @@ TEST(MetricsSchema, IsSortedAndFindable) {
   EXPECT_EQ(schema_find("des.events_executed")->kind, MetricKind::kCounter);
 }
 
-TEST(MetricsSchema, OnlyTimingValuesAreMachineDependent) {
+TEST(MetricsSchema, OnlyTimingAndProfilingValuesAreMachineDependent) {
   for (const MetricDescriptor& d : schema()) {
-    bool is_timing_value = std::string_view(d.name).starts_with("timing.") &&
-                           std::string_view(d.name) != "timing.replications";
-    EXPECT_EQ(d.machine_dependent, is_timing_value) << d.name;
+    bool is_wall_clock = (std::string_view(d.name).starts_with("timing.") &&
+                          std::string_view(d.name) != "timing.replications") ||
+                         std::string_view(d.name).starts_with("prof.");
+    EXPECT_EQ(d.machine_dependent, is_wall_clock) << d.name;
   }
 }
 
@@ -286,6 +287,9 @@ TEST(MetricsEndToEnd, FullSuiteRunEmitsExactlyTheSchemaCatalogue) {
   core::RunnerOptions options;
   options.replications = 2;
   options.threads = 1;
+  // Profiling must be on so the prof.* histograms (eagerly registered by
+  // the profiler) are part of the emitted set.
+  options.profile = true;
   core::ExperimentResult result = core::run_experiment(full_suite_scenario(), options);
 
   std::set<std::string> expected;

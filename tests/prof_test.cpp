@@ -1,0 +1,254 @@
+// Tests for the hot-path profiler (src/prof): metric-name catalogue,
+// scoped phase timers, merge commutativity, scheduler integration and
+// the profile document writer. The observation-only guarantee itself
+// (profiling does not perturb results) is pinned by golden_test.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "des/scheduler.h"
+#include "metrics/report.h"
+#include "prof/profile_io.h"
+#include "prof/profiler.h"
+
+namespace mvsim {
+namespace {
+
+// ---- Names and eager registration ---------------------------------------
+
+TEST(Profiler, MetricNamesCoverEveryEventTypeAndPhase) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < des::kEventTypeCount; ++i) {
+    std::string name = prof::event_metric_name(static_cast<des::EventType>(i));
+    EXPECT_TRUE(name.starts_with("prof.event.")) << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), des::kEventTypeCount) << "duplicate event metric name";
+  for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+    std::string name = prof::phase_metric_name(static_cast<prof::Phase>(i));
+    EXPECT_TRUE(name.starts_with("prof.phase.")) << name;
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), des::kEventTypeCount + prof::kPhaseCount);
+}
+
+TEST(Profiler, EagerlyRegistersExactlyTheSchemaProfCatalogue) {
+  // A fresh profiler's snapshot must carry every prof.* name the schema
+  // declares — zero-count histograms included — so merged profiles are
+  // structurally identical no matter which events actually fired.
+  std::set<std::string> emitted;
+  for (const auto& h : prof::Profiler().snapshot().histograms) {
+    emitted.insert(h.name);
+    EXPECT_EQ(h.count, 0u) << h.name;
+  }
+  std::set<std::string> declared;
+  for (const metrics::MetricDescriptor& d : metrics::schema()) {
+    if (std::string_view(d.name).starts_with("prof.")) declared.insert(std::string(d.name));
+  }
+  EXPECT_EQ(emitted, declared);
+}
+
+// ---- Recording ----------------------------------------------------------
+
+TEST(Profiler, RecordEventLandsInTheTypedHistogram) {
+  prof::Profiler profiler;
+  profiler.record_event(des::EventType::kVirusSend, 3.0);
+  profiler.record_event(des::EventType::kVirusSend, 5.0);
+  profiler.record_event(des::EventType::kPhoneRead, 7.0);
+
+  metrics::Snapshot snapshot = profiler.snapshot();
+  const metrics::HistogramSample* send =
+      snapshot.find_histogram(prof::event_metric_name(des::EventType::kVirusSend));
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->count, 2u);
+  EXPECT_DOUBLE_EQ(send->sum, 8.0);
+  const metrics::HistogramSample* read =
+      snapshot.find_histogram(prof::event_metric_name(des::EventType::kPhoneRead));
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->count, 1u);
+  const metrics::HistogramSample* generic =
+      snapshot.find_histogram(prof::event_metric_name(des::EventType::kGeneric));
+  ASSERT_NE(generic, nullptr);
+  EXPECT_EQ(generic->count, 0u);
+}
+
+TEST(Profiler, ScopedPhaseRecordsOneSampleAndNullIsANoOp) {
+  prof::Profiler profiler;
+  {
+    prof::ScopedPhase phase(&profiler, prof::Phase::kBuild);
+  }
+  {
+    prof::ScopedPhase ignored(nullptr, prof::Phase::kRun);  // must not crash
+  }
+  metrics::Snapshot snapshot = profiler.snapshot();
+  const metrics::HistogramSample* build =
+      snapshot.find_histogram(prof::phase_metric_name(prof::Phase::kBuild));
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->count, 1u);
+  EXPECT_GE(build->sum, 0.0);
+  const metrics::HistogramSample* run =
+      snapshot.find_histogram(prof::phase_metric_name(prof::Phase::kRun));
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count, 0u);
+}
+
+TEST(Profiler, NestedScopesAccountTheOuterSpanAsAtLeastTheInner) {
+  prof::Profiler profiler;
+  {
+    prof::ScopedPhase outer(&profiler, prof::Phase::kRun);
+    {
+      prof::ScopedPhase inner(&profiler, prof::Phase::kCollect);
+      // Busy-wait so the inner span is reliably nonzero on any clock.
+      auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(2);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+  }
+  metrics::Snapshot snapshot = profiler.snapshot();
+  const metrics::HistogramSample* outer =
+      snapshot.find_histogram(prof::phase_metric_name(prof::Phase::kRun));
+  const metrics::HistogramSample* inner =
+      snapshot.find_histogram(prof::phase_metric_name(prof::Phase::kCollect));
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_GT(inner->sum, 0.0);
+  EXPECT_GE(outer->sum, inner->sum);
+}
+
+TEST(Profiler, SnapshotsMergeCommutatively) {
+  prof::Profiler a;
+  a.record_event(des::EventType::kVirusSend, 2.0);
+  a.record_phase(prof::Phase::kBuild, 10.0);
+  prof::Profiler b;
+  b.record_event(des::EventType::kVirusSend, 100.0);
+  b.record_event(des::EventType::kBluetoothScan, 1.0);
+  b.record_phase(prof::Phase::kRun, 50.0);
+
+  metrics::Snapshot ab = a.snapshot();
+  ab.merge(b.snapshot());
+  metrics::Snapshot ba = b.snapshot();
+  ba.merge(a.snapshot());
+  EXPECT_EQ(ab, ba);
+
+  const metrics::HistogramSample* send =
+      ab.find_histogram(prof::event_metric_name(des::EventType::kVirusSend));
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->count, 2u);
+  EXPECT_DOUBLE_EQ(send->sum, 102.0);
+}
+
+// ---- Scheduler integration ----------------------------------------------
+
+TEST(Profiler, SchedulerAttributesExecutedEventsToTheirTypes) {
+  prof::Profiler profiler;
+  des::Scheduler scheduler;
+  scheduler.set_event_timer(&profiler);
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    scheduler.schedule_at(SimTime::minutes(static_cast<double>(i)), des::EventType::kVirusSend,
+                          [&fired] { ++fired; });
+  }
+  scheduler.schedule_at(SimTime::minutes(10.0), [&fired] { ++fired; });  // untyped -> kGeneric
+  scheduler.run_to_quiescence();
+  ASSERT_EQ(fired, 6);
+
+  metrics::Snapshot snapshot = profiler.snapshot();
+  const metrics::HistogramSample* send =
+      snapshot.find_histogram(prof::event_metric_name(des::EventType::kVirusSend));
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->count, 5u);
+  const metrics::HistogramSample* generic =
+      snapshot.find_histogram(prof::event_metric_name(des::EventType::kGeneric));
+  ASSERT_NE(generic, nullptr);
+  EXPECT_EQ(generic->count, 1u);
+}
+
+// ---- Quantile estimation ------------------------------------------------
+
+metrics::HistogramSample sample_histogram() {
+  metrics::HistogramSample h;
+  h.name = "test";
+  h.upper_bounds = {1.0, 2.0, 4.0};
+  h.bucket_counts = {0, 10, 0, 0};  // all ten samples in (1, 2]
+  h.count = 10;
+  h.sum = 15.0;
+  h.min = 1.2;
+  h.max = 1.9;
+  return h;
+}
+
+TEST(ProfileIo, HistogramQuantileInterpolatesInsideTheWinningBucket) {
+  metrics::HistogramSample h = sample_histogram();
+  double p50 = prof::histogram_quantile(h, 0.5);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_LE(prof::histogram_quantile(h, 0.1), p50);
+  EXPECT_LE(p50, prof::histogram_quantile(h, 0.9));
+}
+
+TEST(ProfileIo, HistogramQuantileHandlesEmptyAndOverflow) {
+  metrics::HistogramSample empty;
+  empty.upper_bounds = {1.0};
+  empty.bucket_counts = {0, 0};
+  EXPECT_DOUBLE_EQ(prof::histogram_quantile(empty, 0.5), 0.0);
+
+  metrics::HistogramSample overflow;
+  overflow.name = "overflow";
+  overflow.upper_bounds = {1.0};
+  overflow.bucket_counts = {0, 4};  // everything past the last bound
+  overflow.count = 4;
+  overflow.sum = 40.0;
+  overflow.min = 8.0;
+  overflow.max = 12.0;
+  EXPECT_DOUBLE_EQ(prof::histogram_quantile(overflow, 0.99), 12.0);
+}
+
+// ---- Profile document ---------------------------------------------------
+
+TEST(ProfileIo, ProfileToJsonRequiresProfilingData) {
+  metrics::ReportInfo info;
+  info.scenario = "empty";
+  info.replications = 1;
+  info.threads = 1;
+  metrics::Snapshot no_prof_data;
+  EXPECT_THROW((void)prof::profile_to_json(info, no_prof_data), std::invalid_argument);
+}
+
+TEST(ProfileIo, ProfileDocumentCarriesPhasesEventsAndIdentity) {
+  prof::Profiler profiler;
+  profiler.record_event(des::EventType::kVirusSend, 10.0);
+  profiler.record_event(des::EventType::kPhoneRead, 30.0);
+  profiler.record_phase(prof::Phase::kRun, 5.0);
+
+  metrics::ReportInfo info;
+  info.scenario = "prof-test";
+  info.replications = 3;
+  info.threads = 2;
+  info.master_seed = 7;
+  json::Value profile = prof::profile_to_json(info, profiler.snapshot());
+  const json::Object& root = profile.as_object();
+
+  EXPECT_EQ(root.at("type").as_string(), "mvsim-profile");
+  EXPECT_EQ(root.at("scenario").as_string(), "prof-test");
+  EXPECT_DOUBLE_EQ(root.at("replications").as_number(), 3.0);
+  // The eager catalogue puts every event type in the document; sorting
+  // is by total time descending, so the read (30us) outranks the send
+  // (10us) and both outrank the zero-count rest.
+  const json::Array& events = root.at("events").as_array();
+  ASSERT_EQ(events.size(), des::kEventTypeCount);
+  EXPECT_EQ(events[0].as_object().at("name").as_string(), "phone_read");
+  EXPECT_EQ(events[1].as_object().at("name").as_string(), "virus_send");
+  EXPECT_DOUBLE_EQ(root.at("event_wall_ms").as_number(), 0.04);
+
+  std::ostringstream report;
+  prof::write_profile_report(profile, report, 1);
+  EXPECT_NE(report.str().find("phone_read"), std::string::npos);
+  EXPECT_EQ(report.str().find("virus_send"), std::string::npos) << "--top 1 must truncate";
+}
+
+}  // namespace
+}  // namespace mvsim

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Compare two mvsim BENCH_*.json reports and flag perf regressions.
+
+Both files must be `"type": "mvsim-bench"` documents as written by
+bench::Harness (see docs/observability.md for the schema). Cases are
+matched by name. For each matched case the comparison metric is the
+p50 events/sec (higher is better); cases that report no event count
+(events == 0) fall back to p50 wall-clock seconds (lower is better).
+
+A case regresses when it is worse than the baseline by more than the
+threshold (default 10%). Cases present in only one file are reported
+but never fail the comparison — bench sets are allowed to grow.
+
+Usage:
+  python3 tools/bench_compare.py BASELINE.json CURRENT.json
+      [--threshold 0.10] [--warn-only]
+  python3 tools/bench_compare.py --self-test
+
+Exit status: 0 when no case regresses past the threshold (or
+--warn-only is given), 1 when at least one does, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail_input(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_bench(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail_input(f"cannot read '{path}': {error}")
+    check_bench_doc(doc, path)
+    return doc
+
+
+def check_bench_doc(doc, label):
+    if not isinstance(doc, dict) or doc.get("type") != "mvsim-bench":
+        fail_input(f"'{label}' is not an mvsim-bench document")
+    if not isinstance(doc.get("cases"), list):
+        fail_input(f"'{label}' has no cases array")
+
+
+def case_metric(case):
+    """Returns (metric_name, value, higher_is_better) for one case."""
+    eps = case.get("events_per_sec")
+    if case.get("events", 0) > 0 and isinstance(eps, dict) and "p50" in eps:
+        return "events_per_sec.p50", float(eps["p50"]), True
+    wall = case.get("wall_seconds", {})
+    if "p50" not in wall:
+        fail_input(f"case '{case.get('name')}' has no p50 metric")
+    return "wall_seconds.p50", float(wall["p50"]), False
+
+
+def compare(baseline, current, threshold):
+    """Returns (lines, regressions) for two parsed bench documents."""
+    base_cases = {c["name"]: c for c in baseline["cases"]}
+    curr_cases = {c["name"]: c for c in current["cases"]}
+    lines = []
+    regressions = 0
+
+    for name, base in base_cases.items():
+        if name not in curr_cases:
+            lines.append(f"  MISSING   {name} (in baseline only)")
+            continue
+        metric, base_value, higher_better = case_metric(base)
+        _, curr_value, _ = case_metric(curr_cases[name])
+        if base_value <= 0:
+            lines.append(f"  SKIP      {name} (non-positive baseline {metric})")
+            continue
+        # Normalize so `change` < 0 always means "got worse".
+        if higher_better:
+            change = curr_value / base_value - 1.0
+        else:
+            change = base_value / curr_value - 1.0 if curr_value > 0 else -1.0
+        verdict = "OK"
+        if change < -threshold:
+            verdict = "REGRESSED"
+            regressions += 1
+        elif change > threshold:
+            verdict = "IMPROVED"
+        lines.append(
+            f"  {verdict:<9} {name}: {metric} {base_value:.6g} -> "
+            f"{curr_value:.6g} ({change:+.1%})")
+
+    for name in curr_cases:
+        if name not in base_cases:
+            lines.append(f"  NEW       {name} (in current only)")
+
+    return lines, regressions
+
+
+def self_test():
+    """Synthesizes a baseline and a regressed current run and checks both
+    comparison directions, the fallback metric, and set differences."""
+
+    def doc(cases):
+        return {"type": "mvsim-bench", "bench": "selftest", "cases": cases}
+
+    def case(name, events, wall_p50):
+        body = {"name": name, "events": events,
+                "wall_seconds": {"p50": wall_p50}}
+        if events > 0:
+            body["events_per_sec"] = {"p50": events / wall_p50}
+        return body
+
+    baseline = doc([
+        case("steady", 1000, 1.0),
+        case("slows_down", 1000, 1.0),
+        case("speeds_up", 1000, 1.0),
+        case("wall_only_regression", 0, 1.0),
+        case("retired", 1000, 1.0),
+    ])
+    current = doc([
+        case("steady", 1000, 1.02),             # within threshold
+        case("slows_down", 1000, 1.5),          # 33% fewer events/sec
+        case("speeds_up", 1000, 0.5),           # 2x faster
+        case("wall_only_regression", 0, 1.5),   # 50% slower, wall fallback
+        case("brand_new", 1000, 1.0),
+    ])
+
+    lines, regressions = compare(baseline, current, threshold=0.10)
+    text = "\n".join(lines)
+    checks = [
+        (regressions == 2, f"expected 2 regressions, got {regressions}"),
+        ("REGRESSED slows_down" in text.replace("  ", " "),
+         "events/sec regression not flagged"),
+        ("REGRESSED wall_only_regression" in text.replace("  ", " "),
+         "wall-clock fallback regression not flagged"),
+        ("IMPROVED  speeds_up" in text, "improvement not flagged"),
+        ("OK        steady" in text, "within-threshold case not OK"),
+        ("MISSING   retired" in text, "baseline-only case not reported"),
+        ("NEW       brand_new" in text, "current-only case not reported"),
+    ]
+    # A looser threshold must absorb the events/sec regression entirely.
+    _, loose = compare(baseline, current, threshold=0.60)
+    checks.append((loose == 0, f"threshold 0.60 still sees {loose} regressions"))
+
+    failed = [message for ok, message in checks if not ok]
+    if failed:
+        print("bench_compare self-test FAILED:")
+        for message in failed:
+            print(f"  {message}")
+        print(text)
+        return 1
+    print("bench_compare self-test passed "
+          f"({len(checks)} checks, sample output below)")
+    print(text)
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    parser.add_argument("current", nargs="?", help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in synthetic comparison checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("baseline and current files are required "
+                     "(or use --self-test)")
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    print(f"bench_compare: '{baseline.get('bench')}' "
+          f"{baseline.get('git_sha', '?')} -> {current.get('git_sha', '?')} "
+          f"(threshold {args.threshold:.0%})")
+    lines, regressions = compare(baseline, current, args.threshold)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_compare: {regressions} case(s) regressed past "
+              f"{args.threshold:.0%}")
+        return 0 if args.warn_only else 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
