@@ -45,6 +45,8 @@ usage:
       --profile PATH       time the event loop: write a per-event-type wall-clock
                            profile as JSON ('-' = stdout; results bit-identical,
                            see docs/observability.md)
+      --des-impl NAME      scheduler queue: 'wheel' (calendar queue, default) or
+                           'heap' (legacy binary heap); results bit-identical
       --progress           live progress on stderr (replications done, events/sec,
                            ETA); observation-only
       --quiet              suppress the human-readable summary
@@ -75,6 +77,7 @@ struct RunOptions {
   int trace_replication = 0;
   std::size_t trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   std::string profile_path;
+  des::QueueImpl des_impl = des::QueueImpl::kWheel;
   bool progress = false;
   bool quiet = false;
 };
@@ -168,6 +171,17 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
       const std::string* v = next("--profile");
       if (v == nullptr) return 1;
       options.profile_path = *v;
+    } else if (arg == "--des-impl") {
+      const std::string* v = next("--des-impl");
+      if (v == nullptr) return 1;
+      if (*v == "wheel") {
+        options.des_impl = des::QueueImpl::kWheel;
+      } else if (*v == "heap") {
+        options.des_impl = des::QueueImpl::kHeap;
+      } else {
+        err << "--des-impl: expected 'wheel' or 'heap', got '" << *v << "'\n";
+        return 1;
+      }
     } else if (arg == "--progress") {
       options.progress = true;
     } else if (arg == "--quiet") {
@@ -288,6 +302,7 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     runner.trace_replication = options.trace_replication;
   }
   runner.profile = !options.profile_path.empty();
+  runner.des_impl = options.des_impl;
   ProgressTicker ticker(err);
   if (options.progress) {
     runner.progress = [&ticker](const core::ProgressUpdate& update) { ticker(update); };

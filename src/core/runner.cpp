@@ -85,7 +85,7 @@ void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int 
       prof::ScopedPhase phase(profiler.get(), prof::Phase::kBuild);
       sim.emplace(config,
                   rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)), trace,
-                  profiler.get());
+                  profiler.get(), options.des_impl);
     }
     {
       prof::ScopedPhase phase(profiler.get(), prof::Phase::kRun);

@@ -91,6 +91,10 @@ struct RunnerOptions {
   /// instrumentation is observation-only, so profiled runs are
   /// bit-identical to unprofiled ones.
   bool profile = false;
+  /// Scheduler queue implementation for every replication (`mvsim run
+  /// --des-impl {wheel,heap}`). Both fire bit-identical event orders;
+  /// the heap is the legacy A/B reference for the calendar queue.
+  des::QueueImpl des_impl = des::QueueImpl::kWheel;
   /// When set, called after every completed replication (serialized,
   /// in completion order). Observation-only.
   ProgressReporter progress;

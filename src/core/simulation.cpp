@@ -26,7 +26,8 @@ enum StreamIndex : std::uint64_t {
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-                       trace::TraceBuffer* trace, des::EventTimer* event_timer)
+                       trace::TraceBuffer* trace, des::EventTimer* event_timer,
+                       des::QueueImpl des_impl)
     : config_(config),
       topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
       user_stream_(rng::derive_seed(replication_seed, kUserStream)),
@@ -35,6 +36,7 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
       response_stream_(rng::derive_seed(replication_seed, kResponseStream)),
       mobility_stream_(rng::derive_seed(replication_seed, kMobilityStream)),
       proximity_stream_(rng::derive_seed(replication_seed, kProximityStream)),
+      scheduler_(des_impl),
       consent_(response::consent_for_suite(config.responses, config.eventual_acceptance)),
       trace_(trace) {
   config.validate().throw_if_invalid();
@@ -284,6 +286,7 @@ metrics::Snapshot Simulation::collect_metrics() const {
   reg.counter("des.events_executed").add(scheduler_.executed_count());
   reg.counter("des.events_cancelled").add(scheduler_.cancelled_count());
   reg.gauge("des.queue_depth_peak").set(scheduler_.peak_pending_count());
+  reg.counter("des.scheduler.cancelled_reclaimed").add(scheduler_.cancelled_reclaimed_count());
 
   const net::GatewayCounters& gc = gateway_->counters();
   reg.counter("net.messages_submitted").add(gc.messages_submitted);

@@ -76,8 +76,13 @@ class Simulation {
   /// Like tracing this is observation-only: timing never draws
   /// randomness or schedules events, so profiled runs are bit-identical
   /// to unprofiled ones.
+  /// `des_impl` selects the scheduler's queue structure (see
+  /// des::QueueImpl); both implementations fire bit-identical event
+  /// orders, so this is a performance A/B escape hatch, not a modeling
+  /// choice.
   Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
-             trace::TraceBuffer* trace = nullptr, des::EventTimer* event_timer = nullptr);
+             trace::TraceBuffer* trace = nullptr, des::EventTimer* event_timer = nullptr,
+             des::QueueImpl des_impl = des::QueueImpl::kWheel);
   ~Simulation();
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;

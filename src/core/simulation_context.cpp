@@ -26,10 +26,22 @@ void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment&
   // dispatcher fans out to mechanisms in registration order.
   gateway.add_observer(*detector_);
   detector_->on_detected([this](SimTime at) {
-    count_dispatch(mechanisms_.size());
-    for (auto& mechanism : mechanisms_) mechanism->on_detectability_crossed(at);
+    count_dispatch(detect_subs_.size());
+    for (auto* mechanism : detect_subs_) mechanism->on_detectability_crossed(at);
   });
   gateway.add_observer(*this);
+
+  // Precompute per-hook subscriber lists; dispatch then walks only the
+  // mechanisms whose overrides can do something with the event.
+  for (auto& mechanism : mechanisms_) {
+    const std::uint32_t mask = mechanism->subscribed_hooks();
+    if (mask & response::hook::kMessageSubmitted) submitted_subs_.push_back(mechanism.get());
+    if (mask & response::hook::kMessageBlocked) blocked_subs_.push_back(mechanism.get());
+    if (mask & response::hook::kMessageDelivered) delivered_subs_.push_back(mechanism.get());
+    if (mask & response::hook::kInfection) infection_subs_.push_back(mechanism.get());
+    if (mask & response::hook::kPatch) patch_subs_.push_back(mechanism.get());
+    if (mask & response::hook::kDetectabilityCrossed) detect_subs_.push_back(mechanism.get());
+  }
 
   for (auto& mechanism : mechanisms_) mechanism->on_build(build);
   for (auto& mechanism : mechanisms_) {
@@ -58,13 +70,13 @@ void SimulationContext::schedule_tick(response::ResponseMechanism* mechanism, Si
 }
 
 void SimulationContext::notify_infection(net::PhoneId phone, SimTime now) {
-  count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_infection(phone, now);
+  count_dispatch(infection_subs_.size());
+  for (auto* mechanism : infection_subs_) mechanism->on_infection(phone, now);
 }
 
 void SimulationContext::notify_patch(net::PhoneId phone, SimTime now) {
-  count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_patch(phone, now);
+  count_dispatch(patch_subs_.size());
+  for (auto* mechanism : patch_subs_) mechanism->on_patch(phone, now);
 }
 
 const response::ResponseMechanism* SimulationContext::find(std::string_view name) const {
@@ -81,25 +93,26 @@ response::ResponseMetrics SimulationContext::metrics() const {
 }
 
 void SimulationContext::on_submitted(const net::MmsMessage& message, SimTime now) {
-  count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_message_submitted(message, now);
+  count_dispatch(submitted_subs_.size());
+  for (auto* mechanism : submitted_subs_) mechanism->on_message_submitted(message, now);
 }
 
 void SimulationContext::on_blocked(const net::MmsMessage& message, const char* blocked_by,
                                    SimTime now) {
-  count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_message_blocked(message, blocked_by, now);
+  count_dispatch(blocked_subs_.size());
+  for (auto* mechanism : blocked_subs_) mechanism->on_message_blocked(message, blocked_by, now);
 }
 
 void SimulationContext::on_delivered(net::PhoneId recipient, const net::MmsMessage& message,
                                      SimTime now) {
-  count_dispatch(mechanisms_.size());
-  for (auto& mechanism : mechanisms_) mechanism->on_message_delivered(recipient, message, now);
+  count_dispatch(delivered_subs_.size());
+  for (auto* mechanism : delivered_subs_) mechanism->on_message_delivered(recipient, message, now);
 }
 
 void SimulationContext::collect_metrics(metrics::Registry& registry) const {
   registry.counter("core.dispatch.events").add(dispatch_events_);
   registry.counter("core.dispatch.hook_calls").add(dispatch_hook_calls_);
+  registry.counter("core.dispatch.hooks_skipped").add(dispatch_hooks_skipped_);
   for (const auto& mechanism : mechanisms_) mechanism->on_metrics(registry);
 }
 

@@ -76,21 +76,36 @@ class SimulationContext final : public net::GatewayObserver {
 
  private:
   void schedule_tick(response::ResponseMechanism* mechanism, SimTime period);
-  /// One dispatched event fanning out to `hooks` mechanism hooks.
-  void count_dispatch(std::size_t hooks) {
+  /// One dispatched event fanning out to a hook's subscriber list;
+  /// non-subscribers are counted as skipped virtual calls.
+  void count_dispatch(std::size_t subscribers) {
     ++dispatch_events_;
-    dispatch_hook_calls_ += hooks;
+    dispatch_hook_calls_ += subscribers;
+    dispatch_hooks_skipped_ += mechanisms_.size() - subscribers;
   }
 
   std::unique_ptr<response::DetectabilityMonitor> detector_;
   std::vector<std::unique_ptr<response::ResponseMechanism>> mechanisms_;
   des::Scheduler* scheduler_ = nullptr;
   bool attached_ = false;
-  // Telemetry (`core.dispatch.*`): events fanned out and total
-  // mechanism-hook invocations. Plain counters; never feed back into
-  // the simulation.
+
+  // Per-hook subscriber lists, precomputed at attach() from each
+  // mechanism's subscribed_hooks() mask (registration order preserved
+  // within each list). Dispatch walks these instead of virtual-calling
+  // every mechanism's (usually no-op) default hook.
+  std::vector<response::ResponseMechanism*> submitted_subs_;
+  std::vector<response::ResponseMechanism*> blocked_subs_;
+  std::vector<response::ResponseMechanism*> delivered_subs_;
+  std::vector<response::ResponseMechanism*> infection_subs_;
+  std::vector<response::ResponseMechanism*> patch_subs_;
+  std::vector<response::ResponseMechanism*> detect_subs_;
+
+  // Telemetry (`core.dispatch.*`): events fanned out, total
+  // mechanism-hook invocations, and hook calls the subscription masks
+  // avoided. Plain counters; never feed back into the simulation.
   std::uint64_t dispatch_events_ = 0;
   std::uint64_t dispatch_hook_calls_ = 0;
+  std::uint64_t dispatch_hooks_skipped_ = 0;
 };
 
 }  // namespace mvsim::core

@@ -6,92 +6,99 @@
 
 namespace mvsim::des {
 
-std::uint64_t Scheduler::allocate_record(Callback fn, EventType type) {
-  std::uint64_t id;
-  if (!free_.empty()) {
-    id = free_.back();
-    free_.pop_back();
-  } else {
-    records_.emplace_back();
-    id = records_.size();  // ids are 1-based so that a default handle is invalid
-  }
-  Record& rec = records_[id - 1];
-  rec.fn = std::move(fn);
-  rec.live = true;
-  rec.type = type;
-  return id;
+void Scheduler::throw_past_deadline(SimTime at) const {
+  throw std::invalid_argument("Scheduler::schedule_at: time " + at.to_string() +
+                              " is before now " + now_.to_string());
 }
 
-EventHandle Scheduler::schedule_at(SimTime at, EventType type, Callback fn) {
-  if (!(at >= now_)) {
-    throw std::invalid_argument("Scheduler::schedule_at: time " + at.to_string() +
-                                " is before now " + now_.to_string());
-  }
-  if (!fn) throw std::invalid_argument("Scheduler::schedule_at: empty callback");
-  std::uint64_t id = allocate_record(std::move(fn), type);
-  std::uint64_t generation = records_[id - 1].generation;
-  queue_.push(HeapEntry{at, next_seq_++, id, generation});
-  ++live_events_;
-  ++scheduled_;
-  if (live_events_ > peak_pending_) peak_pending_ = live_events_;
-  return EventHandle{id, generation};
+void Scheduler::throw_empty_callback() {
+  throw std::invalid_argument("Scheduler::schedule_at: empty callback");
 }
 
-EventHandle Scheduler::schedule_after(SimTime delay, EventType type, Callback fn) {
-  if (!delay.is_nonnegative()) {
-    throw std::invalid_argument("Scheduler::schedule_after: negative delay " + delay.to_string());
-  }
-  return schedule_at(now_ + delay, type, std::move(fn));
+void Scheduler::throw_negative_delay(SimTime delay) {
+  throw std::invalid_argument("Scheduler::schedule_after: negative delay " + delay.to_string());
 }
 
 bool Scheduler::cancel(EventHandle handle) {
   if (!pending(handle)) return false;
-  Record& rec = records_[handle.id_ - 1];
+  const std::uint32_t id = static_cast<std::uint32_t>(handle.id_);
+  EventRecord& rec = arena_[id];
   rec.live = false;
-  rec.fn = nullptr;
+  rec.fn.reset();  // drop captures now, whatever the queue impl
   ++rec.generation;  // invalidate any copies of the handle
   --live_events_;
   ++cancelled_;
-  // The heap entry stays; step() skips it when its generation mismatches.
+  if (impl_ == QueueImpl::kWheel) {
+    // Eager reclamation: pull the entry out of its bucket and recycle
+    // the record immediately instead of letting it linger until its
+    // timestamp pops (the heap's lazy behavior, which let cancel-heavy
+    // workloads grow the queue without bound).
+    if (wheel_.remove(rec.at.to_minutes(), id)) {
+      arena_.release(id);
+      ++cancelled_reclaimed_;
+    }
+  }
+  // Heap: the entry stays; fire_next() discards it lazily when it pops.
   return true;
 }
 
 bool Scheduler::pending(EventHandle handle) const {
-  if (!handle.valid() || handle.id_ > records_.size()) return false;
-  const Record& rec = records_[handle.id_ - 1];
+  if (!handle.valid() || handle.id_ > arena_.size()) return false;
+  const EventRecord& rec = arena_[static_cast<std::uint32_t>(handle.id_)];
   return rec.live && rec.generation == handle.generation_;
 }
 
-bool Scheduler::step() {
-  while (!queue_.empty()) {
-    HeapEntry top = queue_.top();
-    Record& rec = records_[top.id - 1];
+void Scheduler::fire(EventRecord& rec, std::uint32_t id) {
+  const EventType type = rec.type;
+  rec.live = false;
+  ++rec.generation;
+  --live_events_;
+  ++executed_;
+  // The callback runs in place: record addresses are chunk-stable and
+  // the slot is only recycled after the invoke, so the callback may
+  // freely schedule (even growing the arena) or cancel other events.
+  if (timer_ != nullptr) {
+    const auto started = std::chrono::steady_clock::now();
+    rec.fn();
+    timer_->record_event(
+        type, std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                        started)
+                  .count());
+  } else {
+    rec.fn();
+  }
+  rec.fn.reset();
+  arena_.release(id);
+}
+
+bool Scheduler::fire_next(const SimTime* limit) {
+  if (impl_ == QueueImpl::kWheel) {
+    const CalendarQueue::Entry* top = wheel_.peek();
+    if (top == nullptr) return false;
+    const std::uint32_t id = top->id;
+    EventRecord& rec = arena_[id];
+    if (limit != nullptr && rec.at > *limit) return false;
+    wheel_.pop_front();
+    now_ = rec.at;  // the exact SimTime, not the wheel's double key
+    fire(rec, id);
+    return true;
+  }
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    EventRecord& rec = arena_[top.id];
     if (!rec.live || rec.generation != top.generation) {
       // Lazily discard a cancelled/stale entry and reclaim the slot.
-      queue_.pop();
-      if (!rec.live) free_.push_back(top.id);
+      heap_.pop();
+      if (!rec.live) {
+        arena_.release(top.id);
+        ++cancelled_reclaimed_;
+      }
       continue;
     }
-    queue_.pop();
+    if (limit != nullptr && top.at > *limit) return false;
+    heap_.pop();
     now_ = top.at;
-    Callback fn = std::move(rec.fn);
-    const EventType type = rec.type;
-    rec.live = false;
-    rec.fn = nullptr;
-    ++rec.generation;
-    free_.push_back(top.id);
-    --live_events_;
-    ++executed_;
-    if (timer_ != nullptr) {
-      const auto started = std::chrono::steady_clock::now();
-      fn();
-      timer_->record_event(
-          type, std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
-                                                          started)
-                    .count());
-    } else {
-      fn();
-    }
+    fire(rec, top.id);
     return true;
   }
   return false;
@@ -102,22 +109,13 @@ void Scheduler::run_until(SimTime until) {
     throw std::invalid_argument("Scheduler::run_until: horizon " + until.to_string() +
                                 " is before now " + now_.to_string());
   }
-  while (!queue_.empty()) {
-    HeapEntry top = queue_.top();
-    const Record& rec = records_[top.id - 1];
-    if (!rec.live || rec.generation != top.generation) {
-      queue_.pop();
-      if (!rec.live) free_.push_back(top.id);
-      continue;
-    }
-    if (top.at > until) break;
-    step();
+  while (fire_next(&until)) {
   }
   now_ = until;
 }
 
 void Scheduler::run_to_quiescence() {
-  while (step()) {
+  while (fire_next(nullptr)) {
   }
 }
 

@@ -1,19 +1,35 @@
 // Discrete-event scheduler.
 //
 // This is the substrate that replaces the Möbius simulation solver used
-// by the paper: a single-threaded event loop over a binary heap with
-// lazy cancellation. Determinism guarantees:
+// by the paper: a single-threaded event loop over a calendar queue
+// (timing wheel) with arena-pooled event records and eager
+// cancellation. Determinism guarantees:
 //   * events fire in nondecreasing time order;
 //   * events scheduled for the same instant fire in scheduling order
 //     (FIFO tie-break via a monotone sequence number);
 //   * cancellation is O(1) and never perturbs the order of the rest.
+//
+// Two queue implementations live behind the same contract (see
+// QueueImpl): the calendar queue is the default hot path; the original
+// binary heap with lazy cancellation is kept for one release as an A/B
+// reference (`mvsim run --des-impl heap`) and as the oracle for the
+// randomized differential test in des_test. Both fire bit-identical
+// event orders; they differ only in cost and in *when* a cancelled
+// event's storage is reclaimed (see cancelled_reclaimed_count()).
+//
+// Event storage: records live in an EventArena (chunked pool +
+// freelist) and callbacks are EventFn (inline small-buffer storage), so
+// in steady state scheduling an event performs zero heap allocations —
+// see docs/architecture.md, "Scheduler internals & event lifetime".
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "des/calendar_queue.h"
+#include "des/event_arena.h"
+#include "des/event_fn.h"
 #include "des/event_type.h"
 #include "util/sim_time.h"
 
@@ -35,13 +51,21 @@ class EventHandle {
   std::uint64_t generation_ = 0;
 };
 
+/// Which priority-queue structure backs the scheduler.
+enum class QueueImpl : std::uint8_t {
+  kWheel,  ///< calendar queue, eager cancellation (default)
+  kHeap,   ///< binary heap, lazy cancellation (legacy A/B reference)
+};
+
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
-  Scheduler() = default;
+  explicit Scheduler(QueueImpl impl = QueueImpl::kWheel) : impl_(impl) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] QueueImpl impl() const { return impl_; }
 
   /// Current simulation time. Starts at zero.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -49,15 +73,47 @@ class Scheduler {
   /// Schedule `fn` to run at absolute time `at` (must be >= now()).
   /// `type` tags the event for per-event-type profiling; it never
   /// affects ordering or results.
-  EventHandle schedule_at(SimTime at, EventType type, Callback fn);
-  EventHandle schedule_at(SimTime at, Callback fn) {
-    return schedule_at(at, EventType::kGeneric, std::move(fn));
+  ///
+  /// The template overload constructs the callable directly inside the
+  /// pooled event record (no intermediate EventFn, no buffer copy);
+  /// the Callback overload accepts a pre-built EventFn.
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, EventFn> &&
+                            std::is_invocable_v<std::decay_t<F>&>>>
+  EventHandle schedule_at(SimTime at, EventType type, F&& fn) {
+    if (!(at >= now_)) throw_past_deadline(at);
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+      if (!static_cast<bool>(fn)) throw_empty_callback();
+    }
+    const std::uint32_t id = arena_.allocate();
+    EventRecord& rec = arena_[id];
+    rec.fn.assign(std::forward<F>(fn));
+    if (!rec.fn.is_inline()) ++heap_fallbacks_;
+    return finish_schedule(rec, id, at, type);
+  }
+  EventHandle schedule_at(SimTime at, EventType type, Callback fn) {
+    if (!(at >= now_)) throw_past_deadline(at);
+    if (!fn) throw_empty_callback();
+    if (!fn.is_inline()) ++heap_fallbacks_;
+    const std::uint32_t id = arena_.allocate();
+    EventRecord& rec = arena_[id];
+    rec.fn = std::move(fn);
+    return finish_schedule(rec, id, at, type);
+  }
+  template <typename F>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    return schedule_at(at, EventType::kGeneric, std::forward<F>(fn));
   }
 
   /// Schedule `fn` to run `delay` from now (delay must be >= 0).
-  EventHandle schedule_after(SimTime delay, EventType type, Callback fn);
-  EventHandle schedule_after(SimTime delay, Callback fn) {
-    return schedule_after(delay, EventType::kGeneric, std::move(fn));
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, EventType type, F&& fn) {
+    if (!delay.is_nonnegative()) throw_negative_delay(delay);
+    return schedule_at(now_ + delay, type, std::forward<F>(fn));
+  }
+  template <typename F>
+  EventHandle schedule_after(SimTime delay, F&& fn) {
+    return schedule_after(delay, EventType::kGeneric, std::forward<F>(fn));
   }
 
   /// Attach (or detach, with nullptr) a per-event wall-clock sink.
@@ -68,7 +124,9 @@ class Scheduler {
 
   /// Cancel a pending event. Returns true if the event was still
   /// pending; false if it already fired, was already cancelled, or the
-  /// handle is empty.
+  /// handle is empty. Under the wheel the queue entry and the pooled
+  /// record are reclaimed immediately; the heap reclaims lazily when
+  /// the entry's timestamp pops.
   bool cancel(EventHandle handle);
 
   /// True if the handle refers to a still-pending event.
@@ -96,18 +154,28 @@ class Scheduler {
   /// telemetry report exposes as `des.queue_depth_peak`.
   [[nodiscard]] std::size_t peak_pending_count() const { return peak_pending_; }
 
- private:
-  struct Record {
-    Callback fn;
-    std::uint64_t generation = 0;  // bumped on fire/cancel to invalidate handles
-    bool live = false;
-    EventType type = EventType::kGeneric;
-  };
+  /// Cancelled events whose queue entry and pooled record have been
+  /// reclaimed (the telemetry report's
+  /// `des.scheduler.cancelled_reclaimed`). The wheel reclaims at
+  /// cancel() time, so this tracks cancelled_count() exactly; the heap
+  /// reclaims lazily, so it lags until the stale entry pops.
+  [[nodiscard]] std::uint64_t cancelled_reclaimed_count() const { return cancelled_reclaimed_; }
 
+  // ---- Allocation introspection (see bench/micro_scheduler.cpp) ----
+
+  /// Chunks backing the event pool; constant in steady state.
+  [[nodiscard]] std::size_t arena_chunk_count() const { return arena_.chunk_count(); }
+  /// Event records served from the freelist instead of fresh slots.
+  [[nodiscard]] std::uint64_t arena_recycled_count() const { return arena_.recycled_count(); }
+  /// Callbacks too large for EventFn's inline buffer (each one costs a
+  /// heap allocation; in-tree callbacks never hit this).
+  [[nodiscard]] std::uint64_t callback_heap_fallback_count() const { return heap_fallbacks_; }
+
+ private:
   struct HeapEntry {
     SimTime at;
     std::uint64_t seq;  // FIFO tie-break for equal times
-    std::uint64_t id;
+    std::uint32_t id;
     std::uint64_t generation;
     // Min-heap by (at, seq): priority_queue is a max-heap, so invert.
     friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
@@ -116,21 +184,48 @@ class Scheduler {
     }
   };
 
-  /// Pops and runs the top live event; returns false if queue empty.
-  bool step();
+  // Cold throw paths, kept out of line so the inlined schedule fast
+  // path stays small.
+  [[noreturn]] void throw_past_deadline(SimTime at) const;
+  [[noreturn]] static void throw_empty_callback();
+  [[noreturn]] static void throw_negative_delay(SimTime delay);
 
-  std::uint64_t allocate_record(Callback fn, EventType type);
+  /// Common tail of schedule_at once the record's callback is set.
+  EventHandle finish_schedule(EventRecord& rec, std::uint32_t id, SimTime at, EventType type) {
+    rec.at = at;
+    rec.type = type;
+    rec.live = true;
+    const std::uint64_t seq = next_seq_++;
+    if (impl_ == QueueImpl::kWheel) {
+      wheel_.insert(at.to_minutes(), seq, id);
+    } else {
+      heap_.push(HeapEntry{at, seq, id, rec.generation});
+    }
+    ++live_events_;
+    ++scheduled_;
+    if (live_events_ > peak_pending_) peak_pending_ = live_events_;
+    return EventHandle{id, rec.generation};
+  }
 
+  /// Pops and runs the next live event at or before `*limit` (no bound
+  /// when null); returns false when none qualifies.
+  bool fire_next(const SimTime* limit);
+  /// Fires one record in place: invalidates handles, invokes, recycles.
+  void fire(EventRecord& rec, std::uint32_t id);
+
+  QueueImpl impl_;
   SimTime now_ = SimTime::zero();
-  std::priority_queue<HeapEntry> queue_;
-  std::vector<Record> records_;       // index = id - 1
-  std::vector<std::uint64_t> free_;   // recycled record slots
+  CalendarQueue wheel_;
+  std::priority_queue<HeapEntry> heap_;
+  EventArena arena_;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
   std::size_t peak_pending_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t cancelled_reclaimed_ = 0;
   std::uint64_t scheduled_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
   EventTimer* timer_ = nullptr;  // non-owning, may be null
 };
 

@@ -31,8 +31,11 @@ constexpr MetricDescriptor kSchema[] = {
      "Simulation events fanned out to the response layer by SimulationContext (gateway "
      "submissions/blocks/deliveries, infections, patches, detectability crossings, ticks)."},
     {"core.dispatch.hook_calls", MetricKind::kCounter, "calls", "core",
-     "Individual mechanism lifecycle-hook invocations (core.dispatch.events times the number "
-     "of enabled mechanisms the event reaches)."},
+     "Individual mechanism lifecycle-hook invocations (per dispatched event, the mechanisms "
+     "subscribed to that hook)."},
+    {"core.dispatch.hooks_skipped", MetricKind::kCounter, "calls", "core",
+     "Virtual hook calls avoided because the mechanism's subscribed_hooks() mask excludes the "
+     "hook (devirtualized dispatch)."},
     {"core.infections", MetricKind::kCounter, "phones", "core",
      "Phones that became infected during the replication(s)."},
     {"core.phones_immunized_healthy", MetricKind::kCounter, "phones", "core",
@@ -47,6 +50,9 @@ constexpr MetricDescriptor kSchema[] = {
      "Events pushed onto the scheduler queue."},
     {"des.queue_depth_peak", MetricKind::kGauge, "events", "des",
      "High-water mark of pending (live) events in the scheduler queue."},
+    {"des.scheduler.cancelled_reclaimed", MetricKind::kCounter, "events", "des",
+     "Cancelled events whose queue entry and pooled record were reclaimed (eagerly at cancel "
+     "under the calendar queue; lazily at pop under the legacy heap)."},
     {"net.infected_messages_submitted", MetricKind::kCounter, "messages", "net",
      "Infected MMS messages submitted to the gateway."},
     {"net.invalid_recipients_dropped", MetricKind::kCounter, "recipients", "net",

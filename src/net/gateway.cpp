@@ -1,6 +1,5 @@
 #include "net/gateway.h"
 
-#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -49,13 +48,16 @@ void Gateway::submit(MmsMessage message) {
   counters_.recipients_delivered += valid;
 
   SimTime delay = stream_->exponential(delivery_delay_mean_);
-  auto shared = std::make_shared<MmsMessage>(std::move(message));
-  scheduler_->schedule_after(delay, des::EventType::kMessageDelivery, [this, shared] {
+  // The message moves into the event's inline storage (it fits EventFn's
+  // buffer), so the transit event costs no allocation of its own — the
+  // recipients vector just changes hands.
+  scheduler_->schedule_after(delay, des::EventType::kMessageDelivery,
+                             [this, msg = std::move(message)] {
     const SimTime at = scheduler_->now();
-    for (const DialedRecipient& r : shared->recipients) {
+    for (const DialedRecipient& r : msg.recipients) {
       if (r.valid) {
-        deliver_(r.phone, *shared);
-        for (GatewayObserver* obs : observers_) obs->on_delivered(r.phone, *shared, at);
+        deliver_(r.phone, msg);
+        for (GatewayObserver* obs : observers_) obs->on_delivered(r.phone, msg, at);
       }
     }
   });

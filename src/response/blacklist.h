@@ -41,6 +41,9 @@ class Blacklist final : public ResponseMechanism, public net::OutgoingMmsPolicy 
 
   // ResponseMechanism — counts suspected (infected) submissions only.
   [[nodiscard]] const char* name() const override { return "blacklist"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kMessageSubmitted;
+  }
   void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }

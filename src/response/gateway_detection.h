@@ -39,6 +39,9 @@ class GatewayDetection final : public ResponseMechanism, public net::DeliveryFil
 
   // ResponseMechanism
   [[nodiscard]] const char* name() const override { return "gateway_detection"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kDetectabilityCrossed;
+  }
   void on_build(BuildContext& context) override;
   void on_detectability_crossed(SimTime now) override;
   [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }

@@ -36,6 +36,9 @@ class GatewayScan final : public ResponseMechanism, public net::DeliveryFilter {
 
   // ResponseMechanism
   [[nodiscard]] const char* name() const override { return "gateway_scan"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kDetectabilityCrossed;
+  }
   void on_build(BuildContext& context) override;
   void on_detectability_crossed(SimTime now) override;
   [[nodiscard]] net::DeliveryFilter* as_delivery_filter() override { return this; }

@@ -46,6 +46,9 @@ class Immunization final : public ResponseMechanism {
 
   // ResponseMechanism
   [[nodiscard]] const char* name() const override { return "immunization"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kDetectabilityCrossed;
+  }
   /// Copies the context's patch-target list (the phones running the
   /// vulnerable platform; patching invulnerable phones would change
   /// nothing) and its apply_patch callback — both must be set.

@@ -66,12 +66,38 @@ struct ResponseMetrics {
   std::vector<std::pair<std::string, std::uint64_t>> extras;
 };
 
+/// Bit flags naming the notification hooks a mechanism can subscribe
+/// to (see ResponseMechanism::subscribed_hooks). One bit per notify
+/// hook the dispatcher fans out; on_build/on_tick/the role adapters
+/// are wired explicitly and need no bit.
+namespace hook {
+inline constexpr std::uint32_t kMessageSubmitted = 1u << 0;
+inline constexpr std::uint32_t kMessageBlocked = 1u << 1;
+inline constexpr std::uint32_t kMessageDelivered = 1u << 2;
+inline constexpr std::uint32_t kInfection = 1u << 3;
+inline constexpr std::uint32_t kPatch = 1u << 4;
+inline constexpr std::uint32_t kDetectabilityCrossed = 1u << 5;
+inline constexpr std::uint32_t kNone = 0u;
+inline constexpr std::uint32_t kAll = ~0u;
+}  // namespace hook
+
 class ResponseMechanism {
  public:
   virtual ~ResponseMechanism() = default;
 
   /// Stable identifier; doubles as the registry key and the JSON key.
   [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Bitmask (hook::*) of the notification hooks this mechanism
+  /// actually overrides. The dispatcher precomputes per-hook subscriber
+  /// lists from this at attach() time, so a hook nobody subscribes to
+  /// costs nothing per event. Defaults to hook::kAll — every hook is
+  /// dispatched, exactly the pre-subscription behavior — so an
+  /// out-of-tree mechanism that overrides a hook without narrowing the
+  /// mask is still called; narrowing is a pure optimization.
+  /// Subscription is read once at attach(): the mask must be constant
+  /// for the mechanism's lifetime.
+  [[nodiscard]] virtual std::uint32_t subscribed_hooks() const { return hook::kAll; }
 
   // ---- Lifecycle hooks (all optional) ----
 

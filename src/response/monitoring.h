@@ -55,6 +55,9 @@ class Monitoring final : public ResponseMechanism, public net::OutgoingMmsPolicy
 
   // ResponseMechanism — counts every submission.
   [[nodiscard]] const char* name() const override { return "monitoring"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kMessageSubmitted;
+  }
   void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   [[nodiscard]] net::OutgoingMmsPolicy* as_outgoing_policy() override { return this; }

@@ -49,6 +49,9 @@ class RateLimiter final : public ResponseMechanism, public net::OutgoingMmsPolic
 
   // ResponseMechanism
   [[nodiscard]] const char* name() const override { return "rate_limiter"; }
+  [[nodiscard]] std::uint32_t subscribed_hooks() const override {
+    return hook::kMessageSubmitted;
+  }
   void on_build(BuildContext& context) override;
   void on_message_submitted(const net::MmsMessage& message, SimTime now) override;
   /// Prunes per-phone records from windows long past (memory hygiene

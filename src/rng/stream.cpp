@@ -24,8 +24,7 @@ Xoshiro256::Xoshiro256(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-Xoshiro256::result_type Xoshiro256::operator()() {
-  ++draws_;
+std::uint64_t Xoshiro256::step() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
   s_[2] ^= s_[0];
@@ -35,6 +34,16 @@ Xoshiro256::result_type Xoshiro256::operator()() {
   s_[2] ^= t;
   s_[3] = rotl(s_[3], 45);
   return result;
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  ++draws_;
+  return step();
+}
+
+void Xoshiro256::fill(std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = step();
+  draws_ += n;
 }
 
 void Xoshiro256::jump() {
@@ -58,13 +67,10 @@ void Xoshiro256::jump() {
   s_[3] = s3;
 }
 
-double Stream::uniform01() {
-  // 53 random bits into [0, 1) — the standard double conversion.
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-}
-
-double Stream::uniform(double lo, double hi) {
-  return lo + (hi - lo) * uniform01();
+void Stream::refill() {
+  engine_.fill(buf_, kBatchSize);
+  filled_ = kBatchSize;
+  cursor_ = 0;
 }
 
 std::uint64_t Stream::uniform_index(std::uint64_t n) {
@@ -72,7 +78,7 @@ std::uint64_t Stream::uniform_index(std::uint64_t n) {
   // Lemire-style rejection to remove modulo bias.
   const std::uint64_t threshold = (~n + 1) % n;  // = 2^64 mod n
   for (;;) {
-    std::uint64_t r = engine_();
+    std::uint64_t r = next_raw();
     if (r >= threshold) return r % n;
   }
 }

@@ -5,6 +5,15 @@
 // phone plus one per infrastructure component, so adding a sampler call
 // in one place cannot perturb the sequence seen elsewhere (a classic
 // reproducibility trap in DES codebases).
+//
+// Raw outputs are drawn in batches: the engine refills a fixed buffer
+// of 64 words and samplers consume them one load at a time via
+// next_raw(). Batching changes neither the sequence nor its
+// consumption order — sampler k sees exactly the word it saw when the
+// engine was stepped per call — so replication curves stay
+// bit-identical; it only moves the recurrence out of the per-sample
+// path. Refills are lazy (first sample triggers the first batch) and
+// draw_count() reports *consumed* words, so telemetry is unchanged too.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,10 @@ class Xoshiro256 {
   [[nodiscard]] static constexpr result_type max() { return ~0ULL; }
   result_type operator()();
 
+  /// Writes the next `n` outputs into `out` — the exact sequence `n`
+  /// operator() calls would produce, with the draw counter bumped once.
+  void fill(std::uint64_t* out, std::size_t n);
+
   /// 2^128 jump — advances as if 2^128 calls were made. Used by tests
   /// to verify stream-splitting never overlaps in practice.
   void jump();
@@ -35,6 +48,8 @@ class Xoshiro256 {
   [[nodiscard]] std::uint64_t draw_count() const { return draws_; }
 
  private:
+  std::uint64_t step();  // one recurrence step, uncounted
+
   std::uint64_t s_[4];
   std::uint64_t draws_ = 0;
 };
@@ -42,12 +57,27 @@ class Xoshiro256 {
 /// High-level sampler facade over Xoshiro256.
 class Stream {
  public:
+  /// Words per refill. Big enough to amortize the refill loop, small
+  /// enough that an idle stream wastes at most 512 bytes of lookahead.
+  static constexpr std::size_t kBatchSize = 64;
+
   explicit Stream(std::uint64_t seed) : engine_(seed) {}
 
+  /// Next raw engine word. The hot primitive every sampler sits on:
+  /// one load and one increment, plus a buffer refill every
+  /// kBatchSize-th call.
+  [[nodiscard]] std::uint64_t next_raw() {
+    if (cursor_ == filled_) refill();
+    return buf_[cursor_++];
+  }
+
   /// Uniform in [0, 1).
-  [[nodiscard]] double uniform01();
+  [[nodiscard]] double uniform01() {
+    // 53 random bits into [0, 1) — the standard double conversion.
+    return static_cast<double>(next_raw() >> 11) * 0x1.0p-53;
+  }
   /// Uniform in [lo, hi).
-  [[nodiscard]] double uniform(double lo, double hi);
+  [[nodiscard]] double uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
   /// Uniform integer in [0, n). Requires n > 0.
   [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
   /// True with probability p (clamped to [0,1]).
@@ -80,13 +110,20 @@ class Stream {
   [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                                       std::uint64_t k);
 
-  /// Raw engine outputs this stream has consumed (telemetry).
-  [[nodiscard]] std::uint64_t draw_count() const { return engine_.draw_count(); }
-
-  [[nodiscard]] Xoshiro256& engine() { return engine_; }
+  /// Raw engine outputs this stream has consumed (telemetry). Words
+  /// the batch buffer has generated but not yet served are excluded,
+  /// so the count matches what an unbatched stream would report.
+  [[nodiscard]] std::uint64_t draw_count() const {
+    return engine_.draw_count() - (filled_ - cursor_);
+  }
 
  private:
+  void refill();
+
   Xoshiro256 engine_;
+  std::uint64_t buf_[kBatchSize];
+  std::size_t cursor_ = 0;
+  std::size_t filled_ = 0;
 };
 
 /// Precomputed inversion table for a bounded discrete power law; use

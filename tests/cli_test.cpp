@@ -3,6 +3,8 @@
 // point, no subprocesses).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -28,9 +30,14 @@ CliResult invoke(std::vector<std::string> args) {
   return {code, out.str(), err.str()};
 }
 
-/// Writes a small, fast scenario file and returns its path.
+/// Writes a small, fast scenario file and returns its path. The name is
+/// unique per process: ctest registers each TEST as its own process and
+/// may run them concurrently, so a shared path would race with the
+/// std::remove() each test ends with.
 std::string write_small_scenario() {
-  std::string path = ::testing::TempDir() + "/mvsim_cli_scenario.json";
+  static const std::string unique =
+      std::to_string(static_cast<long long>(::getpid()));
+  std::string path = ::testing::TempDir() + "/mvsim_cli_scenario_" + unique + ".json";
   std::ofstream file(path);
   file << R"({
     "name": "cli-test",
@@ -173,6 +180,35 @@ TEST(Cli, RunRejectsBadFlags) {
   EXPECT_EQ(invoke({"run", path, "--seed", "xyz"}).code, 1);
   EXPECT_EQ(invoke({"run", path, "--frobnicate"}).code, 1);
   std::remove(path.c_str());
+}
+
+TEST(Cli, RunDesImplSelectsQueueAndMatches) {
+  // Both queue implementations must run, and — the scheduler's core
+  // determinism contract — produce byte-identical output for the same
+  // seed. The default (no flag) is the wheel.
+  std::string path = write_small_scenario();
+  CliResult wheel = invoke({"run", path, "--reps", "2", "--seed", "7", "--des-impl", "wheel"});
+  CliResult heap = invoke({"run", path, "--reps", "2", "--seed", "7", "--des-impl", "heap"});
+  CliResult dflt = invoke({"run", path, "--reps", "2", "--seed", "7"});
+  EXPECT_EQ(wheel.code, 0) << wheel.err;
+  EXPECT_EQ(heap.code, 0) << heap.err;
+  EXPECT_EQ(wheel.out, heap.out);
+  EXPECT_EQ(wheel.out, dflt.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunRejectsBadDesImpl) {
+  std::string path = write_small_scenario();
+  CliResult r = invoke({"run", path, "--des-impl", "splay"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--des-impl"), std::string::npos);
+  EXPECT_EQ(invoke({"run", path, "--des-impl"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, UsageMentionsDesImpl) {
+  CliResult r = invoke({"--help"});
+  EXPECT_NE(r.out.find("--des-impl"), std::string::npos);
 }
 
 TEST(Cli, RunUnknownPresetMentionsPresets) {

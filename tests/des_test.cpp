@@ -1,6 +1,9 @@
 // Unit tests for src/des: scheduler ordering, cancellation, sampler.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "des/sampler.h"
@@ -199,6 +202,184 @@ TEST(Scheduler, ManyEventsStressOrdering) {
   sched.run_to_quiescence();
   EXPECT_TRUE(monotone);
   EXPECT_EQ(sched.executed_count(), 5000u);
+}
+
+// ---------------------------------------------------------------------------
+// Calendar-queue-specific stress: both implementations must agree with the
+// documented contract (time order, FIFO tie-break, generation-checked
+// cancellation) under workloads that exercise the wheel's slice serving,
+// overflow list, width re-fit, and rotation logic.
+
+TEST(Scheduler, SameInstantFifoStormBothImpls) {
+  for (QueueImpl impl : {QueueImpl::kWheel, QueueImpl::kHeap}) {
+    Scheduler sched(impl);
+    std::vector<int> order;
+    order.reserve(5000);
+    // A huge same-time cohort lands in one wheel bucket and must come
+    // back in exact schedule order despite LIFO bucket chaining.
+    for (int i = 0; i < 5000; ++i) {
+      sched.schedule_at(SimTime::minutes(30.0), [&order, i] { order.push_back(i); });
+    }
+    sched.run_to_quiescence();
+    ASSERT_EQ(order.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+      ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "impl=" << static_cast<int>(impl);
+    }
+  }
+}
+
+TEST(Scheduler, FarHorizonEventsSpanManyRotations) {
+  // Dense near-term traffic sets a small bucket width; the far events
+  // then live many full wheel rotations (or the overflow list) away.
+  Scheduler sched;
+  std::vector<double> fired;
+  for (int i = 0; i < 256; ++i) {
+    double t = 1.0 + 0.001 * i;
+    sched.schedule_at(SimTime::minutes(t), [&fired, t] { fired.push_back(t); });
+  }
+  const double far_minutes[] = {60.0, 24.0 * 60.0, 7.0 * 24.0 * 60.0, 365.0 * 24.0 * 60.0};
+  for (double t : far_minutes) {
+    sched.schedule_at(SimTime::minutes(t), [&fired, t] { fired.push_back(t); });
+  }
+  sched.run_to_quiescence();
+  ASSERT_EQ(fired.size(), 260u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.back(), 365.0 * 24.0 * 60.0);
+}
+
+TEST(Scheduler, CancelThenRescheduleReusesSlotSafely) {
+  Scheduler sched;
+  int fired = 0;
+  EventHandle h = sched.schedule_at(SimTime::minutes(5.0), [&] { ++fired; });
+  ASSERT_TRUE(sched.cancel(h));
+  // The recycled slot gets a new generation; the old handle stays dead.
+  EventHandle h2 = sched.schedule_at(SimTime::minutes(5.0), [&] { fired += 10; });
+  EXPECT_FALSE(sched.cancel(h)) << "stale handle must not cancel the replacement";
+  EXPECT_FALSE(sched.pending(h));
+  EXPECT_TRUE(sched.pending(h2));
+  sched.run_until(SimTime::minutes(6.0));
+  EXPECT_EQ(fired, 10);
+  // And again, from inside a callback at the same instant.
+  EventHandle h3 = sched.schedule_at(SimTime::minutes(10.0), [&] { fired += 100; });
+  sched.schedule_at(SimTime::minutes(10.0), [&] {
+    // Runs first (FIFO would put h3 first, but h3 was scheduled first) —
+    // so cancel-then-reschedule must target a *later* same-time event.
+  });
+  ASSERT_TRUE(sched.cancel(h3));
+  EventHandle h4 = sched.schedule_at(SimTime::minutes(10.0), [&] { fired += 1000; });
+  sched.run_until(SimTime::minutes(11.0));
+  EXPECT_EQ(fired, 1010);
+  EXPECT_FALSE(sched.cancel(h4));
+}
+
+TEST(Scheduler, RandomizedDifferentialWheelVsHeap) {
+  // Drive both implementations through an identical random mix of
+  // schedules and cancellations; the observable fire sequence (time,
+  // tag) must match element-for-element. This is the strongest
+  // equivalence check we have short of the golden-curve test.
+  Scheduler wheel(QueueImpl::kWheel);
+  Scheduler heap(QueueImpl::kHeap);
+  std::vector<std::pair<double, int>> wheel_fired;
+  std::vector<std::pair<double, int>> heap_fired;
+  std::vector<EventHandle> wheel_handles;
+  std::vector<EventHandle> heap_handles;
+
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next_rand = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t r = next_rand();
+    if (r % 8 == 0 && !wheel_handles.empty()) {
+      // Cancel the same (possibly stale) handle on both sides.
+      std::size_t victim = r % wheel_handles.size();
+      bool a = wheel.cancel(wheel_handles[victim]);
+      bool b = heap.cancel(heap_handles[victim]);
+      ASSERT_EQ(a, b) << "cancel outcome diverged at op " << i;
+    } else {
+      // Cluster delays to force same-instant ties (integer minutes) and
+      // occasionally fling one far out to rotate the wheel. Relative
+      // scheduling keeps times valid as the interleaved draining below
+      // advances both clocks in lockstep.
+      double t = static_cast<double>(r % 512);
+      if (r % 97 == 0) t += 1.0e6;
+      int tag = i;
+      wheel_handles.push_back(wheel.schedule_after(
+          SimTime::minutes(t), [&wheel_fired, t, tag] { wheel_fired.emplace_back(t, tag); }));
+      heap_handles.push_back(heap.schedule_after(
+          SimTime::minutes(t), [&heap_fired, t, tag] { heap_fired.emplace_back(t, tag); }));
+    }
+    // Interleave partial draining so cancellation hits both pending and
+    // already-fired events, and the wheel serves from a live slice.
+    if (r % 139 == 0) {
+      SimTime upto = wheel.now() + SimTime::minutes(static_cast<double>(r % 256));
+      wheel.run_until(upto);
+      heap.run_until(upto);
+    }
+  }
+  wheel.run_to_quiescence();
+  heap.run_to_quiescence();
+  ASSERT_EQ(wheel_fired.size(), heap_fired.size());
+  for (std::size_t i = 0; i < wheel_fired.size(); ++i) {
+    ASSERT_EQ(wheel_fired[i], heap_fired[i]) << "fire order diverged at index " << i;
+  }
+  EXPECT_EQ(wheel.executed_count(), heap.executed_count());
+  EXPECT_EQ(wheel.cancelled_count(), heap.cancelled_count());
+}
+
+TEST(Scheduler, CancelledReclaimedEagerOnWheelLazyOnHeap) {
+  // The wheel unlinks and recycles a cancelled record immediately; the
+  // heap can only discard it when it surfaces at the top. Same results,
+  // different reclamation timing — that difference is the metric's job.
+  Scheduler wheel(QueueImpl::kWheel);
+  Scheduler heap(QueueImpl::kHeap);
+  std::vector<EventHandle> wh;
+  std::vector<EventHandle> hh;
+  for (int i = 0; i < 100; ++i) {
+    double t = static_cast<double>(i + 1);
+    wh.push_back(wheel.schedule_at(SimTime::minutes(t), [] {}));
+    hh.push_back(heap.schedule_at(SimTime::minutes(t), [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) {
+    wheel.cancel(wh[static_cast<std::size_t>(i)]);
+    heap.cancel(hh[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(wheel.cancelled_count(), 50u);
+  EXPECT_EQ(wheel.cancelled_reclaimed_count(), 50u) << "wheel reclaims at cancel()";
+  EXPECT_EQ(heap.cancelled_count(), 50u);
+  EXPECT_EQ(heap.cancelled_reclaimed_count(), 0u) << "heap reclaims lazily at pop";
+  wheel.run_to_quiescence();
+  heap.run_to_quiescence();
+  EXPECT_EQ(wheel.cancelled_reclaimed_count(), 50u);
+  EXPECT_EQ(heap.cancelled_reclaimed_count(), 50u) << "drained heap has reclaimed everything";
+  EXPECT_EQ(wheel.executed_count(), 50u);
+  EXPECT_EQ(heap.executed_count(), 50u);
+}
+
+TEST(Scheduler, SteadyStateSchedulesWithoutAllocating) {
+  // After warmup the schedule→fire→recycle cycle must be allocation-free:
+  // the arena never grows a new chunk and every callback fits inline.
+  Scheduler sched;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      sched.schedule_after(SimTime::minutes(1.0 + i), [] {});
+    }
+    sched.run_to_quiescence();
+  }
+  const std::size_t warm_chunks = sched.arena_chunk_count();
+  const std::uint64_t recycled_before = sched.arena_recycled_count();
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 64; ++i) {
+      sched.schedule_after(SimTime::minutes(1.0 + i), [] {});
+    }
+    sched.run_to_quiescence();
+  }
+  EXPECT_EQ(sched.arena_chunk_count(), warm_chunks) << "arena grew in steady state";
+  EXPECT_GT(sched.arena_recycled_count(), recycled_before) << "slots must be recycled";
+  EXPECT_EQ(sched.callback_heap_fallback_count(), 0u)
+      << "every hot-path callback must fit the inline buffer";
 }
 
 TEST(PeriodicSampler, SamplesOnGridIncludingZeroAndHorizon) {
