@@ -84,6 +84,16 @@ void Harness::run_case(const std::string& label, const std::function<std::uint64
   cases_.push_back(std::move(result));
 }
 
+void Harness::set_note(const std::string& key, double value) {
+  for (auto& note : notes_) {
+    if (note.first == key) {
+      note.second = value;
+      return;
+    }
+  }
+  notes_.emplace_back(key, value);
+}
+
 std::string Harness::to_json() const {
   json::Object root;
   root.set("type", json::Value("mvsim-bench"));
@@ -113,6 +123,11 @@ std::string Harness::to_json() const {
     cases.emplace_back(std::move(entry));
   }
   root.set("cases", json::Value(std::move(cases)));
+  if (!notes_.empty()) {
+    json::Object notes;
+    for (const auto& [key, value] : notes_) notes.set(key, json::Value(value));
+    root.set("notes", json::Value(std::move(notes)));
+  }
   return json::stringify(json::Value(std::move(root)), 2) + "\n";
 }
 

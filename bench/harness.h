@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mvsim::bench {
@@ -52,6 +53,12 @@ class Harness {
   /// case on stderr, keeping stdout for the bench's own tables.
   void run_case(const std::string& label, const std::function<std::uint64_t()>& fn);
 
+  /// Attaches a scalar fact to the report (emitted under "notes", e.g.
+  /// peak RSS or bytes-per-phone). Notes carry capacity/memory facts
+  /// that are not wall-clock series; bench_compare ignores them.
+  /// Setting an existing key overwrites it.
+  void set_note(const std::string& key, double value);
+
   [[nodiscard]] int warmup() const { return options_.warmup; }
   [[nodiscard]] int repeat() const { return options_.repeat; }
   [[nodiscard]] const std::vector<CaseResult>& cases() const { return cases_; }
@@ -69,6 +76,7 @@ class Harness {
   std::string name_;
   HarnessOptions options_;
   std::vector<CaseResult> cases_;
+  std::vector<std::pair<std::string, double>> notes_;  // insertion-ordered
 };
 
 }  // namespace mvsim::bench

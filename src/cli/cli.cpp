@@ -244,6 +244,14 @@ class ProgressTicker {
 
   void operator()(const core::ProgressUpdate& update) {
     char line[256];
+    if (update.build_phase) {
+      // One-time shared-graph build, reported on its own line so the
+      // per-replication ETA below never includes it.
+      std::snprintf(line, sizeof line, "\r%s: shared graph built in %.1fs   ",
+                    update.label.c_str(), update.build_seconds);
+      *err_ << line << '\n' << std::flush;
+      return;
+    }
     if (update.config_count > 1) {
       std::snprintf(line, sizeof line, "\r[%d/%d] %s: rep %d/%d, %.0f ev/s, ETA %.1fs   ",
                     update.config_index + 1, update.config_count, update.label.c_str(),

@@ -35,6 +35,8 @@ const std::vector<Registered>& registry() {
        [] { return core::fig6_monitoring_scenario(SimTime::minutes(15.0)); }},
       {{"fig7-blacklist", "Virus 3 vs blacklisting at 10 messages — Figure 7"},
        [] { return core::fig7_blacklist_scenario(10); }},
+      {{"market-share", "Virus 1 confined to a 0.30-share platform on a sparse shared graph"},
+       [] { return core::market_share_scenario(0.30); }},
   };
   return presets;
 }

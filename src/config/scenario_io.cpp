@@ -138,6 +138,9 @@ core::TopologyConfig decode_topology(const Value& value, const std::string& path
   topology.mean_degree = decoder.number("mean_degree", topology.mean_degree);
   topology.alpha = decoder.number("alpha", topology.alpha);
   topology.locality_jitter = decoder.number("locality_jitter", topology.locality_jitter);
+  if (decoder.has("shared_seed")) {
+    topology.shared_seed = decoder.uint64("shared_seed", 0);
+  }
   decoder.finish();
   return topology;
 }
@@ -197,6 +200,9 @@ json::Value to_json(const core::TopologyConfig& topology) {
     if (topology.locality_jitter > 0.0) {
       o.set("locality_jitter", Value(topology.locality_jitter));
     }
+  }
+  if (topology.shared_seed) {
+    o.set("shared_seed", Value(static_cast<double>(*topology.shared_seed)));
   }
   return Value(std::move(o));
 }

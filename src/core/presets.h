@@ -48,4 +48,17 @@ namespace mvsim::core {
 /// threshold.
 [[nodiscard]] ScenarioConfig fig7_blacklist_scenario(std::uint32_t threshold);
 
+/// Market-share experiment (extension): the virus targets a single
+/// platform holding `share` of the handset market, so only that
+/// fraction of phones is susceptible. On a sparse power-law contact
+/// graph (mean degree 8, alpha 2.6 — message-book contacts rather
+/// than the paper's dense address books) the susceptible subgraph
+/// percolates only above a critical share, producing a sharp
+/// discontinuity in final penetration as share crosses the threshold.
+/// The topology uses a fixed shared seed so every replication (and
+/// every point of a share sweep) reuses one cached graph and the
+/// sweep isolates the share effect from topology noise.
+[[nodiscard]] ScenarioConfig market_share_scenario(double share,
+                                                   graph::PhoneId population = 20000);
+
 }  // namespace mvsim::core

@@ -35,6 +35,18 @@ class ProgressSink {
     update_.config_count = options.progress_config_count;
   }
 
+  /// Reports the one-time shared-graph prewarm and restarts the
+  /// replication clock, so `elapsed_seconds`/ETA cover only the
+  /// replications themselves.
+  void build_done(double build_seconds) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    update_.build_seconds = build_seconds;
+    update_.build_phase = true;
+    options_->progress(update_);
+    update_.build_phase = false;
+    started_ = std::chrono::steady_clock::now();
+  }
+
   void replication_done(const ReplicationResult& result) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++update_.replications_done;
@@ -71,7 +83,7 @@ class ProgressSink {
 /// whose snapshot rides along in the replication's metrics.
 void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int count,
                 std::atomic<int>& next, std::vector<ReplicationResult>& slots,
-                ProgressSink* progress) {
+                ProgressSink* progress, graph::GraphCache* cache) {
   for (;;) {
     int rep = next.fetch_add(1, std::memory_order_relaxed);
     if (rep >= count) return;
@@ -85,7 +97,7 @@ void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int 
       prof::ScopedPhase phase(profiler.get(), prof::Phase::kBuild);
       sim.emplace(config,
                   rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)), trace,
-                  profiler.get(), options.des_impl);
+                  profiler.get(), options.des_impl, cache);
     }
     {
       prof::ScopedPhase phase(profiler.get(), prof::Phase::kRun);
@@ -162,16 +174,39 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   std::optional<ProgressSink> progress;
   if (options.progress) progress.emplace(options, config);
   ProgressSink* sink = progress ? &*progress : nullptr;
+
+  // Cache policy: an explicit cache is always honored; otherwise one
+  // is created only under topology.shared_seed, where replications
+  // actually converge on the same key. (Without a shared seed every
+  // replication has a distinct key, so a cache would just retain dead
+  // graphs.)
+  graph::GraphCache* cache = options.graph_cache;
+  std::optional<graph::GraphCache> local_cache;
+  if (cache == nullptr && config.topology.shared_seed) {
+    local_cache.emplace();
+    cache = &*local_cache;
+  }
+  if (cache != nullptr && config.topology.shared_seed) {
+    // Build the shared graph once, up front, so (a) workers never race
+    // to be the builder, and (b) the one-time build cost is reported
+    // separately instead of skewing the first replication's ETA.
+    auto build_started = std::chrono::steady_clock::now();
+    prewarm_shared_graph(config, *cache);
+    double build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - build_started).count();
+    if (sink != nullptr) sink->build_done(build_seconds);
+  }
+
   if (thread_count <= 1) {
     std::atomic<int> next{0};
-    run_worker(config, options, options.replications, next, slots, sink);
+    run_worker(config, options, options.replications, next, slots, sink, cache);
   } else {
     std::atomic<int> next{0};
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(thread_count));
     for (int t = 0; t < thread_count; ++t) {
       workers.emplace_back(run_worker, std::cref(config), std::cref(options),
-                           options.replications, std::ref(next), std::ref(slots), sink);
+                           options.replications, std::ref(next), std::ref(slots), sink, cache);
     }
     for (std::thread& worker : workers) worker.join();
   }

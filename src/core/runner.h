@@ -59,6 +59,14 @@ struct ProgressUpdate {
   double elapsed_seconds = 0.0;
   double events_per_sec = 0.0;        ///< events_executed / elapsed_seconds
   double eta_seconds = 0.0;           ///< naive: elapsed/done * remaining
+  /// True for the one update emitted when a shared contact graph
+  /// finished prewarming, before any replication ran. The build is
+  /// one-time work, so `elapsed_seconds` (and thus the ETA) excludes
+  /// it — first-replication ETAs are no longer skewed by it.
+  bool build_phase = false;
+  /// Wall-clock seconds the shared-graph prewarm took (0 when the
+  /// scenario builds per-replication graphs).
+  double build_seconds = 0.0;
   int config_index = 0;
   int config_count = 1;
 };
@@ -95,6 +103,13 @@ struct RunnerOptions {
   /// --des-impl {wheel,heap}`). Both fire bit-identical event orders;
   /// the heap is the legacy A/B reference for the calendar queue.
   des::QueueImpl des_impl = des::QueueImpl::kWheel;
+  /// Shared-graph cache. When non-null, every replication fetches its
+  /// contact graph through this cache instead of building privately —
+  /// byte-identical results either way (see graph::GraphCache). When
+  /// null and the scenario sets topology.shared_seed, the runner
+  /// creates a local cache for the experiment so the shared graph is
+  /// built once, not once per replication.
+  graph::GraphCache* graph_cache = nullptr;
   /// When set, called after every completed replication (serialized,
   /// in completion order). Observation-only.
   ProgressReporter progress;

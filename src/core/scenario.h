@@ -38,6 +38,13 @@ struct TopologyConfig {
   /// insensitive to this knob (quantified in bench/ablation_topology),
   /// so the default stays at the pure configuration model.
   double locality_jitter = 0.0;
+  /// When set, every replication builds its contact graph from this
+  /// seed instead of the per-replication topology seed — all
+  /// replications then share one (cacheable, immutable) graph and
+  /// vary only in susceptibility, patient zero and process noise.
+  /// Unset (the default, and what every golden preset uses) keeps the
+  /// historical behavior: a fresh graph per replication.
+  std::optional<std::uint64_t> shared_seed;
 
   [[nodiscard]] ValidationErrors validate() const;
 };

@@ -1,6 +1,7 @@
 #include "core/simulation.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -23,12 +24,66 @@ enum StreamIndex : std::uint64_t {
   kProximityStream = 7,
 };
 
+/// Builds the configured topology, consuming randomness from `stream`.
+graph::ContactGraph build_graph_for(const ScenarioConfig& config, rng::Stream& stream) {
+  switch (config.topology.kind) {
+    case TopologyConfig::Kind::kPowerLaw: {
+      graph::PowerLawConfig plc;
+      plc.node_count = config.population;
+      plc.target_mean_degree = config.topology.mean_degree;
+      plc.alpha = config.topology.alpha;
+      plc.locality_jitter = config.topology.locality_jitter;
+      return graph::generate_power_law(plc, stream);
+    }
+    case TopologyConfig::Kind::kErdosRenyi:
+      return graph::generate_erdos_renyi(config.population, config.topology.mean_degree, stream);
+    case TopologyConfig::Kind::kBarabasiAlbert: {
+      auto m = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree / 2.0));
+      return graph::generate_barabasi_albert(config.population, std::max(1u, m), stream);
+    }
+    case TopologyConfig::Kind::kRegularRing: {
+      auto k = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree));
+      if (k % 2 == 1) ++k;  // ring lattice needs an even neighbour count
+      return graph::generate_regular_ring(config.population, k);
+    }
+  }
+  throw std::logic_error("build_graph_for: unknown topology kind");
+}
+
+/// Hash of every generator-relevant parameter: two configs with equal
+/// hashes (and equal seeds) run bit-identical builds.
+std::uint64_t topology_params_hash(const ScenarioConfig& config) {
+  std::uint64_t h = graph::kHashSeed;
+  h = graph::hash_combine(h, static_cast<std::uint64_t>(config.topology.kind));
+  h = graph::hash_combine(h, config.population);
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.mean_degree));
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.alpha));
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.locality_jitter));
+  return h;
+}
+
+/// The seed the topology stream is (re)built from. With shared_seed
+/// set, it is decoupled from the replication seed so every replication
+/// resolves to the same graph; susceptible sampling and patient zero
+/// still draw from the per-replication topology stream either way.
+std::uint64_t topology_build_seed(const ScenarioConfig& config, std::uint64_t replication_seed) {
+  return config.topology.shared_seed
+             ? rng::derive_seed(*config.topology.shared_seed, kTopologyStream)
+             : rng::derive_seed(replication_seed, kTopologyStream);
+}
+
+graph::GraphCacheKey topology_cache_key(const ScenarioConfig& config,
+                                        std::uint64_t replication_seed) {
+  return {topology_build_seed(config, replication_seed), topology_params_hash(config)};
+}
+
 }  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
                        trace::TraceBuffer* trace, des::EventTimer* event_timer,
-                       des::QueueImpl des_impl)
+                       des::QueueImpl des_impl, graph::GraphCache* graph_cache)
     : config_(config),
+      replication_seed_(replication_seed),
       topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
       user_stream_(rng::derive_seed(replication_seed, kUserStream)),
       virus_stream_(rng::derive_seed(replication_seed, kVirusStream)),
@@ -42,13 +97,13 @@ Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_s
   config.validate().throw_if_invalid();
   scheduler_.set_event_timer(event_timer);
 
-  build_topology();
+  build_topology(graph_cache);
 
   gateway_ = std::make_unique<net::Gateway>(scheduler_, net_stream_,
                                             config_.delivery_delay_mean);
   gateway_->set_delivery_callback([this](graph::PhoneId recipient, const net::MmsMessage& msg) {
-    phones_[recipient].receive_infected_message(
-        {msg.sender, msg.sequence, phone::InfectionChannel::kMms});
+    phones_->receive_infected_message(
+        recipient, {msg.sender, msg.sequence, phone::InfectionChannel::kMms});
   });
   if (trace_ != nullptr) {
     // First observer on the gateway, so each submission's trace event
@@ -91,12 +146,12 @@ void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
         // A patch kills the worm outright. Blacklisting and monitoring
         // do NOT apply: the provider's MMS-side levers cannot touch
         // point-to-point Bluetooth transfers.
-        if (phones_[id].propagation_stopped()) return;
+        if (phones_->propagation_stopped(id)) return;
         graph::PhoneId victim = 0;
         if (proximity_grid_->sample_co_located(id, proximity_stream_, victim)) {
           ++bluetooth_push_attempts_;
-          phones_[victim].receive_infected_message(
-              {id, net::kInvalidMessageId, phone::InfectionChannel::kBluetooth});
+          phones_->receive_infected_message(
+              victim, {id, net::kInvalidMessageId, phone::InfectionChannel::kBluetooth});
         }
         schedule_bluetooth_scan(id);
       });
@@ -104,35 +159,35 @@ void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
 
 Simulation::~Simulation() = default;
 
-void Simulation::build_topology() {
-  switch (config_.topology.kind) {
-    case TopologyConfig::Kind::kPowerLaw: {
-      graph::PowerLawConfig plc;
-      plc.node_count = config_.population;
-      plc.target_mean_degree = config_.topology.mean_degree;
-      plc.alpha = config_.topology.alpha;
-      plc.locality_jitter = config_.topology.locality_jitter;
-      graph_ = std::make_unique<graph::ContactGraph>(
-          graph::generate_power_law(plc, topology_stream_));
-      break;
+void Simulation::build_topology(graph::GraphCache* graph_cache) {
+  const bool shared = config_.topology.shared_seed.has_value();
+  if (graph_cache != nullptr) {
+    auto entry = graph_cache->get_or_build(
+        topology_cache_key(config_, replication_seed_), [&]() -> graph::CachedGraph {
+          rng::Stream build_stream(topology_build_seed(config_, replication_seed_));
+          auto built = std::make_shared<const graph::ContactGraph>(
+              build_graph_for(config_, build_stream));
+          return {std::move(built), build_stream};
+        });
+    graph_ = entry->graph;
+    if (!shared) {
+      // The per-replication topology stream must continue exactly
+      // where a private build would have left it (susceptible
+      // sampling and patient zero draw from it next); the cached
+      // post-build state is that continuation point, and it also
+      // carries the build's draw count so rng.draws telemetry is
+      // unchanged on a hit.
+      topology_stream_ = entry->post_build_stream;
     }
-    case TopologyConfig::Kind::kErdosRenyi:
-      graph_ = std::make_unique<graph::ContactGraph>(graph::generate_erdos_renyi(
-          config_.population, config_.topology.mean_degree, topology_stream_));
-      break;
-    case TopologyConfig::Kind::kBarabasiAlbert: {
-      auto m = static_cast<std::uint32_t>(std::llround(config_.topology.mean_degree / 2.0));
-      graph_ = std::make_unique<graph::ContactGraph>(graph::generate_barabasi_albert(
-          config_.population, std::max(1u, m), topology_stream_));
-      break;
-    }
-    case TopologyConfig::Kind::kRegularRing: {
-      auto k = static_cast<std::uint32_t>(std::llround(config_.topology.mean_degree));
-      if (k % 2 == 1) ++k;  // ring lattice needs an even neighbour count
-      graph_ = std::make_unique<graph::ContactGraph>(
-          graph::generate_regular_ring(config_.population, k));
-      break;
-    }
+  } else if (shared) {
+    // Shared topology without a cache: build from the decoupled seed
+    // on a local stream, leaving the replication's topology stream
+    // (which seeds susceptibility and patient zero) untouched.
+    rng::Stream build_stream(topology_build_seed(config_, replication_seed_));
+    graph_ = std::make_shared<const graph::ContactGraph>(build_graph_for(config_, build_stream));
+  } else {
+    graph_ = std::make_shared<const graph::ContactGraph>(
+        build_graph_for(config_, topology_stream_));
   }
 }
 
@@ -142,7 +197,9 @@ void Simulation::build_phones() {
   phone_env_.consent = &consent_;
   phone_env_.read_delay_mean = config_.read_delay_mean;
   phone_env_.decision_cutoff = config_.decision_cutoff;
-  phone_env_.on_infected = [this](graph::PhoneId id) { on_phone_infected(id); };
+  phone_env_.listener = this;
+
+  phones_ = std::make_unique<phone::PhoneTable>(config_.population, &phone_env_);
 
   // "800 are randomly designated as susceptible": sample without
   // replacement from the whole population.
@@ -150,13 +207,13 @@ void Simulation::build_phones() {
       std::llround(config_.susceptible_fraction * static_cast<double>(config_.population)));
   auto chosen = topology_stream_.sample_without_replacement(config_.population,
                                                             susceptible_target);
+  susceptible_ids_.reserve(chosen.size());
   std::vector<bool> susceptible(config_.population, false);
   for (auto id : chosen) susceptible[static_cast<std::size_t>(id)] = true;
-
-  phones_.reserve(config_.population);  // never reallocated: phones self-reference via events
   for (graph::PhoneId id = 0; id < config_.population; ++id) {
-    phones_.emplace_back(id, susceptible[id], &phone_env_);
-    if (susceptible[id]) susceptible_ids_.push_back(id);
+    if (!susceptible[id]) continue;
+    phones_->set_susceptible(id, true);
+    susceptible_ids_.push_back(id);
   }
   processes_.resize(config_.population);
 }
@@ -192,15 +249,14 @@ void Simulation::seed_patient_zero() {
   for (auto pick : picks) {
     graph::PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
     scheduler_.schedule_at(SimTime::zero(), des::EventType::kSeedInfection,
-                           [this, id] { phones_[id].force_infect(); });
+                           [this, id] { phones_->force_infect(id); });
   }
 }
 
-void Simulation::on_phone_infected(graph::PhoneId id) {
+void Simulation::on_phone_infected(phone::PhoneId id, const phone::InfectionSource& source) {
   ++infected_count_;
   infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
   if (trace_ != nullptr) {
-    const phone::InfectionSource& source = phones_[id].infection_source();
     trace::Event event;
     event.time = scheduler_.now();
     event.kind = trace::EventKind::kInfection;
@@ -219,8 +275,8 @@ void Simulation::on_phone_infected(graph::PhoneId id) {
     targeter = std::make_unique<virus::RandomDialTargeter>(
         id, config_.population, config_.virus.valid_number_fraction, virus_stream_);
   }
-  processes_[id] = std::make_unique<virus::SendingProcess>(sending_env_, config_.virus,
-                                                           phones_[id], std::move(targeter));
+  processes_[id] = std::make_unique<virus::SendingProcess>(sending_env_, config_.virus, *phones_,
+                                                           id, std::move(targeter));
   processes_[id]->start();
 
   if (config_.proximity) {
@@ -230,9 +286,9 @@ void Simulation::on_phone_infected(graph::PhoneId id) {
 }
 
 void Simulation::on_patch_applied(graph::PhoneId id) {
-  bool was_infected = phones_[id].infected();
-  bool was_patched = phones_[id].patched();
-  phones_[id].apply_patch();
+  bool was_infected = phones_->infected(id);
+  bool was_patched = phones_->patched(id);
+  phones_->apply_patch(id);
   if (was_patched) return;
   if (trace_ != nullptr) {
     trace::Event event;
@@ -245,7 +301,7 @@ void Simulation::on_patch_applied(graph::PhoneId id) {
   if (was_infected) {
     ++patched_infected_;
     if (processes_[id]) processes_[id]->stop();  // stop immediately, not at next attempt
-  } else if (phones_[id].state() == phone::HealthState::kImmunized) {
+  } else if (phones_->state(id) == phone::HealthState::kImmunized) {
     ++immunized_healthy_;
   }
 }
@@ -308,6 +364,20 @@ metrics::Snapshot Simulation::collect_metrics() const {
 
   context_->collect_metrics(reg);
   return reg.snapshot();
+}
+
+bool prewarm_shared_graph(const ScenarioConfig& config, graph::GraphCache& cache) {
+  if (!config.topology.shared_seed) return false;
+  config.validate().throw_if_invalid();
+  // The replication seed is irrelevant under shared_seed (the key is
+  // derived from the shared seed alone); 0 stands in for it.
+  (void)cache.get_or_build(topology_cache_key(config, 0), [&]() -> graph::CachedGraph {
+    rng::Stream build_stream(topology_build_seed(config, 0));
+    auto built =
+        std::make_shared<const graph::ContactGraph>(build_graph_for(config, build_stream));
+    return {std::move(built), build_stream};
+  });
+  return true;
 }
 
 }  // namespace mvsim::core

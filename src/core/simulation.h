@@ -1,10 +1,11 @@
 // One simulation replication: wires the whole system together.
 //
-// Simulation owns the scheduler, the RNG streams, the contact graph,
-// the 1000 phone submodels, the gateway, the virus sending processes
-// and whatever response mechanisms the scenario enables, then runs the
-// event loop to the horizon. One Simulation = one replication; the
-// ReplicationRunner aggregates many.
+// Simulation owns the scheduler, the RNG streams, the contact graph
+// (possibly shared with sibling replications through a GraphCache),
+// the struct-of-arrays phone population table, the gateway, the virus
+// sending processes and whatever response mechanisms the scenario
+// enables, then runs the event loop to the horizon. One Simulation =
+// one replication; the ReplicationRunner aggregates many.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +20,11 @@
 #include "metrics/registry.h"
 #include "des/scheduler.h"
 #include "graph/contact_graph.h"
+#include "graph/graph_cache.h"
 #include "mobility/grid.h"
 #include "mobility/movement.h"
 #include "net/gateway.h"
-#include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "rng/stream.h"
 #include "stats/time_series.h"
 #include "trace/recorder.h"
@@ -60,7 +62,7 @@ struct ReplicationResult {
   double wall_seconds = 0.0;
 };
 
-class Simulation {
+class Simulation final : private phone::InfectionListener {
  public:
   /// Validates `config`; the replication seed makes runs reproducible
   /// and replications independent. When `trace` is non-null the whole
@@ -80,10 +82,18 @@ class Simulation {
   /// des::QueueImpl); both implementations fire bit-identical event
   /// orders, so this is a performance A/B escape hatch, not a modeling
   /// choice.
+  ///
+  /// When `graph_cache` is non-null the contact graph is fetched from
+  /// (or built into) it instead of being built privately. The cache
+  /// restores the exact post-build topology-stream state on a hit, so
+  /// cached and uncached runs are byte-identical — including the
+  /// rng.draws telemetry (see graph::GraphCache). The cache must
+  /// outlive the simulation.
   Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
              trace::TraceBuffer* trace = nullptr, des::EventTimer* event_timer = nullptr,
-             des::QueueImpl des_impl = des::QueueImpl::kWheel);
-  ~Simulation();
+             des::QueueImpl des_impl = des::QueueImpl::kWheel,
+             graph::GraphCache* graph_cache = nullptr);
+  ~Simulation() override;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -105,7 +115,9 @@ class Simulation {
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
   [[nodiscard]] std::uint64_t infected_count() const { return infected_count_; }
   [[nodiscard]] const graph::ContactGraph& contact_graph() const { return *graph_; }
-  [[nodiscard]] const phone::Phone& phone_at(graph::PhoneId id) const { return phones_[id]; }
+  /// The struct-of-arrays population state (health, susceptibility,
+  /// inbox counts), indexed by PhoneId.
+  [[nodiscard]] const phone::PhoneTable& phones() const { return *phones_; }
   [[nodiscard]] std::size_t susceptible_count() const { return susceptible_ids_.size(); }
   [[nodiscard]] const net::Gateway& gateway() const { return *gateway_; }
   [[nodiscard]] des::Scheduler& scheduler() { return scheduler_; }
@@ -113,16 +125,19 @@ class Simulation {
   [[nodiscard]] const SimulationContext& responses() const { return *context_; }
 
  private:
-  void build_topology();
+  void build_topology(graph::GraphCache* graph_cache);
   void build_phones();
   void build_responses();
   void build_proximity_channel();
   void seed_patient_zero();
-  void on_phone_infected(graph::PhoneId id);
+  /// InfectionListener: the PhoneTable's exactly-once infection
+  /// notification, carrying the provenance the trace layer records.
+  void on_phone_infected(phone::PhoneId id, const phone::InfectionSource& source) override;
   void on_patch_applied(graph::PhoneId id);
   void schedule_bluetooth_scan(graph::PhoneId id);
 
   ScenarioConfig config_;
+  std::uint64_t replication_seed_;
 
   // RNG streams — one per concern, all derived from the replication
   // seed, so no component's draws perturb another's sequence.
@@ -135,12 +150,17 @@ class Simulation {
   rng::Stream proximity_stream_;
 
   des::Scheduler scheduler_;
-  std::unique_ptr<graph::ContactGraph> graph_;
+  // Immutable once built; shared with sibling replications when a
+  // GraphCache is in play.
+  std::shared_ptr<const graph::ContactGraph> graph_;
   std::unique_ptr<net::Gateway> gateway_;
 
   phone::ConsentModel consent_;
   phone::PhoneEnvironment phone_env_;
-  std::vector<phone::Phone> phones_;
+  // unique_ptr for address stability: pending decision events capture
+  // the table pointer (same contract the old never-reallocated phone
+  // vector had).
+  std::unique_ptr<phone::PhoneTable> phones_;
   std::vector<graph::PhoneId> susceptible_ids_;
 
   virus::SendingEnvironment sending_env_;
@@ -165,5 +185,15 @@ class Simulation {
   std::unique_ptr<trace::GatewayRecorder> recorder_;
   bool ran_ = false;
 };
+
+/// Builds (or fetches) the contact graph for `config` into `cache`
+/// ahead of the replications. Only meaningful when
+/// `config.topology.shared_seed` is set — that is the mode where every
+/// replication resolves to the same cache key; without it each
+/// replication derives its own topology seed and there is nothing to
+/// share. Returns true when a shared graph was warmed. The runner uses
+/// this to report the one-time build phase separately from
+/// per-replication progress.
+bool prewarm_shared_graph(const ScenarioConfig& config, graph::GraphCache& cache);
 
 }  // namespace mvsim::core

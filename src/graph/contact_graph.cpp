@@ -4,45 +4,26 @@
 #include <stdexcept>
 #include <string>
 
+#include "graph/csr_builder.h"
+
 namespace mvsim::graph {
 
-ContactGraph::ContactGraph(PhoneId node_count) : offsets_(node_count + 1ULL, 0) {}
+ContactGraph::ContactGraph(PhoneId node_count)
+    : offsets_(static_cast<std::size_t>(node_count) + 1, 0) {}
 
 ContactGraph::ContactGraph(PhoneId node_count, std::span<const Edge> edges)
-    : offsets_(node_count + 1ULL, 0) {
-  // Two-pass CSR build: count degrees, then fill.
-  for (const Edge& e : edges) {
-    if (e.a >= node_count || e.b >= node_count) {
-      throw std::invalid_argument("ContactGraph: edge endpoint out of range (" +
-                                  std::to_string(e.a) + "," + std::to_string(e.b) + ")");
-    }
-    if (e.a == e.b) {
-      throw std::invalid_argument("ContactGraph: self-loop at phone " + std::to_string(e.a));
-    }
-    ++offsets_[e.a + 1ULL];
-    ++offsets_[e.b + 1ULL];
-  }
-  for (std::size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
-
-  adjacency_.resize(edges.size() * 2);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (const Edge& e : edges) {
-    adjacency_[cursor[e.a]++] = e.b;
-    adjacency_[cursor[e.b]++] = e.a;
-  }
-  for (PhoneId p = 0; p < node_count; ++p) {
-    auto begin = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[p]);
-    auto end = adjacency_.begin() + static_cast<std::ptrdiff_t>(offsets_[p + 1ULL]);
-    std::sort(begin, end);
-    if (std::adjacent_find(begin, end) != end) {
-      throw std::invalid_argument("ContactGraph: duplicate edge at phone " + std::to_string(p));
-    }
-  }
-}
+    : ContactGraph([&] {
+        CsrBuilder builder(node_count);
+        for (const Edge& e : edges) builder.count_edge(e.a, e.b);
+        builder.begin_fill();
+        for (const Edge& e : edges) builder.fill_edge(e.a, e.b);
+        return std::move(builder).finish();
+      }()) {}
 
 std::span<const PhoneId> ContactGraph::contacts(PhoneId phone) const {
   check_node(phone);
-  return {adjacency_.data() + offsets_[phone], offsets_[phone + 1ULL] - offsets_[phone]};
+  return {adjacency_.data() + offsets_[phone],
+          static_cast<std::size_t>(offsets_[phone + 1ULL] - offsets_[phone])};
 }
 
 bool ContactGraph::connected(PhoneId a, PhoneId b) const {

@@ -12,15 +12,14 @@
 #include <span>
 #include <vector>
 
+#include "util/ids.h"
+
 namespace mvsim::graph {
 
-using PhoneId = std::uint32_t;
+using mvsim::PhoneId;
+using mvsim::kInvalidPhoneId;
 
-/// "No phone": phone id 0 is a real phone, so fields that may be
-/// unset (a trace event with no subject, an unknown infector) carry
-/// this sentinel instead. No simulated population ever reaches 2^32-1
-/// phones — ScenarioConfig validates far below that.
-inline constexpr PhoneId kInvalidPhoneId = 0xFFFF'FFFFu;
+class CsrBuilder;
 
 class ContactGraph {
  public:
@@ -32,7 +31,9 @@ class ContactGraph {
 
   /// Builds the graph from an edge list. Throws std::invalid_argument
   /// on self-loops, duplicate edges (in either orientation) or
-  /// endpoints >= node_count.
+  /// endpoints >= node_count. Generators avoid this path (they stream
+  /// edges through CsrBuilder instead of materializing a list); it
+  /// remains the construction route for deserialization and tests.
   ContactGraph(PhoneId node_count, std::span<const Edge> edges);
 
   /// An empty graph (no edges) over `node_count` phones.
@@ -51,11 +52,28 @@ class ContactGraph {
 
   [[nodiscard]] double average_degree() const;
 
+  /// Heap footprint of the CSR arrays, for the bytes-per-phone budget
+  /// the scaling bench reports.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(std::uint32_t) + adjacency_.capacity() * sizeof(PhoneId);
+  }
+
  private:
+  friend class CsrBuilder;
+
+  /// Adopts fully-built CSR arrays (CsrBuilder::finish has already
+  /// enforced the simple-graph invariants).
+  ContactGraph(std::vector<std::uint32_t> offsets, std::vector<PhoneId> adjacency)
+      : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {}
+
   void check_node(PhoneId phone) const;
 
   // CSR layout: contacts of phone p are adjacency_[offsets_[p] .. offsets_[p+1]).
-  std::vector<std::size_t> offsets_;
+  // Offsets are 32-bit on purpose — the adjacency array holds 2*E
+  // entries and CsrBuilder rejects graphs past 2^32-1 of them, which at
+  // mean degree 80 is ~27M phones, far above any simulated population.
+  // At 10^6 nodes this halves the index memory vs size_t offsets.
+  std::vector<std::uint32_t> offsets_;
   std::vector<PhoneId> adjacency_;
 };
 

@@ -1,0 +1,69 @@
+// Streaming CSR construction.
+//
+// Generators used to materialize a full O(E) edge vector and hand it
+// to ContactGraph's two-pass constructor. CsrBuilder exposes those two
+// passes directly so a generator can instead *emit* its edge sequence
+// twice — count pass, then fill pass — and never own an edge list at
+// all. For stochastic generators the second emission replays the first
+// bit-identically by running the count pass on a copy of the RNG
+// stream and the fill pass on the real one (rng::Stream is a value
+// type; copying captures the exact mid-sequence state).
+//
+// Usage:
+//   CsrBuilder b(n);
+//   for (edge e : sequence) b.count_edge(e.a, e.b);   // pass 1
+//   b.begin_fill();
+//   for (edge e : sequence) b.fill_edge(e.a, e.b);    // same sequence
+//   ContactGraph g = std::move(b).finish();
+//
+// finish() sorts each contact list and enforces the simple-graph
+// invariants with the same std::invalid_argument contract as the
+// ContactGraph edge-list constructor (self-loop, duplicate edge,
+// endpoint out of range).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contact_graph.h"
+
+namespace mvsim::graph {
+
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(PhoneId node_count);
+
+  /// Pass 1: tally one undirected edge. Validates endpoints eagerly so
+  /// a bad edge is reported at its first appearance.
+  void count_edge(PhoneId a, PhoneId b);
+
+  /// Seals pass 1: prefix-sums the per-node counts and allocates the
+  /// adjacency array (the only O(E) allocation of the build). Throws
+  /// std::length_error if the graph needs more than 2^32-1 adjacency
+  /// entries (the documented 32-bit offset limit).
+  void begin_fill();
+
+  /// Pass 2: place one undirected edge. The fill sequence must repeat
+  /// the count sequence (checked: a mismatch overruns a node's slot
+  /// range and throws std::logic_error).
+  void fill_edge(PhoneId a, PhoneId b);
+
+  /// Sorts every contact list, rejects duplicate edges, and adopts the
+  /// arrays into a ContactGraph. Consumes the builder.
+  [[nodiscard]] ContactGraph finish() &&;
+
+ private:
+  void check_edge(PhoneId a, PhoneId b) const;
+
+  PhoneId node_count_;
+  bool filling_ = false;
+  std::uint64_t edge_count_ = 0;
+  // During pass 1 this holds per-node degree counts at [p + 1]; after
+  // begin_fill it is the final offset array, with cursor_ tracking each
+  // node's next free adjacency slot.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<PhoneId> adjacency_;
+};
+
+}  // namespace mvsim::graph

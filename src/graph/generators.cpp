@@ -5,46 +5,175 @@
 #include <cstdint>
 #include <numeric>
 #include <stdexcept>
-#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "graph/csr_builder.h"
 
 namespace mvsim::graph {
 
 namespace {
 
-/// Packs an undirected edge into one key for duplicate detection.
+/// Packs an undirected edge into one normalized key for duplicate
+/// detection.
 std::uint64_t edge_key(PhoneId a, PhoneId b) {
   if (a > b) std::swap(a, b);
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
-struct EdgeAccumulator {
-  explicit EdgeAccumulator(std::size_t expected) { seen.reserve(expected * 2); }
+/// Open-addressing membership set for normalized edge keys.
+///
+/// std::unordered_set costs ~40 bytes per edge (node allocation +
+/// bucket pointer); this flat table costs 8 bytes per slot at ~60%
+/// peak load. Two keys can never occur as real edges — 0 is the
+/// self-loop (0,0) and 2^64-1 the self-loop (max,max), both rejected
+/// before insertion — so they serve as the empty and tombstone
+/// markers and no separate occupancy bitmap is needed.
+class FlatEdgeSet {
+ public:
+  explicit FlatEdgeSet(std::size_t expected) { rehash(slots_for(expected)); }
 
-  bool try_add(PhoneId a, PhoneId b) {
-    if (a == b) return false;
-    if (!seen.insert(edge_key(a, b)).second) return false;
-    edges.push_back({a, b});
+  bool insert(std::uint64_t key) {
+    if (used_ + 1 > (slots_.size() * 3) / 5) rehash(slots_.size() * 2);
+    std::size_t i = probe(key);
+    if (slots_[i] == key) return false;
+    if (slots_[i] == kEmpty) ++used_;  // reusing a tombstone keeps used_
+    slots_[i] = key;
+    ++size_;
     return true;
   }
 
-  bool contains(PhoneId a, PhoneId b) const { return seen.count(edge_key(a, b)) > 0; }
+  [[nodiscard]] bool contains(std::uint64_t key) const { return slots_[probe(key)] == key; }
+
+  void erase(std::uint64_t key) {
+    std::size_t i = probe(key);
+    if (slots_[i] != key) return;
+    slots_[i] = kTombstone;
+    --size_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Releases the table (the CSR build that follows no longer needs
+  /// membership queries).
+  void free_memory() {
+    slots_ = {};
+    size_ = used_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;                        // self-loop (0,0)
+  static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};    // self-loop (max,max)
+
+  static std::size_t slots_for(std::size_t expected) {
+    std::size_t n = 16;
+    while (n * 3 < expected * 5) n *= 2;  // keep load below 60%
+    return n;
+  }
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51'AFD7'ED55'8CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CE'B9FE'1A85'EC53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  /// Index of `key` if present, else of the slot where it would be
+  /// inserted (first tombstone on the probe path, or the empty slot).
+  [[nodiscard]] std::size_t probe(std::uint64_t key) const {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+    std::size_t first_tombstone = slots_.size();
+    while (true) {
+      if (slots_[i] == key) return i;
+      if (slots_[i] == kEmpty) {
+        return first_tombstone != slots_.size() ? first_tombstone : i;
+      }
+      if (slots_[i] == kTombstone && first_tombstone == slots_.size()) first_tombstone = i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(std::max<std::size_t>(new_slots, 16), kEmpty);
+    size_ = used_ = 0;
+    for (std::uint64_t key : old) {
+      if (key == kEmpty || key == kTombstone) continue;
+      std::size_t i = probe(key);
+      slots_[i] = key;
+      ++size_;
+      ++used_;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  std::size_t used_ = 0;  ///< occupied + tombstoned (governs rehash)
+};
+
+/// The power-law generator's working edge set: an insertion-ordered,
+/// orientation-preserving packed edge sequence (8 bytes/edge — the
+/// repair pass reads edge endpoints asymmetrically, so orientation
+/// matters) plus flat membership. Replaces the former
+/// vector<Edge> + unordered_set pair (~48 bytes/edge) and is streamed
+/// straight into CsrBuilder at the end — the O(E) ContactGraph::Edge
+/// vector never exists.
+class EdgeStore {
+ public:
+  explicit EdgeStore(std::size_t expected) : seen_(expected) { packed_.reserve(expected); }
+
+  bool try_add(PhoneId a, PhoneId b) {
+    if (a == b) return false;
+    if (!seen_.insert(edge_key(a, b))) return false;
+    packed_.push_back(pack(a, b));
+    return true;
+  }
+
+  [[nodiscard]] bool contains(PhoneId a, PhoneId b) const {
+    return seen_.contains(edge_key(a, b));
+  }
 
   void replace(std::size_t index, PhoneId a, PhoneId b) {
-    const ContactGraph::Edge& old = edges[index];
-    seen.erase(edge_key(old.a, old.b));
-    seen.insert(edge_key(a, b));
-    edges[index] = {a, b};
+    seen_.erase(edge_key(first(packed_[index]), second(packed_[index])));
+    seen_.insert(edge_key(a, b));
+    packed_[index] = pack(a, b);
   }
 
   void remove(std::size_t index) {
-    seen.erase(edge_key(edges[index].a, edges[index].b));
-    edges[index] = edges.back();
-    edges.pop_back();
+    seen_.erase(edge_key(first(packed_[index]), second(packed_[index])));
+    packed_[index] = packed_.back();
+    packed_.pop_back();
   }
 
-  std::vector<ContactGraph::Edge> edges;
-  std::unordered_set<std::uint64_t> seen;
+  [[nodiscard]] std::size_t size() const { return packed_.size(); }
+  [[nodiscard]] bool empty() const { return packed_.empty(); }
+  [[nodiscard]] PhoneId a(std::size_t index) const { return first(packed_[index]); }
+  [[nodiscard]] PhoneId b(std::size_t index) const { return second(packed_[index]); }
+
+  /// Streams the accumulated edges into a ContactGraph; frees the
+  /// membership table before allocating the CSR so the two never
+  /// coexist at full size.
+  [[nodiscard]] ContactGraph build(PhoneId node_count) {
+    seen_.free_memory();
+    CsrBuilder builder(node_count);
+    for (std::uint64_t e : packed_) builder.count_edge(first(e), second(e));
+    builder.begin_fill();
+    for (std::uint64_t e : packed_) builder.fill_edge(first(e), second(e));
+    return std::move(builder).finish();
+  }
+
+ private:
+  static std::uint64_t pack(PhoneId a, PhoneId b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  static PhoneId first(std::uint64_t e) { return static_cast<PhoneId>(e >> 32); }
+  static PhoneId second(std::uint64_t e) { return static_cast<PhoneId>(e & 0xFFFF'FFFFu); }
+
+  std::vector<std::uint64_t> packed_;
+  FlatEdgeSet seen_;
 };
 
 /// The bounded power-law pmf the degree sampler draws from, kept
@@ -179,7 +308,7 @@ ContactGraph generate_power_law(const PowerLawConfig& config, rng::Stream& strea
     for (std::size_t i = 0; i < keyed.size(); ++i) stubs[i] = keyed[i].second;
   }
 
-  EdgeAccumulator acc(stubs.size() / 2);
+  EdgeStore acc(stubs.size() / 2);
   std::vector<PhoneId> leftovers;  // stubs whose pairing collided
   for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
     if (!acc.try_add(stubs[i], stubs[i + 1])) {
@@ -187,6 +316,7 @@ ContactGraph generate_power_law(const PowerLawConfig& config, rng::Stream& strea
       leftovers.push_back(stubs[i + 1]);
     }
   }
+  stubs = {};
 
   // Repair pass: rewire collided stub pairs through random edge swaps.
   // For leftover pair (u, v) pick an existing edge (x, y) and replace it
@@ -199,10 +329,9 @@ ContactGraph generate_power_law(const PowerLawConfig& config, rng::Stream& strea
     PhoneId v = leftovers[i + 1];
     if (acc.try_add(u, v)) continue;
     bool repaired = false;
-    for (int attempt = 0; attempt < kMaxAttemptsPerPair && !acc.edges.empty(); ++attempt) {
-      auto index = static_cast<std::size_t>(stream.uniform_index(acc.edges.size()));
-      ContactGraph::Edge e = acc.edges[index];
-      PhoneId x = e.a, y = e.b;
+    for (int attempt = 0; attempt < kMaxAttemptsPerPair && !acc.empty(); ++attempt) {
+      auto index = static_cast<std::size_t>(stream.uniform_index(acc.size()));
+      PhoneId x = acc.a(index), y = acc.b(index);
       if (u == x || u == y || v == x || v == y) continue;
       if (acc.contains(u, x) || acc.contains(v, y)) continue;
       acc.replace(index, u, x);
@@ -224,16 +353,16 @@ ContactGraph generate_power_law(const PowerLawConfig& config, rng::Stream& strea
       std::llround(config.target_mean_degree * static_cast<double>(n) / 2.0));
   std::uint64_t attempts = 0;
   const std::uint64_t max_attempts = 200ULL * (target_edges + 16);
-  while (acc.edges.size() < target_edges && attempts++ < max_attempts) {
+  while (acc.size() < target_edges && attempts++ < max_attempts) {
     auto a = static_cast<PhoneId>(stream.uniform_index(n));
     auto b = static_cast<PhoneId>(stream.uniform_index(n));
     acc.try_add(a, b);
   }
-  while (acc.edges.size() > target_edges) {
-    acc.remove(static_cast<std::size_t>(stream.uniform_index(acc.edges.size())));
+  while (acc.size() > target_edges) {
+    acc.remove(static_cast<std::size_t>(stream.uniform_index(acc.size())));
   }
 
-  return ContactGraph(n, acc.edges);
+  return acc.build(n);
 }
 
 ContactGraph generate_erdos_renyi(PhoneId node_count, double target_mean_degree,
@@ -244,31 +373,44 @@ ContactGraph generate_erdos_renyi(PhoneId node_count, double target_mean_degree,
   }
   // In G(n, p) the mean degree is p * (n - 1).
   const double p = target_mean_degree / static_cast<double>(node_count - 1);
-  std::vector<ContactGraph::Edge> edges;
-  edges.reserve(static_cast<std::size_t>(target_mean_degree) * node_count / 2 + 16);
   // Geometric skipping: iterate only over present edges, O(edges).
   const double log1mp = std::log1p(-p);
-  std::uint64_t total_pairs = static_cast<std::uint64_t>(node_count) * (node_count - 1) / 2;
-  std::uint64_t position = 0;
-  while (true) {
-    double u = stream.uniform01();
-    auto skip = static_cast<std::uint64_t>(std::floor(std::log1p(-u) / log1mp));
-    position += skip;
-    if (position >= total_pairs) break;
-    // Unrank `position` into (a, b), a < b: row a has (n-1-a) pairs.
-    std::uint64_t remaining = position;
-    PhoneId a = 0;
-    std::uint64_t row = node_count - 1;
-    while (remaining >= row) {
-      remaining -= row;
-      --row;
-      ++a;
+  const std::uint64_t total_pairs = static_cast<std::uint64_t>(node_count) * (node_count - 1) / 2;
+  auto emit = [&](rng::Stream& s, auto&& sink) {
+    std::uint64_t position = 0;
+    while (true) {
+      double u = s.uniform01();
+      auto skip = static_cast<std::uint64_t>(std::floor(std::log1p(-u) / log1mp));
+      position += skip;
+      if (position >= total_pairs) break;
+      // Unrank `position` into (a, b), a < b: row a has (n-1-a) pairs.
+      std::uint64_t remaining = position;
+      PhoneId a = 0;
+      std::uint64_t row = node_count - 1;
+      while (remaining >= row) {
+        remaining -= row;
+        --row;
+        ++a;
+      }
+      PhoneId b = static_cast<PhoneId>(a + 1 + remaining);
+      sink(a, b);
+      ++position;
     }
-    PhoneId b = static_cast<PhoneId>(a + 1 + remaining);
-    edges.push_back({a, b});
-    ++position;
+  };
+
+  // Clone-replay streaming: the count pass runs on a copy of the
+  // stream, the fill pass on the real one — both see the identical
+  // draw sequence and the caller-visible stream advances exactly as a
+  // single pass would, so no edge list is ever materialized and the
+  // RNG telemetry is unchanged.
+  CsrBuilder builder(node_count);
+  {
+    rng::Stream counting = stream;
+    emit(counting, [&](PhoneId a, PhoneId b) { builder.count_edge(a, b); });
   }
-  return ContactGraph(node_count, edges);
+  builder.begin_fill();
+  emit(stream, [&](PhoneId a, PhoneId b) { builder.fill_edge(a, b); });
+  return std::move(builder).finish();
 }
 
 ContactGraph generate_barabasi_albert(PhoneId node_count, std::uint32_t edges_per_node,
@@ -282,17 +424,22 @@ ContactGraph generate_barabasi_albert(PhoneId node_count, std::uint32_t edges_pe
   // Seed graph: a clique over the first m+1 nodes, so every early node
   // has nonzero degree and attachment is well-defined.
   const std::uint32_t m = edges_per_node;
-  EdgeAccumulator acc(static_cast<std::size_t>(node_count) * m);
   // The repeated-endpoints trick: sampling a uniform entry of this list
-  // IS degree-proportional sampling.
+  // IS degree-proportional sampling. Consecutive pairs of the list are
+  // exactly the accepted edges in insertion order, so it doubles as the
+  // edge sequence for the CSR build and no separate edge vector exists.
+  FlatEdgeSet seen(static_cast<std::size_t>(node_count) * m);
   std::vector<PhoneId> endpoints;
   endpoints.reserve(2ULL * node_count * m);
+  auto try_add = [&](PhoneId a, PhoneId b) {
+    if (a == b) return false;
+    if (!seen.insert(edge_key(a, b))) return false;
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    return true;
+  };
   for (PhoneId a = 0; a <= m; ++a) {
-    for (PhoneId b = a + 1; b <= m; ++b) {
-      acc.try_add(a, b);
-      endpoints.push_back(a);
-      endpoints.push_back(b);
-    }
+    for (PhoneId b = a + 1; b <= m; ++b) try_add(a, b);
   }
   for (PhoneId arrival = m + 1; arrival < node_count; ++arrival) {
     std::uint32_t attached = 0;
@@ -301,29 +448,39 @@ ContactGraph generate_barabasi_albert(PhoneId node_count, std::uint32_t edges_pe
     std::uint32_t guard = 0;
     while (attached < m && guard++ < 100 * m) {
       PhoneId target = endpoints[static_cast<std::size_t>(stream.uniform_index(endpoints.size()))];
-      if (acc.try_add(arrival, target)) {
-        endpoints.push_back(arrival);
-        endpoints.push_back(target);
-        ++attached;
-      }
+      if (try_add(arrival, target)) ++attached;
     }
   }
-  return ContactGraph(node_count, acc.edges);
+  seen.free_memory();
+  CsrBuilder builder(node_count);
+  for (std::size_t i = 0; i + 1 < endpoints.size(); i += 2) {
+    builder.count_edge(endpoints[i], endpoints[i + 1]);
+  }
+  builder.begin_fill();
+  for (std::size_t i = 0; i + 1 < endpoints.size(); i += 2) {
+    builder.fill_edge(endpoints[i], endpoints[i + 1]);
+  }
+  return std::move(builder).finish();
 }
 
 ContactGraph generate_regular_ring(PhoneId node_count, std::uint32_t k) {
   if (node_count < 3) throw std::invalid_argument("generate_regular_ring: node_count must be >= 3");
   if (k % 2 != 0) throw std::invalid_argument("generate_regular_ring: k must be even");
   if (k >= node_count) throw std::invalid_argument("generate_regular_ring: k must be < node_count");
-  std::vector<ContactGraph::Edge> edges;
-  edges.reserve(static_cast<std::size_t>(node_count) * k / 2);
-  for (PhoneId p = 0; p < node_count; ++p) {
-    for (std::uint32_t offset = 1; offset <= k / 2; ++offset) {
-      PhoneId q = static_cast<PhoneId>((p + offset) % node_count);
-      edges.push_back({p, q});
+  // Deterministic sequence: emit it twice straight into the builder.
+  auto emit = [&](auto&& sink) {
+    for (PhoneId p = 0; p < node_count; ++p) {
+      for (std::uint32_t offset = 1; offset <= k / 2; ++offset) {
+        PhoneId q = static_cast<PhoneId>((p + offset) % node_count);
+        sink(p, q);
+      }
     }
-  }
-  return ContactGraph(node_count, edges);
+  };
+  CsrBuilder builder(node_count);
+  emit([&](PhoneId a, PhoneId b) { builder.count_edge(a, b); });
+  builder.begin_fill();
+  emit([&](PhoneId a, PhoneId b) { builder.fill_edge(a, b); });
+  return std::move(builder).finish();
 }
 
 }  // namespace mvsim::graph

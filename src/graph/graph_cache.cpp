@@ -1,0 +1,83 @@
+#include "graph/graph_cache.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace mvsim::graph {
+
+GraphCache::GraphCache(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+std::shared_ptr<const CachedGraph> GraphCache::get_or_build(const GraphCacheKey& key,
+                                                            const Builder& builder) {
+  std::promise<std::shared_ptr<const CachedGraph>> promise;
+  std::shared_future<std::shared_ptr<const CachedGraph>> future;
+  bool build_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry& entry : entries_) {
+      if (entry.key == key) {
+        entry.last_used = ++tick_;
+        ++hits_;
+        future = entry.future;
+        break;
+      }
+    }
+    if (!future.valid()) {
+      ++misses_;
+      build_here = true;
+      future = promise.get_future().share();
+      // Evict least-recently-used completed entries first; an entry
+      // still building is never evicted (evicting it would let a
+      // concurrent requester start a duplicate build).
+      while (entries_.size() >= capacity_) {
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+          if (it->future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) continue;
+          if (victim == entries_.end() || it->last_used < victim->last_used) victim = it;
+        }
+        if (victim == entries_.end()) break;
+        entries_.erase(victim);
+      }
+      entries_.push_back(Entry{key, future, ++tick_});
+    }
+  }
+
+  if (build_here) {
+    // Build outside the lock: distinct keys build concurrently, and
+    // same-key requesters block on the shared future, not the mutex.
+    try {
+      promise.set_value(std::make_shared<const CachedGraph>(builder()));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.remove_if([&](const Entry& e) { return e.key == key; });
+    }
+  }
+  return future.get();
+}
+
+std::uint64_t GraphCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t GraphCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::size_t GraphCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t hash_combine(std::uint64_t hash, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (value >> (8 * i)) & 0xFF;
+    hash *= 0x0000'0100'0000'01B3ull;
+  }
+  return hash;
+}
+
+}  // namespace mvsim::graph

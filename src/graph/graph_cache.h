@@ -1,0 +1,91 @@
+// Immutable shared-graph cache.
+//
+// Replications of one experiment regenerate the same contact graph
+// when the topology seed and parameters coincide — at 10^6 phones the
+// build dominates replication setup and the copies dominate memory.
+// GraphCache builds each distinct (seed, params) graph once and hands
+// out shared_ptr<const ContactGraph> to every requester.
+//
+// Determinism contract: the builder consumes randomness from the
+// topology stream, and later draws (susceptible sampling, patient
+// zero) continue from the post-build stream state. A cache entry
+// therefore stores that post-build rng::Stream alongside the graph;
+// on a hit the caller restores it and proceeds exactly as if it had
+// built the graph itself — curves and rng.draws telemetry are
+// byte-identical with the cache on or off.
+//
+// Thread-safe: concurrent requesters of the same key block on a
+// shared future while the first one builds; distinct keys build
+// concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+
+#include "graph/contact_graph.h"
+#include "rng/stream.h"
+
+namespace mvsim::graph {
+
+/// Identity of one graph build: the derived topology-stream seed plus
+/// a hash of every generator-relevant parameter (kind, population,
+/// mean degree, alpha, jitter). Equal keys ⇒ bit-identical builds.
+struct GraphCacheKey {
+  std::uint64_t seed = 0;
+  std::uint64_t params_hash = 0;
+
+  bool operator==(const GraphCacheKey&) const = default;
+};
+
+/// One cached build: the immutable graph and the generator stream
+/// state immediately after construction.
+struct CachedGraph {
+  std::shared_ptr<const ContactGraph> graph;
+  rng::Stream post_build_stream;
+};
+
+class GraphCache {
+ public:
+  /// `capacity` bounds the number of retained entries (LRU eviction;
+  /// handed-out shared_ptrs keep evicted graphs alive until released).
+  explicit GraphCache(std::size_t capacity = 8);
+
+  using Builder = std::function<CachedGraph()>;
+
+  /// Returns the cached build for `key`, invoking `builder` (outside
+  /// the lock) if this is the first request. Concurrent requests for
+  /// the same key share one build. A builder that throws evicts the
+  /// entry and rethrows to every waiter.
+  std::shared_ptr<const CachedGraph> get_or_build(const GraphCacheKey& key,
+                                                  const Builder& builder);
+
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    GraphCacheKey key;
+    std::shared_future<std::shared_ptr<const CachedGraph>> future;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::list<Entry> entries_;
+};
+
+/// FNV-1a over an arbitrary byte-sized value list; the helper the
+/// simulation uses to derive GraphCacheKey::params_hash from topology
+/// parameters.
+std::uint64_t hash_combine(std::uint64_t hash, std::uint64_t value);
+inline constexpr std::uint64_t kHashSeed = 0xCBF2'9CE4'8422'2325ull;
+
+}  // namespace mvsim::graph

@@ -81,7 +81,9 @@ BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
   phone_env_.consent = &consent_;
   phone_env_.read_delay_mean = config_.decision_delay_mean;
   phone_env_.decision_cutoff = config_.decision_cutoff;
-  phone_env_.on_infected = [this](PhoneId id) { on_phone_infected(id); };
+  phone_env_.listener = this;
+
+  phones_ = std::make_unique<phone::PhoneTable>(config_.population, &phone_env_);
 
   auto susceptible_target = static_cast<std::uint64_t>(std::llround(
       config_.susceptible_fraction * static_cast<double>(config_.population)));
@@ -90,10 +92,10 @@ BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
   std::vector<bool> susceptible(config_.population, false);
   for (auto id : chosen) susceptible[static_cast<std::size_t>(id)] = true;
 
-  phones_.reserve(config_.population);
   for (PhoneId id = 0; id < config_.population; ++id) {
-    phones_.emplace_back(id, susceptible[id], &phone_env_);
-    if (susceptible[id]) susceptible_ids_.push_back(id);
+    if (!susceptible[id]) continue;
+    phones_->set_susceptible(id, true);
+    susceptible_ids_.push_back(id);
   }
 
   auto picks = mobility_stream_.sample_without_replacement(susceptible_ids_.size(),
@@ -101,7 +103,7 @@ BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
   for (auto pick : picks) {
     PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
     scheduler_.schedule_at(SimTime::zero(), des::EventType::kSeedInfection,
-                           [this, id] { phones_[id].force_infect(); });
+                           [this, id] { phones_->force_infect(id); });
   }
 
   if (config_.immunization) {
@@ -114,7 +116,7 @@ BluetoothSimulation::BluetoothSimulation(const BluetoothScenarioConfig& config,
 
 BluetoothSimulation::~BluetoothSimulation() = default;
 
-void BluetoothSimulation::on_phone_infected(PhoneId id) {
+void BluetoothSimulation::on_phone_infected(PhoneId id, const phone::InfectionSource&) {
   ++infected_count_;
   infections_.push(scheduler_.now(), static_cast<double>(infected_count_));
   scheduler_.schedule_after(config_.dormancy, des::EventType::kBluetoothScan,
@@ -126,11 +128,11 @@ void BluetoothSimulation::schedule_scan(PhoneId id) {
                             des::EventType::kBluetoothScan, [this, id] {
     // A patch on an infected phone disables the worm (same semantics
     // as the MMS sending process).
-    if (phones_[id].propagation_stopped()) return;
+    if (phones_->propagation_stopped(id)) return;
     PhoneId victim = 0;
     if (grid_.sample_co_located(id, worm_stream_, victim)) {
       ++push_attempts_;
-      phones_[victim].receive_infected_message();
+      phones_->receive_infected_message(victim);
     } else {
       ++lonely_scans_;
     }
@@ -145,7 +147,7 @@ void BluetoothSimulation::begin_patch_rollout() {
                                                     config_.immunization->deployment_duration)
                          : SimTime::zero();
     scheduler_.schedule_after(offset, des::EventType::kResponsePatch, [this, target] {
-      phones_[target].apply_patch();
+      phones_->apply_patch(target);
       ++patches_applied_;
     });
   }

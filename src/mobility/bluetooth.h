@@ -25,7 +25,7 @@
 #include "des/scheduler.h"
 #include "mobility/grid.h"
 #include "mobility/movement.h"
-#include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "response/user_education.h"
 #include "rng/stream.h"
 #include "stats/aggregate.h"
@@ -91,10 +91,10 @@ struct BluetoothReplicationResult {
   std::uint64_t patches_applied = 0;
 };
 
-class BluetoothSimulation {
+class BluetoothSimulation final : private phone::InfectionListener {
  public:
   BluetoothSimulation(const BluetoothScenarioConfig& config, std::uint64_t replication_seed);
-  ~BluetoothSimulation();
+  ~BluetoothSimulation() override;
   BluetoothSimulation(const BluetoothSimulation&) = delete;
   BluetoothSimulation& operator=(const BluetoothSimulation&) = delete;
 
@@ -104,7 +104,9 @@ class BluetoothSimulation {
   [[nodiscard]] const MobilityGrid& grid() const { return grid_; }
 
  private:
-  void on_phone_infected(PhoneId id);
+  /// InfectionListener; Bluetooth keeps no per-infection provenance,
+  /// so the source is ignored.
+  void on_phone_infected(PhoneId id, const phone::InfectionSource& source) override;
   void schedule_scan(PhoneId id);
   void begin_patch_rollout();
 
@@ -119,7 +121,7 @@ class BluetoothSimulation {
   std::unique_ptr<MovementProcess> movement_;
   phone::ConsentModel consent_;
   phone::PhoneEnvironment phone_env_;
-  std::vector<phone::Phone> phones_;
+  std::unique_ptr<phone::PhoneTable> phones_;
   std::vector<PhoneId> susceptible_ids_;
 
   stats::TimeSeries infections_;

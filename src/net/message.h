@@ -13,17 +13,16 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/contact_graph.h"
+#include "util/ids.h"
 
 namespace mvsim::net {
 
-using graph::PhoneId;
-using graph::kInvalidPhoneId;
-
-/// "No message": sequence numbers start at 0, so an unset message
-/// reference (e.g. a Bluetooth infection, which never transits the
-/// gateway) carries this sentinel.
-inline constexpr std::uint64_t kInvalidMessageId = 0xFFFF'FFFF'FFFF'FFFFull;
+// Net-layer aliases of the one shared id vocabulary (util/ids.h);
+// historically these were duplicate definitions twinned with
+// graph::PhoneId.
+using mvsim::PhoneId;
+using mvsim::kInvalidPhoneId;
+using mvsim::kInvalidMessageId;
 
 /// One dialed destination of an MMS message.
 struct DialedRecipient {

@@ -1,7 +1,5 @@
 #include "phone/phone.h"
 
-#include <stdexcept>
-
 namespace mvsim::phone {
 
 const char* to_string(HealthState state) {
@@ -21,64 +19,6 @@ const char* to_string(InfectionChannel channel) {
     case InfectionChannel::kSeed: return "seed";
   }
   return "?";
-}
-
-Phone::Phone(PhoneId id, bool susceptible, const PhoneEnvironment* env)
-    : id_(id), susceptible_(susceptible), env_(env) {
-  if (env == nullptr || env->scheduler == nullptr || env->user_stream == nullptr ||
-      env->consent == nullptr) {
-    throw std::invalid_argument("Phone: environment is incomplete");
-  }
-}
-
-void Phone::receive_infected_message(InfectionSource source) {
-  ++received_count_;
-  // Past the cutoff the acceptance probability is ~2^-cutoff: skip the
-  // decision event entirely. This keeps long runs of aggressive viruses
-  // (which re-spam the same contacts daily) linear in messages, not in
-  // scheduled decisions.
-  if (received_count_ > env_->decision_cutoff) return;
-  ++pending_decisions_;
-  // Bind the message's index now: the consent curve depends on how many
-  // infected messages had been received when *this* one arrived.
-  const int message_index = received_count_;
-  SimTime read_delay = env_->user_stream->exponential(env_->read_delay_mean);
-  env_->scheduler->schedule_after(read_delay, des::EventType::kPhoneRead,
-                                  [this, message_index, source] {
-    --pending_decisions_;
-    double p = env_->consent->acceptance_probability(message_index);
-    if (env_->user_stream->bernoulli(p)) {
-      try_infect(source);
-    }
-  });
-}
-
-bool Phone::try_infect(const InfectionSource& source) {
-  if (state_ != HealthState::kHealthy) return false;  // already infected or immunized
-  if (!susceptible_) return false;                    // wrong platform for this virus
-  if (patched_) return false;                         // defensive; patched implies immunized
-  state_ = HealthState::kInfected;
-  infected_at_ = env_->scheduler->now();
-  infection_source_ = source;
-  if (env_->on_infected) env_->on_infected(id_);
-  return true;
-}
-
-void Phone::apply_patch() {
-  if (patched_) return;
-  patched_ = true;
-  if (state_ == HealthState::kHealthy) state_ = HealthState::kImmunized;
-  // Infected phones stay infected; SendingProcess checks
-  // propagation_stopped() before every send.
-}
-
-bool Phone::force_infect() {
-  if (state_ != HealthState::kHealthy || !susceptible_ || patched_) return false;
-  state_ = HealthState::kInfected;
-  infected_at_ = env_->scheduler->now();
-  infection_source_ = {net::kInvalidPhoneId, net::kInvalidMessageId, InfectionChannel::kSeed};
-  if (env_->on_infected) env_->on_infected(id_);
-  return true;
 }
 
 }  // namespace mvsim::phone

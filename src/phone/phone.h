@@ -1,15 +1,18 @@
-// Per-phone state machine (paper §4.1).
+// Per-phone state vocabulary (paper §4.1).
 //
 // A phone receives infected MMS messages into its inbox; after a random
 // read delay the user decides whether to accept the attachment using
 // the ConsentModel; an accepted attachment infects a susceptible,
-// unpatched phone. The "sending" half of an infected phone lives in
-// virus::SendingProcess — the split mirrors the paper's description of
-// the phone submodel as separate receive and send functionalities.
+// unpatched phone. That receive/decide state machine lives in
+// phone::PhoneTable (phone/phone_table.h) as a struct-of-arrays over
+// the whole population; the "sending" half of an infected phone lives
+// in virus::SendingProcess — the split mirrors the paper's description
+// of the phone submodel as separate receive and send functionalities.
+// This header holds the shared vocabulary: health states, infection
+// provenance, and the per-replication environment.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "des/scheduler.h"
 #include "net/message.h"
@@ -41,11 +44,26 @@ enum class InfectionChannel : std::uint8_t {
 
 /// Provenance of one infection attempt: who sent the carrier, which
 /// gateway message it was, over which channel. Purely observational —
-/// infection mechanics never read it.
+/// infection mechanics never read it. It rides inside the pending
+/// decision event and is delivered to the InfectionListener at the
+/// moment of infection; the population table does not store it per
+/// phone (that would cost ~24 dense bytes/phone for a value consumed
+/// exactly once, by the trace hook).
 struct InfectionSource {
   PhoneId sender = net::kInvalidPhoneId;
   std::uint64_t message = net::kInvalidMessageId;
   InfectionChannel channel = InfectionChannel::kNone;
+};
+
+/// Receives the exactly-once notification that a phone transitioned to
+/// kInfected. A direct interface instead of the former per-population
+/// std::function: the simulation is the only subscriber, the call is
+/// on the hot path, and a devirtualizable single target beats a
+/// type-erased closure there.
+class InfectionListener {
+ public:
+  virtual ~InfectionListener() = default;
+  virtual void on_phone_infected(PhoneId id, const InfectionSource& source) = 0;
 };
 
 /// Shared environment for all phones of one simulation replication.
@@ -60,61 +78,9 @@ struct PhoneEnvironment {
   /// Past this many received infected messages, per-message acceptance
   /// probability is negligible and decisions are no longer simulated.
   int decision_cutoff = 40;
-  /// Invoked exactly once when a phone transitions to kInfected.
-  std::function<void(PhoneId)> on_infected;
-};
-
-class Phone {
- public:
-  Phone(PhoneId id, bool susceptible, const PhoneEnvironment* env);
-
-  [[nodiscard]] PhoneId id() const { return id_; }
-  [[nodiscard]] bool susceptible() const { return susceptible_; }
-  [[nodiscard]] HealthState state() const { return state_; }
-  [[nodiscard]] bool infected() const { return state_ == HealthState::kInfected; }
-
-  /// Number of infected messages this phone has received so far (the
-  /// "n" of the consent curve).
-  [[nodiscard]] int infected_messages_received() const { return received_count_; }
-  /// Infected messages sitting in the inbox awaiting a user decision.
-  [[nodiscard]] int pending_decisions() const { return pending_decisions_; }
-
-  /// An infected MMS reached this phone's inbox: schedules the user's
-  /// accept/reject decision. `source` is carried along purely for
-  /// provenance (who would have infected us, via what) and never
-  /// influences the decision.
-  void receive_infected_message(InfectionSource source = {});
-
-  /// Immunization patch arrives (paper §3.2). Healthy -> kImmunized;
-  /// infected phones stay infected but `propagation_stopped()` flips,
-  /// which the sending process observes. Idempotent.
-  void apply_patch();
-
-  /// True once a patch has landed on an infected phone.
-  [[nodiscard]] bool propagation_stopped() const { return patched_; }
-  [[nodiscard]] bool patched() const { return patched_; }
-
-  /// Directly infect (used to seed patient zero, and by tests).
-  /// Returns true if the phone transitioned to kInfected.
-  bool force_infect();
-
-  [[nodiscard]] SimTime infected_at() const { return infected_at_; }
-  /// Provenance of the successful infection; channel == kNone while the
-  /// phone is uninfected.
-  [[nodiscard]] const InfectionSource& infection_source() const { return infection_source_; }
-
- private:
-  bool try_infect(const InfectionSource& source);
-
-  PhoneId id_;
-  bool susceptible_;
-  const PhoneEnvironment* env_;
-  HealthState state_ = HealthState::kHealthy;
-  bool patched_ = false;
-  int received_count_ = 0;
-  int pending_decisions_ = 0;
-  SimTime infected_at_ = SimTime::infinity();
-  InfectionSource infection_source_;
+  /// Notified exactly once when a phone transitions to kInfected; may
+  /// be null (tests, teardown).
+  InfectionListener* listener = nullptr;
 };
 
 }  // namespace mvsim::phone

@@ -1,0 +1,32 @@
+// The one definition of the simulator's entity identifiers.
+//
+// Every layer — graph, net, phone, virus, trace, mobility — indexes
+// phones by the same compact 32-bit id, and the struct-of-arrays
+// population table (phone::PhoneTable) uses it directly as a vector
+// index. Historically `graph::PhoneId` and `net::PhoneId` were two
+// textually identical definitions; this header is now the single
+// source, and the module-level names are `using` re-exports of it.
+#pragma once
+
+#include <cstdint>
+
+namespace mvsim {
+
+/// Dense phone index in [0, population). Doubles as the row index of
+/// every per-phone parallel array (PhoneTable, CSR offsets, process
+/// table), so it stays 32-bit on purpose: at 10^6 phones the id-typed
+/// arrays are half the size they would be with size_t indices.
+using PhoneId = std::uint32_t;
+
+/// "No phone": phone id 0 is a real phone, so fields that may be unset
+/// (a trace event with no subject, an unknown infector) carry this
+/// sentinel instead. No simulated population ever reaches 2^32-1
+/// phones — ScenarioConfig validates far below that.
+inline constexpr PhoneId kInvalidPhoneId = 0xFFFF'FFFFu;
+
+/// "No message": gateway sequence numbers start at 0, so an unset
+/// message reference (e.g. a Bluetooth infection, which never transits
+/// the gateway) carries this sentinel.
+inline constexpr std::uint64_t kInvalidMessageId = 0xFFFF'FFFF'FFFF'FFFFull;
+
+}  // namespace mvsim

@@ -6,8 +6,10 @@
 namespace mvsim::virus {
 
 SendingProcess::SendingProcess(const SendingEnvironment& env, const VirusProfile& profile,
-                               phone::Phone& host, std::unique_ptr<Targeter> targeter)
-    : env_(env), profile_(&profile), host_(&host), targeter_(std::move(targeter)) {
+                               const phone::PhoneTable& phones, phone::PhoneId host,
+                               std::unique_ptr<Targeter> targeter)
+    : env_(env), profile_(&profile), phones_(&phones), host_(host),
+      targeter_(std::move(targeter)) {
   if (env_.scheduler == nullptr || env_.virus_stream == nullptr || env_.gateway == nullptr) {
     throw std::invalid_argument("SendingProcess: environment is incomplete");
   }
@@ -55,14 +57,14 @@ SimTime SendingProcess::effective_min_gap() const {
   SimTime gap = profile_->min_message_gap;
   const SimTime now = env_.scheduler->now();
   for (net::OutgoingMmsPolicy* policy : env_.policies) {
-    gap = max(gap, policy->forced_min_gap(host_->id(), now));
+    gap = max(gap, policy->forced_min_gap(host_, now));
   }
   return gap;
 }
 
 bool SendingProcess::blocked_by_policy(SimTime now) const {
   for (net::OutgoingMmsPolicy* policy : env_.policies) {
-    if (policy->is_blocked(host_->id(), now)) return true;
+    if (policy->is_blocked(host_, now)) return true;
   }
   return false;
 }
@@ -116,7 +118,7 @@ void SendingProcess::attempt_send() {
 
   // A patch on an infected phone halts dissemination (paper §3.2);
   // a blacklisted phone has its MMS service cut (paper §3.3).
-  if (host_->propagation_stopped() || blocked_by_policy(now)) {
+  if (phones_->propagation_stopped(host_) || blocked_by_policy(now)) {
     stop();
     return;
   }
@@ -173,7 +175,7 @@ void SendingProcess::send_now() {
   }
   const std::size_t message_recipient_count = recipients.size();
   net::MmsMessage message;
-  message.sender = host_->id();
+  message.sender = host_;
   message.recipients = std::move(recipients);
   message.infected = true;
   env_.gateway->submit(std::move(message));
@@ -203,7 +205,7 @@ void SendingProcess::on_reboot() {
     trace::Event event;
     event.time = env_.scheduler->now();
     event.kind = trace::EventKind::kReboot;
-    event.phone = host_->id();
+    event.phone = host_;
     env_.trace->record(std::move(event));
   }
   sent_in_window_ = 0;
@@ -226,7 +228,7 @@ void SendingProcess::on_legit_traffic() {
   if (!running_) return;
   const SimTime now = env_.scheduler->now();
 
-  if (host_->propagation_stopped() || blocked_by_policy(now)) {
+  if (phones_->propagation_stopped(host_) || blocked_by_policy(now)) {
     stop();
     return;
   }

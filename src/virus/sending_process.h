@@ -11,7 +11,7 @@
 //     (blacklist) stops for good; a flagged phone (monitoring) has a
 //     forced minimum gap merged into the virus's own gap.
 // Patching an infected phone (immunization) also halts the process —
-// it checks Phone::propagation_stopped() before every send.
+// it checks PhoneTable::propagation_stopped() before every send.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +20,7 @@
 
 #include "des/scheduler.h"
 #include "net/gateway.h"
-#include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "rng/stream.h"
 #include "trace/trace.h"
 #include "virus/profile.h"
@@ -41,9 +41,11 @@ struct SendingEnvironment {
 
 class SendingProcess {
  public:
-  /// `host` is the infected phone; `targeter` supplies recipients.
-  /// The profile must outlive the process (the Simulation owns it).
-  SendingProcess(const SendingEnvironment& env, const VirusProfile& profile, phone::Phone& host,
+  /// `host` indexes the infected phone in `phones`; `targeter` supplies
+  /// recipients. The profile and table must outlive the process (the
+  /// Simulation owns both).
+  SendingProcess(const SendingEnvironment& env, const VirusProfile& profile,
+                 const phone::PhoneTable& phones, phone::PhoneId host,
                  std::unique_ptr<Targeter> targeter);
   ~SendingProcess();
   SendingProcess(const SendingProcess&) = delete;
@@ -79,7 +81,8 @@ class SendingProcess {
 
   SendingEnvironment env_;
   const VirusProfile* profile_;
-  phone::Phone* host_;
+  const phone::PhoneTable* phones_;
+  phone::PhoneId host_;
   std::unique_ptr<Targeter> targeter_;
 
   bool started_ = false;

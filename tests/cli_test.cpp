@@ -51,7 +51,7 @@ std::string write_small_scenario() {
 
 TEST(PresetRegistry, ListsAllPresets) {
   auto presets = list_presets();
-  EXPECT_EQ(presets.size(), 10u);
+  EXPECT_EQ(presets.size(), 11u);
   EXPECT_EQ(presets[0].name, "virus1-baseline");
   for (const auto& entry : presets) {
     EXPECT_FALSE(entry.description.empty()) << entry.name;
@@ -103,6 +103,16 @@ TEST(Cli, PresetCommandEmitsLoadableJson) {
   core::ScenarioConfig config = config::scenario_from_text(r.out);
   EXPECT_TRUE(config.responses.blacklist.has_value());
   EXPECT_EQ(config.virus.name, "Virus 3");
+}
+
+TEST(Cli, MarketSharePresetRoundTripsSharedSeed) {
+  CliResult r = invoke({"preset", "market-share"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  core::ScenarioConfig config = config::scenario_from_text(r.out);
+  ASSERT_TRUE(config.topology.shared_seed.has_value());
+  EXPECT_EQ(*config.topology.shared_seed, 0x6d61726b6574ull);
+  EXPECT_DOUBLE_EQ(config.susceptible_fraction, 0.30);
+  EXPECT_DOUBLE_EQ(config.topology.mean_degree, 8.0);
 }
 
 TEST(Cli, PresetCommandRejectsUnknown) {

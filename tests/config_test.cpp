@@ -195,6 +195,20 @@ TEST(ScenarioIo, MissingFileThrows) {
                std::runtime_error);
 }
 
+TEST(ScenarioIo, SharedSeedRoundTrips) {
+  core::ScenarioConfig config;
+  config.topology.shared_seed = 0xFEED;
+  json::Value encoded = to_json(config);
+  core::ScenarioConfig decoded = scenario_from_json(encoded);
+  ASSERT_TRUE(decoded.topology.shared_seed.has_value());
+  EXPECT_EQ(*decoded.topology.shared_seed, 0xFEEDu);
+
+  core::ScenarioConfig plain;
+  json::Value plain_encoded = to_json(plain);
+  EXPECT_FALSE(scenario_from_json(plain_encoded).topology.shared_seed.has_value())
+      << "unset shared_seed must stay unset through a round trip";
+}
+
 TEST(ResultsIo, SummaryJsonHasTheHeadlineNumbers) {
   core::ScenarioConfig config = core::baseline_scenario(virus::virus1());
   config.population = 150;

@@ -187,10 +187,10 @@ TEST(Simulation, NonSusceptiblePhonesNeverInfected) {
   config.horizon = SimTime::days(6.0);
   Simulation sim(config, 7);
   (void)sim.run();
+  const phone::PhoneTable& phones = sim.phones();
   for (graph::PhoneId id = 0; id < config.population; ++id) {
-    const phone::Phone& p = sim.phone_at(id);
-    if (!p.susceptible()) {
-      EXPECT_NE(p.state(), phone::HealthState::kInfected);
+    if (!phones.susceptible(id)) {
+      EXPECT_NE(phones.state(id), phone::HealthState::kInfected);
     }
   }
 }
@@ -201,7 +201,7 @@ TEST(Simulation, InfectedCountMatchesPhoneStates) {
   sim.run_until(SimTime::hours(36.0));
   std::uint64_t infected = 0;
   for (graph::PhoneId id = 0; id < config.population; ++id) {
-    infected += sim.phone_at(id).infected() ? 1u : 0u;
+    infected += sim.phones().infected(id) ? 1u : 0u;
   }
   EXPECT_EQ(infected, sim.infected_count());
 }
@@ -446,6 +446,98 @@ TEST(Runner, ThreadsZeroMeansHardwareConcurrency) {
   EXPECT_NO_THROW((void)run_experiment(config, options));
   options.threads = -1;
   EXPECT_THROW((void)run_experiment(config, options), std::invalid_argument);
+}
+
+TEST(GraphCacheIntegration, CachedRunIsBitIdenticalToUncached) {
+  // The determinism contract of graph::GraphCache at the Simulation
+  // level: with or without a cache, same seed => same curve, same
+  // metrics, same rng.draws.
+  ScenarioConfig config = small_scenario();
+  graph::GraphCache cache;
+  Simulation plain(config, 42);
+  Simulation cached(config, 42, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  ReplicationResult a = plain.run();
+  ReplicationResult b = cached.run();
+  EXPECT_EQ(a.total_infected, b.total_infected);
+  EXPECT_EQ(a.gateway.messages_submitted, b.gateway.messages_submitted);
+  EXPECT_EQ(a.metrics.counter_value("rng.draws"), b.metrics.counter_value("rng.draws"));
+  EXPECT_EQ(a.metrics.counter_value("des.events_executed"),
+            b.metrics.counter_value("des.events_executed"));
+}
+
+TEST(GraphCacheIntegration, SharedSeedSharesOneGraphAcrossReplications) {
+  ScenarioConfig config = small_scenario();
+  config.topology.shared_seed = 0xABCDEF;
+  graph::GraphCache cache;
+  Simulation first(config, 1, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  Simulation second(config, 2, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  EXPECT_EQ(&first.contact_graph(), &second.contact_graph())
+      << "replications under shared_seed must reuse one graph build";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(GraphCacheIntegration, DistinctSeedsBuildDistinctGraphs) {
+  ScenarioConfig config = small_scenario();  // no shared_seed
+  graph::GraphCache cache;
+  Simulation first(config, 1, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  Simulation second(config, 2, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  EXPECT_NE(&first.contact_graph(), &second.contact_graph());
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(GraphCacheIntegration, PrewarmOnlyActsUnderSharedSeed) {
+  graph::GraphCache cache;
+  ScenarioConfig config = small_scenario();
+  EXPECT_FALSE(prewarm_shared_graph(config, cache));
+  EXPECT_EQ(cache.size(), 0u);
+  config.topology.shared_seed = 7;
+  EXPECT_TRUE(prewarm_shared_graph(config, cache));
+  EXPECT_EQ(cache.size(), 1u);
+  // A replication then hits the prewarmed entry.
+  Simulation sim(config, 5, nullptr, nullptr, des::QueueImpl::kWheel, &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(GraphCacheIntegration, SharedSeedExperimentMatchesSerialAndParallel) {
+  // The runner creates its own cache under shared_seed; results must
+  // stay thread-count-invariant and deterministic.
+  ScenarioConfig config = small_scenario();
+  config.topology.shared_seed = 99;
+  RunnerOptions serial;
+  serial.replications = 4;
+  serial.master_seed = 31337;
+  serial.threads = 1;
+  RunnerOptions parallel = serial;
+  parallel.threads = 4;
+  ExperimentResult a = run_experiment(config, serial);
+  ExperimentResult b = run_experiment(config, parallel);
+  ASSERT_EQ(a.replications.size(), b.replications.size());
+  for (std::size_t i = 0; i < a.replications.size(); ++i) {
+    EXPECT_EQ(a.replications[i].total_infected, b.replications[i].total_infected);
+  }
+}
+
+TEST(Runner, BuildPhaseReportedSeparatelyUnderSharedSeed) {
+  ScenarioConfig config = small_scenario();
+  config.topology.shared_seed = 5;
+  RunnerOptions options;
+  options.replications = 2;
+  int build_updates = 0;
+  int rep_updates = 0;
+  options.progress = [&](const ProgressUpdate& update) {
+    if (update.build_phase) {
+      ++build_updates;
+      EXPECT_EQ(update.replications_done, 0);
+      EXPECT_GE(update.build_seconds, 0.0);
+    } else {
+      ++rep_updates;
+      EXPECT_GE(update.build_seconds, 0.0) << "build time stays visible on later updates";
+    }
+  };
+  (void)run_experiment(config, options);
+  EXPECT_EQ(build_updates, 1) << "exactly one build-phase update";
+  EXPECT_EQ(rep_updates, 2);
 }
 
 TEST(Runner, EnvOverrideParsing) {

@@ -197,10 +197,10 @@ TEST(ImmunizationStudy, PatchedPopulationEndsUpImmunizedOrSilenced) {
   config.responses.immunization = immunization;
   Simulation sim(config, 123);
   ReplicationResult r = sim.run();
+  const phone::PhoneTable& phones = sim.phones();
   for (graph::PhoneId id = 0; id < config.population; ++id) {
-    const phone::Phone& p = sim.phone_at(id);
-    if (p.susceptible()) {
-      EXPECT_TRUE(p.patched()) << "susceptible phone " << id << " missed the rollout";
+    if (phones.susceptible(id)) {
+      EXPECT_TRUE(phones.patched(id)) << "susceptible phone " << id << " missed the rollout";
     }
   }
   EXPECT_EQ(r.immunized_healthy + r.patched_infected, 200u);

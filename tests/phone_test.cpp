@@ -4,6 +4,7 @@
 #include "des/scheduler.h"
 #include "phone/consent.h"
 #include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "rng/stream.h"
 
 namespace mvsim::phone {
@@ -84,14 +85,15 @@ TEST(ConsentModel, EventualAcceptanceMonotoneInFactor) {
   }
 }
 
-// ---- Phone state machine ----
+// ---- Phone state machine (struct-of-arrays table) ----
 
-struct PhoneFixture {
+struct PhoneFixture : InfectionListener {
   des::Scheduler scheduler;
   rng::Stream user_stream{55};
   ConsentModel consent{0.468};
   PhoneEnvironment env;
   std::vector<PhoneId> infected_ids;
+  std::vector<InfectionSource> sources;
 
   PhoneFixture() {
     env.scheduler = &scheduler;
@@ -99,134 +101,173 @@ struct PhoneFixture {
     env.consent = &consent;
     env.read_delay_mean = SimTime::minutes(30.0);
     env.decision_cutoff = 40;
-    env.on_infected = [this](PhoneId id) { infected_ids.push_back(id); };
+    env.listener = this;
+  }
+
+  void on_phone_infected(PhoneId id, const InfectionSource& source) override {
+    infected_ids.push_back(id);
+    sources.push_back(source);
   }
 };
 
-TEST(Phone, StartsHealthy) {
+TEST(PhoneTable, StartsHealthy) {
   PhoneFixture fx;
-  Phone phone(3, true, &fx.env);
-  EXPECT_EQ(phone.id(), 3u);
-  EXPECT_TRUE(phone.susceptible());
-  EXPECT_EQ(phone.state(), HealthState::kHealthy);
-  EXPECT_FALSE(phone.infected());
-  EXPECT_EQ(phone.infected_messages_received(), 0);
-  EXPECT_FALSE(phone.propagation_stopped());
+  PhoneTable phones(5, &fx.env);
+  phones.set_susceptible(3, true);
+  EXPECT_EQ(phones.size(), 5u);
+  EXPECT_TRUE(phones.susceptible(3));
+  EXPECT_FALSE(phones.susceptible(2));
+  EXPECT_EQ(phones.state(3), HealthState::kHealthy);
+  EXPECT_FALSE(phones.infected(3));
+  EXPECT_EQ(phones.infected_messages_received(3), 0);
+  EXPECT_FALSE(phones.propagation_stopped(3));
 }
 
-TEST(Phone, RequiresCompleteEnvironment) {
+TEST(PhoneTable, RequiresCompleteEnvironment) {
   PhoneEnvironment empty;
-  EXPECT_THROW(Phone(0, true, &empty), std::invalid_argument);
-  EXPECT_THROW(Phone(0, true, nullptr), std::invalid_argument);
+  EXPECT_THROW(PhoneTable(1, &empty), std::invalid_argument);
+  EXPECT_THROW(PhoneTable(1, nullptr), std::invalid_argument);
 }
 
-TEST(Phone, ForceInfectFiresCallbackOnce) {
+TEST(PhoneTable, ForceInfectFiresListenerOnce) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  EXPECT_TRUE(phone.force_infect());
-  EXPECT_FALSE(phone.force_infect()) << "already infected";
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  EXPECT_TRUE(phones.force_infect(1));
+  EXPECT_FALSE(phones.force_infect(1)) << "already infected";
   EXPECT_EQ(fx.infected_ids, (std::vector<PhoneId>{1}));
-  EXPECT_EQ(phone.infected_at(), SimTime::zero());
+  ASSERT_EQ(fx.sources.size(), 1u);
+  EXPECT_EQ(fx.sources[0].channel, InfectionChannel::kSeed);
+  EXPECT_EQ(fx.sources[0].sender, kInvalidPhoneId);
 }
 
-TEST(Phone, NonSusceptibleCannotBeInfected) {
+TEST(PhoneTable, NonSusceptibleCannotBeInfected) {
   PhoneFixture fx;
-  Phone phone(1, false, &fx.env);
-  EXPECT_FALSE(phone.force_infect());
+  PhoneTable phones(2, &fx.env);
+  EXPECT_FALSE(phones.force_infect(1));
   // Even a flood of accepted messages cannot infect the wrong platform.
-  for (int i = 0; i < 50; ++i) phone.receive_infected_message();
+  for (int i = 0; i < 50; ++i) phones.receive_infected_message(1);
   fx.scheduler.run_to_quiescence();
-  EXPECT_EQ(phone.state(), HealthState::kHealthy);
+  EXPECT_EQ(phones.state(1), HealthState::kHealthy);
   EXPECT_TRUE(fx.infected_ids.empty());
 }
 
-TEST(Phone, ReceiveCountsMessagesAndSchedulesDecision) {
+TEST(PhoneTable, ReceiveCountsMessagesAndSchedulesDecision) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  phone.receive_infected_message();
-  EXPECT_EQ(phone.infected_messages_received(), 1);
-  EXPECT_EQ(phone.pending_decisions(), 1);
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  phones.receive_infected_message(1);
+  EXPECT_EQ(phones.infected_messages_received(1), 1);
+  EXPECT_EQ(phones.pending_decisions(1), 1);
   EXPECT_EQ(fx.scheduler.pending_count(), 1u);
   fx.scheduler.run_to_quiescence();
-  EXPECT_EQ(phone.pending_decisions(), 0);
+  EXPECT_EQ(phones.pending_decisions(1), 0);
 }
 
-TEST(Phone, EnoughMessagesEventuallyInfectSusceptible) {
+TEST(PhoneTable, EnoughMessagesEventuallyInfectSusceptible) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  // 200 messages: P(no acceptance) = 0.60 per the eventual-acceptance
-  // math, so run several phones to see at least one infection.
-  int infected = 0;
-  constexpr int kPhones = 100;
-  std::vector<Phone> phones;
-  phones.reserve(kPhones);
-  for (PhoneId id = 0; id < kPhones; ++id) phones.emplace_back(id, true, &fx.env);
-  for (auto& p : phones) {
-    for (int i = 0; i < 30; ++i) p.receive_infected_message();
+  constexpr PhoneId kPhones = 100;
+  PhoneTable phones(kPhones, &fx.env);
+  for (PhoneId id = 0; id < kPhones; ++id) phones.set_susceptible(id, true);
+  for (PhoneId id = 0; id < kPhones; ++id) {
+    for (int i = 0; i < 30; ++i) phones.receive_infected_message(id);
   }
   fx.scheduler.run_to_quiescence();
-  for (auto& p : phones) infected += p.infected() ? 1 : 0;
+  int infected = 0;
+  for (PhoneId id = 0; id < kPhones; ++id) infected += phones.infected(id) ? 1 : 0;
   // Eventual acceptance 0.40: expect ~40 of 100, allow generous margin.
   EXPECT_GT(infected, 20);
   EXPECT_LT(infected, 60);
 }
 
-TEST(Phone, DecisionCutoffSkipsDecisionEvents) {
+TEST(PhoneTable, DecisionCutoffSkipsDecisionEvents) {
   PhoneFixture fx;
   fx.env.decision_cutoff = 3;
-  Phone phone(1, true, &fx.env);
-  for (int i = 0; i < 10; ++i) phone.receive_infected_message();
-  EXPECT_EQ(phone.infected_messages_received(), 10) << "count keeps growing past the cutoff";
-  EXPECT_EQ(phone.pending_decisions(), 3) << "only the first 3 schedule decisions";
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  for (int i = 0; i < 10; ++i) phones.receive_infected_message(1);
+  EXPECT_EQ(phones.infected_messages_received(1), 10)
+      << "count keeps growing past the cutoff";
+  EXPECT_EQ(phones.pending_decisions(1), 3) << "only the first 3 schedule decisions";
 }
 
-TEST(Phone, PatchImmunizesHealthyPhone) {
+TEST(PhoneTable, PatchImmunizesHealthyPhone) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  phone.apply_patch();
-  EXPECT_EQ(phone.state(), HealthState::kImmunized);
-  EXPECT_TRUE(phone.patched());
-  EXPECT_FALSE(phone.force_infect()) << "immunized phones cannot be infected";
-  for (int i = 0; i < 40; ++i) phone.receive_infected_message();
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  phones.apply_patch(1);
+  EXPECT_EQ(phones.state(1), HealthState::kImmunized);
+  EXPECT_TRUE(phones.patched(1));
+  EXPECT_FALSE(phones.force_infect(1)) << "immunized phones cannot be infected";
+  for (int i = 0; i < 40; ++i) phones.receive_infected_message(1);
   fx.scheduler.run_to_quiescence();
-  EXPECT_EQ(phone.state(), HealthState::kImmunized);
+  EXPECT_EQ(phones.state(1), HealthState::kImmunized);
 }
 
-TEST(Phone, PatchOnInfectedPhoneStopsPropagationOnly) {
+TEST(PhoneTable, PatchOnInfectedPhoneStopsPropagationOnly) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  phone.force_infect();
-  phone.apply_patch();
-  EXPECT_EQ(phone.state(), HealthState::kInfected) << "patch does not disinfect";
-  EXPECT_TRUE(phone.propagation_stopped());
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  phones.force_infect(1);
+  phones.apply_patch(1);
+  EXPECT_EQ(phones.state(1), HealthState::kInfected) << "patch does not disinfect";
+  EXPECT_TRUE(phones.propagation_stopped(1));
 }
 
-TEST(Phone, PatchIsIdempotent) {
+TEST(PhoneTable, PatchIsIdempotent) {
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  phone.apply_patch();
-  phone.apply_patch();
-  EXPECT_EQ(phone.state(), HealthState::kImmunized);
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  phones.apply_patch(1);
+  phones.apply_patch(1);
+  EXPECT_EQ(phones.state(1), HealthState::kImmunized);
 }
 
-TEST(Phone, HealthStateNames) {
+TEST(PhoneTable, HealthStateNames) {
   EXPECT_STREQ(to_string(HealthState::kHealthy), "healthy");
   EXPECT_STREQ(to_string(HealthState::kInfected), "infected");
   EXPECT_STREQ(to_string(HealthState::kImmunized), "immunized");
 }
 
-TEST(Phone, DecisionUsesIndexAtArrivalTime) {
+TEST(PhoneTable, DecisionUsesIndexAtArrivalTime) {
   // A message's acceptance probability is fixed by how many infected
   // messages had arrived when it did, even if decisions resolve later
   // in a different order. We can't observe probabilities directly, but
   // we can verify the count snapshot: after two receives, the count is
   // 2 while both decisions are still pending.
   PhoneFixture fx;
-  Phone phone(1, true, &fx.env);
-  phone.receive_infected_message();
-  phone.receive_infected_message();
-  EXPECT_EQ(phone.infected_messages_received(), 2);
-  EXPECT_EQ(phone.pending_decisions(), 2);
+  PhoneTable phones(2, &fx.env);
+  phones.set_susceptible(1, true);
+  phones.receive_infected_message(1);
+  phones.receive_infected_message(1);
+  EXPECT_EQ(phones.infected_messages_received(1), 2);
+  EXPECT_EQ(phones.pending_decisions(1), 2);
+}
+
+TEST(PhoneTable, ListenerReceivesMmsProvenance) {
+  PhoneFixture fx;
+  fx.consent = ConsentModel(0.99);  // near-certain acceptance of message 1
+  PhoneTable phones(3, &fx.env);
+  phones.set_susceptible(2, true);
+  for (int attempt = 0; attempt < 64 && fx.infected_ids.empty(); ++attempt) {
+    phones.receive_infected_message(2, {1, 7u, InfectionChannel::kMms});
+    fx.scheduler.run_to_quiescence();
+  }
+  ASSERT_FALSE(fx.sources.empty()) << "AF 0.99 should accept within 64 offers";
+  EXPECT_EQ(fx.infected_ids[0], 2u);
+  EXPECT_EQ(fx.sources[0].sender, 1u);
+  EXPECT_EQ(fx.sources[0].message, 7u);
+  EXPECT_EQ(fx.sources[0].channel, InfectionChannel::kMms);
+}
+
+TEST(PhoneTable, MemoryBytesMatchesBudget) {
+  PhoneFixture fx;
+  PhoneTable phones(1000, &fx.env);
+  // Dense per-phone budget: 9 bytes (1 flag + 4 received + 4 pending);
+  // capacities may round up, so allow slack but require the right
+  // order of magnitude (the old layout was 64 bytes per phone).
+  EXPECT_GE(phones.memory_bytes(), 1000 * PhoneTable::kBytesPerPhone);
+  EXPECT_LT(phones.memory_bytes(), 1000 * 2 * PhoneTable::kBytesPerPhone);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "des/scheduler.h"
 #include "net/gateway.h"
 #include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "virus/sending_process.h"
 #include "virus/targeting.h"
 #include "graph/generators.h"
@@ -227,8 +228,9 @@ TEST_P(VirusBudgetProperty, PerWindowSendsNeverExceedBudget) {
   phone_env.scheduler = &scheduler;
   phone_env.user_stream = &user_stream;
   phone_env.consent = &consent;
-  phone::Phone host(0, true, &phone_env);
-  host.force_infect();
+  phone::PhoneTable phones(1, &phone_env);
+  phones.set_susceptible(0, true);
+  phones.force_infect(0);
 
   virus::VirusProfile profile = virus::virus1();
   profile.budget = param.kind;
@@ -241,7 +243,7 @@ TEST_P(VirusBudgetProperty, PerWindowSendsNeverExceedBudget) {
   env.virus_stream = &virus_stream;
   env.gateway = &gateway;
   std::vector<net::PhoneId> contacts{1, 2, 3, 4, 5, 6, 7, 8};
-  virus::SendingProcess process(env, profile, host,
+  virus::SendingProcess process(env, profile, phones, 0,
                                 std::make_unique<virus::ContactListTargeter>(
                                     std::span<const net::PhoneId>(contacts), virus_stream));
   process.start();

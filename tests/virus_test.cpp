@@ -2,11 +2,13 @@
 // process under budgets, policies and piggybacking.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "des/scheduler.h"
 #include "net/gateway.h"
 #include "phone/phone.h"
+#include "phone/phone_table.h"
 #include "rng/stream.h"
 #include "virus/profile.h"
 #include "virus/sending_process.h"
@@ -168,10 +170,14 @@ struct SendingFixture {
   GapPolicy policy;
   SendingEnvironment env;
 
+  std::unique_ptr<phone::PhoneTable> phones;
+
   SendingFixture() {
     phone_env.scheduler = &scheduler;
     phone_env.user_stream = &user_stream;
     phone_env.consent = &consent;
+    phones = std::make_unique<phone::PhoneTable>(1, &phone_env);
+    phones->set_susceptible(0, true);
     env.scheduler = &scheduler;
     env.virus_stream = &virus_stream;
     env.gateway = &gateway;
@@ -187,9 +193,8 @@ TEST(SendingProcess, SendsImmediatelyAndRespectsMinGap) {
   SendingFixture fx;
   VirusProfile p = virus1();
   p.extra_gap_mean = SimTime::zero();  // exact cadence for the assertion
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::minutes(89.0));
   // Sends at t=0, 30, 60 — the t=90 send hasn't happened yet.
@@ -201,9 +206,8 @@ TEST(SendingProcess, PerRebootBudgetPausesUntilReboot) {
   VirusProfile p = virus1();
   p.extra_gap_mean = SimTime::zero();
   p.budget_limit = 3;
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3, 4}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3, 4}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(8.0));
   // Budget 3 per reboot; reboot intervals are uniform in [18 h, 30 h],
@@ -217,8 +221,7 @@ TEST(SendingProcess, OnePassPerWindowCoversListOncePerDay) {
   SendingFixture fx;
   VirusProfile p = virus2();  // 100 recipients/message, one pass per day
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
+  fx.phones->force_infect(0);
 
   std::uint64_t recipient_copies = 0;
   class CopyCounter final : public net::GatewayObserver {
@@ -233,7 +236,7 @@ TEST(SendingProcess, OnePassPerWindowCoversListOncePerDay) {
 
   std::vector<net::PhoneId> contacts(80);
   for (net::PhoneId i = 0; i < 80; ++i) contacts[i] = i + 1;
-  SendingProcess process(fx.env, p, host, fx.contact_targeter(contacts));
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter(contacts));
   process.start();
 
   fx.scheduler.run_until(SimTime::hours(23.9));
@@ -251,9 +254,8 @@ TEST(SendingProcess, OnePassPerWindowWithSmallBudgetStopsAtListEnd) {
   VirusProfile p = virus2();
   p.budget_limit = 3;  // pass spread over 3 messages: 3 + 3 + 1 contacts
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3, 4, 5, 6, 7}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3, 4, 5, 6, 7}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(12.0));
   EXPECT_EQ(process.messages_sent(), 3u);
@@ -268,9 +270,8 @@ TEST(SendingProcess, PerDayAlignedBudgetResetsAtBoundary) {
   p.budget_limit = 5;
   p.one_pass_per_window = false;  // budget semantics under test, not pass capping
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(23.0));
   EXPECT_EQ(process.messages_sent(), 5u) << "first day's allotment only";
@@ -285,11 +286,10 @@ TEST(SendingProcess, AlignFirstBurstHoldsUntilBoundary) {
   p.budget_limit = 5;
   p.one_pass_per_window = false;
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
   // Infect mid-day: the first burst must wait for the next boundary.
-  fx.scheduler.schedule_at(SimTime::hours(10.0), [&] { host.force_infect(); });
+  fx.scheduler.schedule_at(SimTime::hours(10.0), [&] { fx.phones->force_infect(0); });
   fx.scheduler.run_until(SimTime::hours(10.0));
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(23.9));
   EXPECT_EQ(process.messages_sent(), 0u);
@@ -305,10 +305,9 @@ TEST(SendingProcess, UnalignedStartSendsImmediately) {
   p.recipients_per_message = 1;
   p.budget_limit = 5;
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  fx.scheduler.schedule_at(SimTime::hours(10.0), [&] { host.force_infect(); });
+  fx.scheduler.schedule_at(SimTime::hours(10.0), [&] { fx.phones->force_infect(0); });
   fx.scheduler.run_until(SimTime::hours(10.0));
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(11.0));
   EXPECT_EQ(process.messages_sent(), 5u);
@@ -318,9 +317,8 @@ TEST(SendingProcess, BlockedPolicyStopsPermanently) {
   SendingFixture fx;
   fx.policy.blocked = true;
   VirusProfile p = virus1();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2}));
   process.start();
   fx.scheduler.run_until(SimTime::days(2.0));
   EXPECT_EQ(process.messages_sent(), 0u);
@@ -332,9 +330,8 @@ TEST(SendingProcess, ForcedGapSlowsCadence) {
   fx.policy.gap = SimTime::minutes(120.0);
   VirusProfile p = virus1();
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::minutes(239.0));
   // 2 h forced gap dominates the 30 min virus gap: sends at 0 and 120.
@@ -345,11 +342,10 @@ TEST(SendingProcess, PatchStopsAtNextAttempt) {
   SendingFixture fx;
   VirusProfile p = virus1();
   p.extra_gap_mean = SimTime::zero();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2}));
   process.start();
-  fx.scheduler.schedule_at(SimTime::minutes(45.0), [&] { host.apply_patch(); });
+  fx.scheduler.schedule_at(SimTime::minutes(45.0), [&] { fx.phones->apply_patch(0); });
   fx.scheduler.run_until(SimTime::days(1.0));
   EXPECT_EQ(process.messages_sent(), 2u) << "t=0 and t=30 only; patched before t=60";
   EXPECT_FALSE(process.running());
@@ -358,9 +354,8 @@ TEST(SendingProcess, PatchStopsAtNextAttempt) {
 TEST(SendingProcess, PiggybackWaitsForDormancyAndLegitTraffic) {
   SendingFixture fx;
   VirusProfile p = virus4();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(1.0));
   EXPECT_EQ(process.messages_sent(), 0u) << "dormant for the first hour";
@@ -376,9 +371,8 @@ TEST(SendingProcess, PiggybackHonorsMinGap) {
   p.dormancy = SimTime::zero();
   p.legit_traffic_gap_mean = SimTime::minutes(1.0);  // chatty user
   p.min_message_gap = SimTime::minutes(30.0);
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1, 2, 3}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1, 2, 3}));
   process.start();
   fx.scheduler.run_until(SimTime::hours(10.0));
   // Despite ~600 legit events, the 30-min gap caps sends at ~20.
@@ -389,10 +383,9 @@ TEST(SendingProcess, PiggybackHonorsMinGap) {
 TEST(SendingProcess, StopCancelsFutureSends) {
   SendingFixture fx;
   VirusProfile p = virus3();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
+  fx.phones->force_infect(0);
   auto targeter = std::make_unique<RandomDialTargeter>(0, 100, 1.0 / 3.0, fx.virus_stream);
-  SendingProcess process(fx.env, p, host, std::move(targeter));
+  SendingProcess process(fx.env, p, *fx.phones, 0, std::move(targeter));
   process.start();
   fx.scheduler.run_until(SimTime::minutes(30.0));
   auto sent_before = process.messages_sent();
@@ -405,9 +398,8 @@ TEST(SendingProcess, StopCancelsFutureSends) {
 TEST(SendingProcess, EmptyContactListStopsQuietly) {
   SendingFixture fx;
   VirusProfile p = virus1();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({}));
   process.start();
   fx.scheduler.run_until(SimTime::days(1.0));
   EXPECT_EQ(process.messages_sent(), 0u);
@@ -417,9 +409,8 @@ TEST(SendingProcess, EmptyContactListStopsQuietly) {
 TEST(SendingProcess, StartTwiceThrows) {
   SendingFixture fx;
   VirusProfile p = virus1();
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
-  SendingProcess process(fx.env, p, host, fx.contact_targeter({1}));
+  fx.phones->force_infect(0);
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter({1}));
   process.start();
   EXPECT_THROW(process.start(), std::logic_error);
 }
@@ -441,11 +432,10 @@ TEST(SendingProcess, Virus2MessageCarriesWholeContactList) {
   VirusProfile p = virus2();
   p.align_first_burst = false;
   p.one_pass_per_window = false;  // exercise the raw multi-recipient capability
-  phone::Phone host(0, true, &fx.phone_env);
-  host.force_infect();
+  fx.phones->force_infect(0);
   std::vector<net::PhoneId> contacts(80);
   for (net::PhoneId i = 0; i < 80; ++i) contacts[i] = i + 1;
-  SendingProcess process(fx.env, p, host, fx.contact_targeter(contacts));
+  SendingProcess process(fx.env, p, *fx.phones, 0, fx.contact_targeter(contacts));
   process.start();
   fx.scheduler.run_until(SimTime::hours(1.0));
   EXPECT_EQ(largest_recipient_list, 80u)
