@@ -10,6 +10,7 @@
 
 #include "harness.h"
 #include "core/presets.h"
+#include "core/sharded_simulation.h"
 #include "core/simulation.h"
 #include "des/scheduler.h"
 #include "graph/generators.h"
@@ -89,6 +90,21 @@ std::uint64_t full_replication(const virus::VirusProfile& profile) {
   return result.metrics.counter_value("des.events_executed");
 }
 
+// The windowed parallel engine at --shards 4 on the 1000-phone baseline.
+// At this population the run is barrier-dominated, which is the point:
+// the case guards the fixed per-window cost (pool wakeup, mailbox
+// exchange, detectability scan), not the scaling story — that lives in
+// micro_shard and scaling_population.
+std::uint64_t full_replication_sharded(const virus::VirusProfile& profile) {
+  core::ScenarioConfig config = core::baseline_scenario(profile);
+  core::ShardingOptions options;
+  options.shards = 4;
+  core::ShardedSimulation sim(config, 1, options);
+  core::ReplicationResult result = sim.run();
+  g_sink = result.total_infected;
+  return result.metrics.counter_value("des.events_executed");
+}
+
 }  // namespace
 
 int main() {
@@ -104,6 +120,8 @@ int main() {
     harness.run_case("full_replication/" + profile.name,
                      [&profile] { return full_replication(profile); });
   }
+  harness.run_case("full_replication_shards4/virus1",
+                   [] { return full_replication_sharded(virus::virus1()); });
 
   harness.write_report();
   return 0;

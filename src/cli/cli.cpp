@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -47,8 +48,18 @@ usage:
                            see docs/observability.md)
       --des-impl NAME      scheduler queue: 'wheel' (calendar queue, default) or
                            'heap' (legacy binary heap); results bit-identical
+      --shards N           partition the contact graph and run each replication on
+                           N cooperating shard schedulers (default 1 = the serial
+                           engine; N >= 2 changes results — see docs/parallelism.md;
+                           not combinable with --trace, --profile or proximity
+                           scenarios)
+      --shard-window MIN   synchronization window in simulated minutes (default:
+                           the scenario's delivery_delay_mean; model-relevant,
+                           like --shards)
+      --shard-workers N    threads per sharded replication (default 0 = one per
+                           shard; results identical for any value)
       --progress           live progress on stderr (replications done, events/sec,
-                           ETA); observation-only
+                           ETA; with --shards also per-window progress); observation-only
       --quiet              suppress the human-readable summary
   mvsim compare <a> <b> [...] [--reps N] [--seed N]
                            run several scenarios/presets, print a comparison table
@@ -78,6 +89,9 @@ struct RunOptions {
   std::size_t trace_capacity = trace::TraceBuffer::kDefaultCapacity;
   std::string profile_path;
   des::QueueImpl des_impl = des::QueueImpl::kWheel;
+  std::uint32_t shards = 1;
+  double shard_window_minutes = 0.0;  // 0 = scenario delivery_delay_mean
+  int shard_workers = 0;
   bool progress = false;
   bool quiet = false;
 };
@@ -182,6 +196,35 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
         err << "--des-impl: expected 'wheel' or 'heap', got '" << *v << "'\n";
         return 1;
       }
+    } else if (arg == "--shards") {
+      const std::string* v = next("--shards");
+      if (v == nullptr) return 1;
+      std::uint64_t shards = 0;
+      if (!parse_u64(*v, shards) || shards == 0 || shards > 4096) {
+        err << "--shards: expected an integer in [1, 4096], got '" << *v << "'\n";
+        return 1;
+      }
+      options.shards = static_cast<std::uint32_t>(shards);
+    } else if (arg == "--shard-window") {
+      const std::string* v = next("--shard-window");
+      if (v == nullptr) return 1;
+      char* end = nullptr;
+      double minutes = std::strtod(v->c_str(), &end);
+      if (end != v->c_str() + v->size() || v->empty() || !(minutes > 0.0)) {
+        err << "--shard-window: expected a positive number of simulated minutes, got '" << *v
+            << "'\n";
+        return 1;
+      }
+      options.shard_window_minutes = minutes;
+    } else if (arg == "--shard-workers") {
+      const std::string* v = next("--shard-workers");
+      if (v == nullptr) return 1;
+      std::uint64_t workers = 0;
+      if (!parse_u64(*v, workers) || workers > 1024) {
+        err << "--shard-workers: expected an integer in [0, 1024], got '" << *v << "'\n";
+        return 1;
+      }
+      options.shard_workers = static_cast<int>(workers);
     } else if (arg == "--progress") {
       options.progress = true;
     } else if (arg == "--quiet") {
@@ -252,7 +295,15 @@ class ProgressTicker {
       *err_ << line << '\n' << std::flush;
       return;
     }
-    if (update.config_count > 1) {
+    if (update.window_fraction > 0.0) {
+      // Mid-replication window barrier of a sharded run: show how far
+      // through the horizon the in-flight replication is.
+      std::snprintf(line, sizeof line,
+                    "\r%s: rep %d/%d +%.0f%% (%d shards), %.0f ev/s, ETA %.1fs   ",
+                    update.label.c_str(), update.replications_done, update.replications_total,
+                    update.window_fraction * 100.0, update.shards, update.events_per_sec,
+                    update.eta_seconds);
+    } else if (update.config_count > 1) {
       std::snprintf(line, sizeof line, "\r[%d/%d] %s: rep %d/%d, %.0f ev/s, ETA %.1fs   ",
                     update.config_index + 1, update.config_count, update.label.c_str(),
                     update.replications_done, update.replications_total, update.events_per_sec,
@@ -297,6 +348,15 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
         << options.replications << " replication(s))\n";
     return 1;
   }
+  if (options.shards > 1 && !options.trace_path.empty()) {
+    err << "--trace requires --shards 1 (a trace is a single-scheduler microscope; "
+        << "see docs/parallelism.md)\n";
+    return 1;
+  }
+  if (options.shards > 1 && !options.profile_path.empty()) {
+    err << "--profile requires --shards 1 (see docs/parallelism.md)\n";
+    return 1;
+  }
 
   std::unique_ptr<trace::TraceBuffer> trace_buffer;
   core::RunnerOptions runner;
@@ -311,6 +371,11 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
   }
   runner.profile = !options.profile_path.empty();
   runner.des_impl = options.des_impl;
+  runner.shards = options.shards;
+  if (options.shard_window_minutes > 0.0) {
+    runner.shard_window = SimTime::minutes(options.shard_window_minutes);
+  }
+  runner.shard_workers = options.shard_workers;
   ProgressTicker ticker(err);
   if (options.progress) {
     runner.progress = [&ticker](const core::ProgressUpdate& update) { ticker(update); };

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/sharded_simulation.h"
 #include "metrics/registry.h"
 #include "prof/profiler.h"
 #include "rng/seed.h"
@@ -33,6 +34,7 @@ class ProgressSink {
     update_.replications_total = options.replications;
     update_.config_index = options.progress_config_index;
     update_.config_count = options.progress_config_count;
+    update_.shards = static_cast<int>(options.shards);
   }
 
   /// Reports the one-time shared-graph prewarm and restarts the
@@ -51,24 +53,50 @@ class ProgressSink {
     std::lock_guard<std::mutex> lock(mutex_);
     ++update_.replications_done;
     update_.events_executed += result.metrics.counter_value("des.events_executed");
-    update_.elapsed_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
-    update_.events_per_sec = update_.elapsed_seconds > 0.0
-                                 ? static_cast<double>(update_.events_executed) /
-                                       update_.elapsed_seconds
-                                 : 0.0;
-    const int remaining = update_.replications_total - update_.replications_done;
-    update_.eta_seconds = update_.replications_done > 0
-                              ? update_.elapsed_seconds /
-                                    static_cast<double>(update_.replications_done) *
-                                    static_cast<double>(remaining)
-                              : 0.0;
+    update_.window_fraction = 0.0;
+    update_.window_events = 0;
+    refresh_rates(0.0, 0);
     options_->progress(update_);
   }
 
+  /// A sharded replication reached a window barrier. Throttled by wall
+  /// clock (the window loop can tick thousands of times a second on
+  /// small scenarios); meaningful when replications run one at a time
+  /// (`threads` 1), which is the common shape for sharded runs.
+  void window_tick(SimTime window_end, SimTime horizon, std::uint64_t events) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_window_emit_).count() < 0.25) return;
+    last_window_emit_ = now;
+    const double fraction = horizon > SimTime::zero() ? window_end / horizon : 0.0;
+    update_.window_fraction = fraction;
+    update_.window_events = events;
+    refresh_rates(fraction, events);
+    options_->progress(update_);
+    update_.window_fraction = 0.0;
+    update_.window_events = 0;
+  }
+
  private:
+  /// Recomputes elapsed / events-per-sec / ETA, counting a partially
+  /// complete replication as `fraction` of one (so barrier stalls show
+  /// up in the ETA as they happen).
+  void refresh_rates(double fraction, std::uint64_t partial_events) {
+    update_.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+    update_.events_per_sec =
+        update_.elapsed_seconds > 0.0
+            ? static_cast<double>(update_.events_executed + partial_events) /
+                  update_.elapsed_seconds
+            : 0.0;
+    const double done = static_cast<double>(update_.replications_done) + fraction;
+    const double remaining = static_cast<double>(update_.replications_total) - done;
+    update_.eta_seconds = done > 0.0 ? update_.elapsed_seconds / done * remaining : 0.0;
+  }
+
   const RunnerOptions* options_;
   std::chrono::steady_clock::time_point started_;
+  std::chrono::steady_clock::time_point last_window_emit_ = started_;
   std::mutex mutex_;
   ProgressUpdate update_;
 };
@@ -88,6 +116,29 @@ void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int 
     int rep = next.fetch_add(1, std::memory_order_relaxed);
     if (rep >= count) return;
     auto started = std::chrono::steady_clock::now();
+    if (options.shards > 1) {
+      // Sharded replication (trace/profile are rejected up front for
+      // this mode, so neither is plumbed here).
+      ShardingOptions sharding;
+      sharding.shards = options.shards;
+      sharding.window = options.shard_window;
+      sharding.worker_threads = options.shard_workers;
+      ShardedSimulation sim(config,
+                            rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)),
+                            sharding, options.des_impl, cache);
+      if (progress != nullptr) {
+        sim.set_window_observer(
+            [progress](SimTime window_end, SimTime horizon, std::uint64_t events) {
+              progress->window_tick(window_end, horizon, events);
+            });
+      }
+      ReplicationResult result = sim.run();
+      result.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+      slots[static_cast<std::size_t>(rep)] = std::move(result);
+      if (progress != nullptr) progress->replication_done(slots[static_cast<std::size_t>(rep)]);
+      continue;
+    }
     trace::TraceBuffer* trace = rep == options.trace_replication ? options.trace : nullptr;
     std::unique_ptr<prof::Profiler> profiler;
     if (options.profile) profiler = std::make_unique<prof::Profiler>();
@@ -158,6 +209,30 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
       (options.trace_replication < 0 || options.trace_replication >= options.replications)) {
     throw std::invalid_argument(
         "run_experiment: trace_replication must name one of the replications");
+  }
+  if (options.shards == 0) {
+    throw std::invalid_argument("run_experiment: shards must be >= 1");
+  }
+  if (options.shards > 1) {
+    // Checked here, not in the worker: a worker-thread throw cannot be
+    // caught by the caller. The sharded engine re-validates anyway.
+    if (options.trace != nullptr) {
+      throw std::invalid_argument(
+          "run_experiment: tracing requires shards == 1 (a trace is a single-scheduler "
+          "microscope; see docs/parallelism.md)");
+    }
+    if (options.profile) {
+      throw std::invalid_argument(
+          "run_experiment: profiling requires shards == 1 (see docs/parallelism.md)");
+    }
+    if (config.proximity) {
+      throw std::invalid_argument(
+          "run_experiment: proximity (Bluetooth) scenarios cannot run sharded — proximity "
+          "contacts ignore the graph partition; use shards == 1");
+    }
+    if (options.shards > config.population) {
+      throw std::invalid_argument("run_experiment: shards must be <= population");
+    }
   }
   config.validate().throw_if_invalid();
 

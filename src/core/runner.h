@@ -69,6 +69,17 @@ struct ProgressUpdate {
   double build_seconds = 0.0;
   int config_index = 0;
   int config_count = 1;
+  /// Shards per replication (RunnerOptions::shards; 1 = serial engine).
+  int shards = 1;
+  /// Sharded runs only: mid-replication updates emitted at window
+  /// barriers (throttled to a few per second). `window_fraction` is the
+  /// fraction of the horizon the in-flight replication has reached,
+  /// `window_events` the events it has executed so far; both are 0 on
+  /// ordinary end-of-replication updates. ETA and events/sec include
+  /// the partial replication, so they account for barrier stalls as
+  /// they happen instead of only between replications.
+  double window_fraction = 0.0;
+  std::uint64_t window_events = 0;
 };
 
 /// Invocations are serialized by the runner (never concurrent), in
@@ -110,6 +121,26 @@ struct RunnerOptions {
   /// creates a local cache for the experiment so the shared graph is
   /// built once, not once per replication.
   graph::GraphCache* graph_cache = nullptr;
+  /// Shards per replication (`mvsim run --shards N`). 1 (default)
+  /// routes through the classic serial Simulation, bit-identical to
+  /// every release before sharding existed. >= 2 runs each replication
+  /// on a ShardedSimulation: the contact graph is partitioned into
+  /// `shards` contiguous degree-balanced ranges, each with its own
+  /// scheduler and RNG streams, synchronized at window barriers.
+  /// Results at >= 2 are a different (equally valid) sample path than
+  /// the serial engine's — see docs/parallelism.md for the model and
+  /// the determinism contract. Rejected in combination with `trace`,
+  /// `profile`, and proximity (Bluetooth) scenarios.
+  std::uint32_t shards = 1;
+  /// Synchronization-window width for sharded runs; zero = the
+  /// scenario's delivery_delay_mean. Part of the model (cross-shard
+  /// deliveries pay this much extra latency), so it changes results —
+  /// unlike thread counts, which never do.
+  SimTime shard_window = SimTime::zero();
+  /// OS threads per sharded replication (0 = one per shard; 1 = inline
+  /// on the worker). Never changes results. Composes multiplicatively
+  /// with `threads`: total concurrency ~= threads * shard_workers.
+  int shard_workers = 0;
   /// When set, called after every completed replication (serialized,
   /// in completion order). Observation-only.
   ProgressReporter progress;

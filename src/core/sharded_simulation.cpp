@@ -1,0 +1,566 @@
+#include "core/sharded_simulation.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "core/topology_build.h"
+#include "response/registry.h"
+#include "rng/seed.h"
+
+namespace mvsim::core {
+
+namespace {
+
+/// Tag offset for per-shard seed derivation: shard s's streams hang off
+/// derive_seed(replication_seed, kShardSeedTag + s, StreamIndex). The
+/// offset keeps shard seeds far from the replication-level StreamIndex
+/// values derived directly under the same replication seed.
+constexpr std::uint64_t kShardSeedTag = 0x5aa4'd000'0000'0000ULL;
+
+constexpr double kEventCountBounds[] = {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8};
+constexpr double kBarrierWaitBounds[] = {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0};
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+namespace detail {
+
+/// Everything one shard owns: scheduler, streams, gateway, response
+/// layer, and the per-shard slices of the population bookkeeping. The
+/// runtime is also the shard's ShardRouter (gateway recipients owned
+/// elsewhere go to the mailbox grid) and its InfectionListener (the
+/// PhoneTable notifies the owner shard, never a global object).
+struct ShardRuntime final : public net::ShardRouter, public phone::InfectionListener {
+  ShardRuntime(ShardedSimulation& owner_ref, std::uint32_t shard_index,
+               graph::Partition::Range shard_range, std::uint64_t replication_seed,
+               des::QueueImpl des_impl)
+      : owner(&owner_ref),
+        index(shard_index),
+        range(shard_range),
+        scheduler(des_impl),
+        user_stream(rng::derive_seed(replication_seed, kShardSeedTag + shard_index, kUserStream)),
+        virus_stream(
+            rng::derive_seed(replication_seed, kShardSeedTag + shard_index, kVirusStream)),
+        net_stream(rng::derive_seed(replication_seed, kShardSeedTag + shard_index, kNetStream)),
+        response_stream(
+            rng::derive_seed(replication_seed, kShardSeedTag + shard_index, kResponseStream)) {}
+
+  // net::ShardRouter
+  [[nodiscard]] SimTime remote_extra_latency() const override { return owner->window_; }
+  bool route_remote(net::PhoneId recipient, const net::MmsMessage& message,
+                    SimTime deliver_at) override {
+    const std::uint32_t dst = owner->partition_->shard_of(recipient);
+    if (dst == index) return false;
+    owner->mailbox_.push(index, dst,
+                         {deliver_at, recipient, message.sender, message.sequence,
+                          message.infected});
+    return true;
+  }
+
+  // phone::InfectionListener — mirrors Simulation::on_phone_infected
+  // minus the trace/proximity branches the sharded engine rejects.
+  void on_phone_infected(phone::PhoneId id, const phone::InfectionSource& source) override {
+    (void)source;
+    ++infected_count;
+    infection_times.push_back(scheduler.now());
+    context->notify_infection(id, scheduler.now());
+
+    const ScenarioConfig& config = owner->config_;
+    std::unique_ptr<virus::Targeter> targeter;
+    if (config.virus.targeting == virus::TargetingMode::kContactList) {
+      targeter = std::make_unique<virus::ContactListTargeter>(owner->graph_->contacts(id),
+                                                              virus_stream);
+    } else {
+      targeter = std::make_unique<virus::RandomDialTargeter>(
+          id, config.population, config.virus.valid_number_fraction, virus_stream);
+    }
+    owner->processes_[id] = std::make_unique<virus::SendingProcess>(
+        sending_env, config.virus, *owner->phones_, id, std::move(targeter));
+    owner->processes_[id]->start();
+  }
+
+  void on_patch_applied(graph::PhoneId id) {
+    bool was_infected = owner->phones_->infected(id);
+    bool was_patched = owner->phones_->patched(id);
+    owner->phones_->apply_patch(id);
+    if (was_patched) return;
+    context->notify_patch(id, scheduler.now());
+    if (was_infected) {
+      ++patched_infected;
+      if (owner->processes_[id]) owner->processes_[id]->stop();
+    } else if (owner->phones_->state(id) == phone::HealthState::kImmunized) {
+      ++immunized_healthy;
+    }
+  }
+
+  /// Schedules everything the coordinator staged at the last barrier:
+  /// first the drained cross-shard deliveries (in drain order), then
+  /// the detectability crossing — the same per-scheduler call order a
+  /// coordinator-side schedule would produce, so results are
+  /// bit-identical either way. Running it on the owning worker means
+  /// the per-entry scheduling cost parallelizes across shards instead
+  /// of serializing on the coordinator between barriers.
+  void flush_staged() {
+    for (const net::CrossShardDelivery& d : staged) {
+      scheduler.schedule_at(d.at, des::EventType::kMessageDelivery, [this, d] {
+        owner->phones_->receive_infected_message(
+            d.recipient, {d.sender, d.sequence, phone::InfectionChannel::kMms});
+        // Mirror the serial gateway's per-recipient on_delivered
+        // dispatch so core.dispatch.* telemetry and any
+        // delivery-subscribed mechanism see the same traffic.
+        net::MmsMessage msg;
+        msg.sender = d.sender;
+        msg.sequence = d.sequence;
+        msg.infected = d.infected;
+        msg.recipients.push_back({d.recipient, true});
+        context->on_delivered(d.recipient, msg, scheduler.now());
+      });
+    }
+    staged.clear();
+    if (has_pending_detect) {
+      has_pending_detect = false;
+      const SimTime at = pending_detect_at;
+      scheduler.schedule_at(at, des::EventType::kResponseActivation,
+                            [this, at] { context->detector().force_detect(at); });
+    }
+  }
+
+  /// Mirrors Simulation::collect_metrics for this shard's slice.
+  [[nodiscard]] metrics::Snapshot collect_metrics() const {
+    metrics::Registry reg;
+    reg.counter("des.events_scheduled").add(scheduler.scheduled_count());
+    reg.counter("des.events_executed").add(scheduler.executed_count());
+    reg.counter("des.events_cancelled").add(scheduler.cancelled_count());
+    reg.gauge("des.queue_depth_peak").set(scheduler.peak_pending_count());
+    reg.counter("des.scheduler.cancelled_reclaimed").add(scheduler.cancelled_reclaimed_count());
+
+    const net::GatewayCounters& gc = gateway->counters();
+    reg.counter("net.messages_submitted").add(gc.messages_submitted);
+    reg.counter("net.infected_messages_submitted").add(gc.infected_messages_submitted);
+    reg.counter("net.messages_blocked").add(gc.messages_blocked);
+    reg.counter("net.recipients_delivered").add(gc.recipients_delivered);
+    reg.counter("net.invalid_recipients_dropped").add(gc.invalid_recipients_dropped);
+
+    reg.counter("core.infections").add(infected_count);
+    reg.counter("core.phones_immunized_healthy").add(immunized_healthy);
+    reg.counter("core.phones_patched_infected").add(patched_infected);
+    reg.counter("core.bluetooth_push_attempts").add(0);
+
+    reg.counter("rng.draws").add(user_stream.draw_count() + virus_stream.draw_count() +
+                                 net_stream.draw_count() + response_stream.draw_count());
+
+    context->collect_metrics(reg);
+    return reg.snapshot();
+  }
+
+  ShardedSimulation* owner;
+  std::uint32_t index;
+  graph::Partition::Range range;
+  des::Scheduler scheduler;
+  rng::Stream user_stream;
+  rng::Stream virus_stream;
+  rng::Stream net_stream;
+  rng::Stream response_stream;
+
+  std::unique_ptr<net::Gateway> gateway;
+  phone::PhoneEnvironment env;
+  virus::SendingEnvironment sending_env;
+  std::unique_ptr<SimulationContext> context;
+  std::vector<graph::PhoneId> patch_targets;  ///< owned susceptibles
+
+  std::vector<SimTime> infection_times;  ///< nondecreasing by construction
+  std::uint64_t infected_count = 0;
+  std::uint64_t patched_infected = 0;
+  std::uint64_t immunized_healthy = 0;
+
+  // Staged by the coordinator between barriers, consumed by the owning
+  // worker at the next window start (flush_staged). The window barriers
+  // order these accesses, so no synchronization is needed.
+  std::vector<net::CrossShardDelivery> staged;
+  bool has_pending_detect = false;
+  SimTime pending_detect_at = SimTime::zero();
+};
+
+}  // namespace detail
+
+using detail::ShardRuntime;
+
+ShardedSimulation::ShardedSimulation(const ScenarioConfig& config,
+                                     std::uint64_t replication_seed,
+                                     const ShardingOptions& options, des::QueueImpl des_impl,
+                                     graph::GraphCache* graph_cache)
+    : config_(config),
+      replication_seed_(replication_seed),
+      options_(options),
+      window_(options.window > SimTime::zero() ? options.window : config.delivery_delay_mean),
+      topology_stream_(rng::derive_seed(replication_seed, kTopologyStream)),
+      consent_(response::consent_for_suite(config.responses, config.eventual_acceptance)),
+      mailbox_(std::max(1u, options.shards)) {
+  config.validate().throw_if_invalid();
+  if (options_.shards == 0) {
+    throw std::invalid_argument("ShardedSimulation: shards must be >= 1");
+  }
+  if (config_.proximity) {
+    throw std::invalid_argument(
+        "ShardedSimulation: proximity (Bluetooth) scenarios are not shardable — "
+        "proximity contacts ignore the graph partition; run with --shards 1");
+  }
+  if (!(window_ > SimTime::zero())) {
+    throw std::invalid_argument("ShardedSimulation: window must be positive");
+  }
+  workers_ = options_.worker_threads > 0
+                 ? std::min<int>(options_.worker_threads, static_cast<int>(options_.shards))
+                 : static_cast<int>(options_.shards);
+
+  build_shards(des_impl, graph_cache);
+  seed_patient_zero();
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+void ShardedSimulation::build_shards(des::QueueImpl des_impl, graph::GraphCache* graph_cache) {
+  // Topology, susceptible sampling and patient zero consume the SAME
+  // topology-stream sequence as the serial engine, so a sharded run
+  // starts from the exact initial conditions (graph, susceptible set,
+  // patient zeros) of the serial run with the same seed — only process
+  // noise and cross-shard latency differ (docs/parallelism.md).
+  graph_ = resolve_topology(config_, replication_seed_, topology_stream_, graph_cache);
+  partition_ = std::make_unique<graph::Partition>(
+      graph::Partition::degree_balanced(*graph_, options_.shards));
+
+  shards_.reserve(options_.shards);
+  for (std::uint32_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<ShardRuntime>(*this, s, partition_->range(s),
+                                                     replication_seed_, des_impl));
+  }
+
+  std::vector<const phone::PhoneEnvironment*> envs;
+  envs.reserve(options_.shards);
+  for (auto& rt : shards_) {
+    rt->gateway = std::make_unique<net::Gateway>(rt->scheduler, rt->net_stream,
+                                                 config_.delivery_delay_mean);
+    rt->gateway->set_shard_router(rt.get());
+    rt->gateway->set_delivery_callback(
+        [this](graph::PhoneId recipient, const net::MmsMessage& msg) {
+          phones_->receive_infected_message(
+              recipient, {msg.sender, msg.sequence, phone::InfectionChannel::kMms});
+        });
+
+    rt->env.scheduler = &rt->scheduler;
+    rt->env.user_stream = &rt->user_stream;
+    rt->env.consent = &consent_;
+    rt->env.read_delay_mean = config_.read_delay_mean;
+    rt->env.decision_cutoff = config_.decision_cutoff;
+    rt->env.listener = rt.get();
+    envs.push_back(&rt->env);
+  }
+  phones_ = std::make_unique<phone::PhoneTable>(config_.population, std::move(envs),
+                                                partition_->bounds());
+
+  // Global susceptible sampling, bit-for-bit the serial engine's draws.
+  auto susceptible_target = static_cast<std::uint64_t>(
+      std::llround(config_.susceptible_fraction * static_cast<double>(config_.population)));
+  auto chosen = topology_stream_.sample_without_replacement(config_.population,
+                                                            susceptible_target);
+  susceptible_ids_.reserve(chosen.size());
+  std::vector<bool> susceptible(config_.population, false);
+  for (auto id : chosen) susceptible[static_cast<std::size_t>(id)] = true;
+  for (graph::PhoneId id = 0; id < config_.population; ++id) {
+    if (!susceptible[id]) continue;
+    phones_->set_susceptible(id, true);
+    susceptible_ids_.push_back(id);
+    shards_[partition_->shard_of(id)]->patch_targets.push_back(id);
+  }
+  processes_.resize(config_.population);
+
+  for (auto& rt : shards_) {
+    // Per-shard response layer: every mechanism's state is keyed by
+    // sender or gateway, and a phone only ever submits through its
+    // owner shard's gateway, so per-shard instances partition the
+    // global mechanism state without changing its semantics. The
+    // detectability monitor is the one global quantity — it runs
+    // deferred, with the crossing decided at window barriers.
+    rt->context = std::make_unique<SimulationContext>(
+        config_.responses, response::ResponseRegistry::built_ins(), /*defer_detection=*/true);
+
+    rt->sending_env.scheduler = &rt->scheduler;
+    rt->sending_env.virus_stream = &rt->virus_stream;
+    rt->sending_env.gateway = rt->gateway.get();
+
+    response::BuildContext build;
+    build.scheduler = &rt->scheduler;
+    build.response_stream = &rt->response_stream;
+    build.patch_targets = &rt->patch_targets;
+    build.apply_patch = [rt = rt.get()](net::PhoneId id) { rt->on_patch_applied(id); };
+    build.population = config_.population;
+    rt->context->attach(*rt->gateway, rt->sending_env, std::move(build));
+  }
+}
+
+void ShardedSimulation::seed_patient_zero() {
+  // Same draws as Simulation::seed_patient_zero; the force-infect event
+  // is scheduled into the owner shard's queue.
+  auto picks = topology_stream_.sample_without_replacement(susceptible_ids_.size(),
+                                                           config_.initial_infected);
+  for (auto pick : picks) {
+    graph::PhoneId id = susceptible_ids_[static_cast<std::size_t>(pick)];
+    ShardRuntime* rt = shards_[partition_->shard_of(id)].get();
+    rt->scheduler.schedule_at(SimTime::zero(), des::EventType::kSeedInfection,
+                              [this, id] { phones_->force_infect(id); });
+  }
+}
+
+void ShardedSimulation::exchange_mailboxes() {
+  // Drain is cheap on purpose: the coordinator only stages the entries;
+  // each destination's worker schedules them at its next window start
+  // (ShardRuntime::flush_staged), keeping the serial section between
+  // barriers O(entries copied) rather than O(entries scheduled).
+  for (std::uint32_t dst = 0; dst < options_.shards; ++dst) {
+    ShardRuntime* rt = shards_[dst].get();
+    mailbox_.drain_to(
+        dst, [rt](const net::CrossShardDelivery& d) { rt->staged.push_back(d); });
+  }
+}
+
+void ShardedSimulation::check_detectability(SimTime window_end) {
+  if (detectability_dispatched_) return;
+  std::uint64_t seen = 0;
+  for (const auto& rt : shards_) seen += rt->context->detector().infected_messages_seen();
+  if (seen < config_.responses.detectability_threshold) return;
+  detectability_dispatched_ = true;
+  detected_at_ = window_end;
+  // The crossing executes as an event at the barrier time in every
+  // shard, so mechanism reactions (scan activation, immunization
+  // development, ...) are ordinary events on the owning scheduler. Like
+  // the mailbox entries it is staged here and scheduled by the owning
+  // worker at the next window start.
+  for (auto& rt : shards_) {
+    rt->has_pending_detect = true;
+    rt->pending_detect_at = window_end;
+  }
+}
+
+std::uint64_t ShardedSimulation::events_executed_total() const {
+  std::uint64_t total = 0;
+  for (const auto& rt : shards_) total += rt->scheduler.executed_count();
+  return total;
+}
+
+bool ShardedSimulation::quiescent() const {
+  for (const auto& rt : shards_) {
+    if (rt->scheduler.pending_count() != 0) return false;
+    if (!rt->staged.empty() || rt->has_pending_detect) return false;
+  }
+  return mailbox_.empty();
+}
+
+namespace {
+
+/// Persistent worker pool for one run(): worker j owns shards j, j+W,
+/// j+2W, ... (static assignment keeps per-shard cache state warm and
+/// the execution schedule deterministic — not that determinism needs
+/// it: shards share no mutable state within a window). Two barriers
+/// frame each window; the main thread does the exchange work between
+/// frames.
+class WindowPool {
+ public:
+  WindowPool(std::vector<std::unique_ptr<ShardRuntime>>& shards, int workers)
+      : shards_(shards),
+        workers_(workers),
+        start_(workers + 1),
+        done_(workers + 1),
+        errors_(static_cast<std::size_t>(workers)) {
+    threads_.reserve(static_cast<std::size_t>(workers));
+    for (int j = 0; j < workers; ++j) {
+      threads_.emplace_back([this, j] { worker_loop(j); });
+    }
+  }
+
+  ~WindowPool() {
+    stop_ = true;
+    start_.arrive_and_wait();  // release workers into the stop check
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs every shard to `until`; returns the milliseconds the main
+  /// thread spent waiting on the completion barrier (the straggler
+  /// stall the shard.barrier_wait_ms series reports).
+  double run_window(SimTime until) {
+    target_ = until;
+    start_.arrive_and_wait();
+    const auto wait_begin = std::chrono::steady_clock::now();
+    done_.arrive_and_wait();
+    const double waited = ms_between(wait_begin, std::chrono::steady_clock::now());
+    for (auto& error : errors_) {
+      if (error) {
+        std::exception_ptr e = error;
+        error = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+    return waited;
+  }
+
+ private:
+  void worker_loop(int j) {
+    while (true) {
+      start_.arrive_and_wait();
+      if (stop_) return;
+      try {
+        for (std::size_t s = static_cast<std::size_t>(j); s < shards_.size();
+             s += static_cast<std::size_t>(workers_)) {
+          shards_[s]->flush_staged();
+          shards_[s]->scheduler.run_until(target_);
+        }
+      } catch (...) {
+        errors_[static_cast<std::size_t>(j)] = std::current_exception();
+      }
+      done_.arrive_and_wait();
+    }
+  }
+
+  std::vector<std::unique_ptr<ShardRuntime>>& shards_;
+  int workers_;
+  std::barrier<> start_;
+  std::barrier<> done_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;
+  SimTime target_ = SimTime::zero();
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void ShardedSimulation::advance_shards(SimTime until) {
+  for (auto& rt : shards_) {
+    rt->flush_staged();
+    rt->scheduler.run_until(until);
+  }
+}
+
+ReplicationResult ShardedSimulation::run() {
+  if (ran_) throw std::logic_error("ShardedSimulation::run called twice");
+  ran_ = true;
+
+  std::unique_ptr<WindowPool> pool;
+  if (workers_ > 1) pool = std::make_unique<WindowPool>(shards_, workers_);
+
+  const SimTime horizon = config_.horizon;
+  SimTime t = SimTime::zero();
+  while (t < horizon) {
+    const SimTime window_end = min(t + window_, horizon);
+    if (pool) {
+      barrier_wait_ms_.push_back(pool->run_window(window_end));
+    } else {
+      advance_shards(window_end);
+    }
+    t = window_end;
+    ++windows_stepped_;
+    exchange_mailboxes();
+    check_detectability(window_end);
+    if (window_observer_) window_observer_(window_end, horizon, events_executed_total());
+    // Dead epidemic: no pending events anywhere and nothing in flight
+    // between shards — every later window would be a no-op barrier.
+    if (quiescent()) break;
+  }
+  pool.reset();
+
+  // Tail pass (single-threaded; a handful of events at most): clocks
+  // advance to the horizon, entries timestamped exactly at the horizon
+  // fire — the serial engine would have fired those too — and whatever
+  // they produce is exchanged and scheduled once more so it sits in the
+  // queues just like any other never-reached post-horizon event.
+  advance_shards(horizon);
+  exchange_mailboxes();
+  for (auto& rt : shards_) rt->flush_staged();
+
+  return collect();
+}
+
+ReplicationResult ShardedSimulation::collect() const {
+  ReplicationResult r;
+
+  // K-way merge of the per-shard infection instants into one
+  // cumulative step series (ties resolve lowest-shard-first; any fixed
+  // rule works — the inputs are fixed per (seed, shards)).
+  std::vector<std::size_t> cursor(shards_.size(), 0);
+  std::uint64_t cumulative = 0;
+  while (true) {
+    std::size_t best = shards_.size();
+    SimTime best_at = SimTime::infinity();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& times = shards_[s]->infection_times;
+      if (cursor[s] < times.size() && times[cursor[s]] < best_at) {
+        best_at = times[cursor[s]];
+        best = s;
+      }
+    }
+    if (best == shards_.size()) break;
+    ++cursor[best];
+    ++cumulative;
+    r.infections.push(best_at, static_cast<double>(cumulative));
+  }
+
+  response::ResponseMetrics merged;
+  for (const auto& rt : shards_) {
+    r.total_infected += rt->infected_count;
+    r.immunized_healthy += rt->immunized_healthy;
+    r.patched_infected += rt->patched_infected;
+
+    response::ResponseMetrics m = rt->context->metrics();
+    merged.phones_blacklisted += m.phones_blacklisted;
+    merged.phones_flagged += m.phones_flagged;
+    for (auto& [name, value] : m.extras) {
+      auto it = std::find_if(merged.extras.begin(), merged.extras.end(),
+                             [&name](const auto& e) { return e.first == name; });
+      if (it == merged.extras.end()) {
+        merged.extras.emplace_back(name, value);
+      } else {
+        it->second += value;
+      }
+    }
+
+    const net::GatewayCounters& gc = rt->gateway->counters();
+    r.gateway.messages_submitted += gc.messages_submitted;
+    r.gateway.infected_messages_submitted += gc.infected_messages_submitted;
+    r.gateway.messages_blocked += gc.messages_blocked;
+    r.gateway.recipients_delivered += gc.recipients_delivered;
+    r.gateway.invalid_recipients_dropped += gc.invalid_recipients_dropped;
+  }
+  r.phones_blacklisted = merged.phones_blacklisted;
+  r.phones_flagged = merged.phones_flagged;
+  r.response_extras = std::move(merged.extras);
+  r.detected_at = detected_at_;
+
+  // Per-shard telemetry merges exactly like per-replication telemetry
+  // (commutative instruments), then the engine layers its own series
+  // on top: the shard.* group and the build-time topology draws the
+  // shards never see.
+  metrics::Registry engine;
+  engine.counter("rng.draws").add(topology_stream_.draw_count());
+  engine.gauge("shard.count").set(options_.shards);
+  engine.counter("shard.windows").add(windows_stepped_);
+  engine.counter("shard.mailbox.sent").add(mailbox_.pushed_total());
+  engine.counter("shard.mailbox.received").add(mailbox_.drained_total());
+  auto& events_hist = engine.histogram("shard.events_executed", kEventCountBounds);
+  for (const auto& rt : shards_) {
+    events_hist.record(static_cast<double>(rt->scheduler.executed_count()));
+  }
+  auto& wait_hist = engine.histogram("shard.barrier_wait_ms", kBarrierWaitBounds);
+  for (double ms : barrier_wait_ms_) wait_hist.record(ms);
+
+  r.metrics = engine.snapshot();
+  for (const auto& rt : shards_) r.metrics.merge(rt->collect_metrics());
+  return r;
+}
+
+}  // namespace mvsim::core

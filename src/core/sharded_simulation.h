@@ -1,0 +1,147 @@
+// Sharded single-replication engine: one run on multiple cores.
+//
+// The serial Simulation executes a replication on one scheduler and
+// therefore one core; at 10^6 phones that single thread is the
+// wall-clock bound (ROADMAP item 2). ShardedSimulation partitions the
+// contact graph into K contiguous, degree-balanced ranges
+// (graph::Partition) and gives each shard its own des::Scheduler,
+// gateway, RNG streams and response-mechanism instances. Shards
+// advance in lockstep through fixed synchronization windows:
+//
+//   loop: run every shard to the window end (in parallel)
+//         barrier: drain cross-shard mailboxes, sum detectability,
+//                  tick progress
+//
+// Cross-shard MMS deliveries ride net::ShardMailboxGrid and pay a
+// deterministic extra transit latency equal to the window width — the
+// conservative lookahead that guarantees a drained entry can never
+// land in a shard's past (no rollback needed). The full protocol,
+// the determinism contract and the model-semantics notes (what changes
+// at shards >= 2 and what does not) live in docs/parallelism.md.
+//
+// Determinism: fixed (config, seed, shards, window) ⇒ bit-identical
+// results for ANY worker-thread count, including the inline
+// single-thread mode. Results at shards >= 2 are a different (equally
+// valid) sample path than the serial engine's — per-shard RNG streams
+// and the cross-shard latency floor see to that — which is why the
+// runner keeps `--shards 1` on the serial engine and the golden tests
+// pin sharded curves separately.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.h"
+#include "core/simulation.h"
+#include "graph/graph_cache.h"
+#include "graph/partition.h"
+#include "net/shard_mailbox.h"
+#include "phone/phone_table.h"
+#include "rng/stream.h"
+#include "stats/time_series.h"
+
+namespace mvsim::core {
+
+namespace detail {
+struct ShardRuntime;
+}
+
+struct ShardingOptions {
+  /// Worker shards (>= 2; a 1-shard run is just the serial engine, and
+  /// the runner routes it there to keep the golden gate byte-exact).
+  std::uint32_t shards = 2;
+  /// Synchronization-window width; zero (default) resolves to the
+  /// scenario's delivery_delay_mean. Part of the model at shards >= 2:
+  /// cross-shard deliveries pay this much extra transit latency.
+  SimTime window = SimTime::zero();
+  /// OS threads executing the shards (0 = one per shard; 1 = inline
+  /// serial execution on the calling thread). Never changes results.
+  int worker_threads = 0;
+};
+
+class ShardedSimulation final {
+ public:
+  /// Called at each window barrier (from the coordinating thread):
+  /// `window_end` is the simulated time just reached, `events` the
+  /// events executed so far across all shards.
+  using WindowObserver = std::function<void(SimTime window_end, SimTime horizon,
+                                            std::uint64_t events)>;
+
+  /// Validates `config` and the sharding options. Scenarios with a
+  /// proximity (Bluetooth) channel are rejected: proximity contacts
+  /// are global by construction and do not respect the partition.
+  /// `des_impl` and `graph_cache` mean exactly what they do on the
+  /// serial Simulation.
+  ShardedSimulation(const ScenarioConfig& config, std::uint64_t replication_seed,
+                    const ShardingOptions& options,
+                    des::QueueImpl des_impl = des::QueueImpl::kWheel,
+                    graph::GraphCache* graph_cache = nullptr);
+  ~ShardedSimulation();
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  void set_window_observer(WindowObserver observer) { window_observer_ = std::move(observer); }
+
+  /// Runs the window loop to the horizon and returns the merged
+  /// result. May be called once.
+  ReplicationResult run();
+
+  // ---- Introspection for tests ----
+  [[nodiscard]] std::uint32_t shard_count() const { return options_.shards; }
+  [[nodiscard]] SimTime window() const { return window_; }
+  [[nodiscard]] const graph::Partition& partition() const { return *partition_; }
+  [[nodiscard]] const graph::ContactGraph& contact_graph() const { return *graph_; }
+
+ private:
+  friend struct detail::ShardRuntime;
+
+  void build_shards(des::QueueImpl des_impl, graph::GraphCache* graph_cache);
+  void seed_patient_zero();
+  /// Barrier step: drains every mailbox into the destination shards'
+  /// schedulers (deterministic source order).
+  void exchange_mailboxes();
+  /// Barrier step: sums per-shard infected-submission counts and, on
+  /// the global threshold crossing, schedules force_detect into every
+  /// shard at `window_end`.
+  void check_detectability(SimTime window_end);
+  [[nodiscard]] std::uint64_t events_executed_total() const;
+  [[nodiscard]] bool quiescent() const;
+  /// Runs every shard (inline or via the worker pool) to `until`.
+  void advance_shards(SimTime until);
+  [[nodiscard]] ReplicationResult collect() const;
+
+  ScenarioConfig config_;
+  std::uint64_t replication_seed_;
+  ShardingOptions options_;
+  SimTime window_;
+  int workers_ = 1;
+
+  rng::Stream topology_stream_;
+  std::shared_ptr<const graph::ContactGraph> graph_;
+  std::unique_ptr<graph::Partition> partition_;
+  phone::ConsentModel consent_;
+  net::ShardMailboxGrid mailbox_;
+
+  std::vector<std::unique_ptr<detail::ShardRuntime>> shards_;
+  // unique_ptr for address stability, same contract as the serial
+  // engine: decision events capture the table pointer.
+  std::unique_ptr<phone::PhoneTable> phones_;
+  std::vector<graph::PhoneId> susceptible_ids_;
+  std::vector<std::unique_ptr<virus::SendingProcess>> processes_;  // index = phone id
+
+  // Barrier-quantized global detectability (docs/parallelism.md).
+  bool detectability_dispatched_ = false;
+  SimTime detected_at_ = SimTime::infinity();
+
+  WindowObserver window_observer_;
+
+  // Engine-level telemetry (merged on top of the per-shard registries).
+  std::uint64_t windows_stepped_ = 0;
+  std::vector<double> barrier_wait_ms_;  // one sample per threaded window
+
+  bool ran_ = false;
+};
+
+}  // namespace mvsim::core

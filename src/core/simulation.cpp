@@ -1,83 +1,13 @@
 #include "core/simulation.h"
 
-#include <algorithm>
-#include <bit>
 #include <cmath>
 #include <stdexcept>
 
-#include "graph/generators.h"
+#include "core/topology_build.h"
 #include "response/registry.h"
 #include "rng/seed.h"
 
 namespace mvsim::core {
-
-namespace {
-// Sub-stream indices under the replication seed; distinct constants
-// keep every component's randomness independent of the others.
-enum StreamIndex : std::uint64_t {
-  kTopologyStream = 1,
-  kUserStream = 2,
-  kVirusStream = 3,
-  kNetStream = 4,
-  kResponseStream = 5,
-  kMobilityStream = 6,
-  kProximityStream = 7,
-};
-
-/// Builds the configured topology, consuming randomness from `stream`.
-graph::ContactGraph build_graph_for(const ScenarioConfig& config, rng::Stream& stream) {
-  switch (config.topology.kind) {
-    case TopologyConfig::Kind::kPowerLaw: {
-      graph::PowerLawConfig plc;
-      plc.node_count = config.population;
-      plc.target_mean_degree = config.topology.mean_degree;
-      plc.alpha = config.topology.alpha;
-      plc.locality_jitter = config.topology.locality_jitter;
-      return graph::generate_power_law(plc, stream);
-    }
-    case TopologyConfig::Kind::kErdosRenyi:
-      return graph::generate_erdos_renyi(config.population, config.topology.mean_degree, stream);
-    case TopologyConfig::Kind::kBarabasiAlbert: {
-      auto m = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree / 2.0));
-      return graph::generate_barabasi_albert(config.population, std::max(1u, m), stream);
-    }
-    case TopologyConfig::Kind::kRegularRing: {
-      auto k = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree));
-      if (k % 2 == 1) ++k;  // ring lattice needs an even neighbour count
-      return graph::generate_regular_ring(config.population, k);
-    }
-  }
-  throw std::logic_error("build_graph_for: unknown topology kind");
-}
-
-/// Hash of every generator-relevant parameter: two configs with equal
-/// hashes (and equal seeds) run bit-identical builds.
-std::uint64_t topology_params_hash(const ScenarioConfig& config) {
-  std::uint64_t h = graph::kHashSeed;
-  h = graph::hash_combine(h, static_cast<std::uint64_t>(config.topology.kind));
-  h = graph::hash_combine(h, config.population);
-  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.mean_degree));
-  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.alpha));
-  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.locality_jitter));
-  return h;
-}
-
-/// The seed the topology stream is (re)built from. With shared_seed
-/// set, it is decoupled from the replication seed so every replication
-/// resolves to the same graph; susceptible sampling and patient zero
-/// still draw from the per-replication topology stream either way.
-std::uint64_t topology_build_seed(const ScenarioConfig& config, std::uint64_t replication_seed) {
-  return config.topology.shared_seed
-             ? rng::derive_seed(*config.topology.shared_seed, kTopologyStream)
-             : rng::derive_seed(replication_seed, kTopologyStream);
-}
-
-graph::GraphCacheKey topology_cache_key(const ScenarioConfig& config,
-                                        std::uint64_t replication_seed) {
-  return {topology_build_seed(config, replication_seed), topology_params_hash(config)};
-}
-
-}  // namespace
 
 Simulation::Simulation(const ScenarioConfig& config, std::uint64_t replication_seed,
                        trace::TraceBuffer* trace, des::EventTimer* event_timer,
@@ -160,35 +90,7 @@ void Simulation::schedule_bluetooth_scan(graph::PhoneId id) {
 Simulation::~Simulation() = default;
 
 void Simulation::build_topology(graph::GraphCache* graph_cache) {
-  const bool shared = config_.topology.shared_seed.has_value();
-  if (graph_cache != nullptr) {
-    auto entry = graph_cache->get_or_build(
-        topology_cache_key(config_, replication_seed_), [&]() -> graph::CachedGraph {
-          rng::Stream build_stream(topology_build_seed(config_, replication_seed_));
-          auto built = std::make_shared<const graph::ContactGraph>(
-              build_graph_for(config_, build_stream));
-          return {std::move(built), build_stream};
-        });
-    graph_ = entry->graph;
-    if (!shared) {
-      // The per-replication topology stream must continue exactly
-      // where a private build would have left it (susceptible
-      // sampling and patient zero draw from it next); the cached
-      // post-build state is that continuation point, and it also
-      // carries the build's draw count so rng.draws telemetry is
-      // unchanged on a hit.
-      topology_stream_ = entry->post_build_stream;
-    }
-  } else if (shared) {
-    // Shared topology without a cache: build from the decoupled seed
-    // on a local stream, leaving the replication's topology stream
-    // (which seeds susceptibility and patient zero) untouched.
-    rng::Stream build_stream(topology_build_seed(config_, replication_seed_));
-    graph_ = std::make_shared<const graph::ContactGraph>(build_graph_for(config_, build_stream));
-  } else {
-    graph_ = std::make_shared<const graph::ContactGraph>(
-        build_graph_for(config_, topology_stream_));
-  }
+  graph_ = resolve_topology(config_, replication_seed_, topology_stream_, graph_cache);
 }
 
 void Simulation::build_phones() {
@@ -370,13 +272,11 @@ bool prewarm_shared_graph(const ScenarioConfig& config, graph::GraphCache& cache
   if (!config.topology.shared_seed) return false;
   config.validate().throw_if_invalid();
   // The replication seed is irrelevant under shared_seed (the key is
-  // derived from the shared seed alone); 0 stands in for it.
-  (void)cache.get_or_build(topology_cache_key(config, 0), [&]() -> graph::CachedGraph {
-    rng::Stream build_stream(topology_build_seed(config, 0));
-    auto built =
-        std::make_shared<const graph::ContactGraph>(build_graph_for(config, build_stream));
-    return {std::move(built), build_stream};
-  });
+  // derived from the shared seed alone); 0 stands in for it. The
+  // topology stream here is a throwaway: shared-seed resolution never
+  // touches it.
+  rng::Stream scratch(topology_build_seed(config, 0));
+  (void)resolve_topology(config, 0, scratch, &cache);
   return true;
 }
 

@@ -6,8 +6,10 @@
 namespace mvsim::core {
 
 SimulationContext::SimulationContext(const response::ResponseSuiteConfig& suite,
-                                     const response::ResponseRegistry& registry)
-    : detector_(std::make_unique<response::DetectabilityMonitor>(suite.detectability_threshold)),
+                                     const response::ResponseRegistry& registry,
+                                     bool defer_detection)
+    : detector_(std::make_unique<response::DetectabilityMonitor>(suite.detectability_threshold,
+                                                                 defer_detection)),
       mechanisms_(registry.build_enabled(suite)) {}
 
 void SimulationContext::attach(net::Gateway& gateway, virus::SendingEnvironment& sending_env,

@@ -33,8 +33,13 @@ class SimulationContext final : public net::GatewayObserver {
  public:
   /// Builds the detectability monitor and every enabled mechanism (in
   /// registry order). Nothing is wired yet — call attach().
+  ///
+  /// `defer_detection` puts the monitor in deferred (count-only) mode
+  /// for per-shard contexts of a sharded run, where the crossing is a
+  /// global decision the barrier coordinator makes (see
+  /// response::DetectabilityMonitor and docs/parallelism.md).
   SimulationContext(const response::ResponseSuiteConfig& suite,
-                    const response::ResponseRegistry& registry);
+                    const response::ResponseRegistry& registry, bool defer_detection = false);
 
   /// Wires the built mechanisms into a simulation: registers the
   /// detector and this dispatcher as gateway observers, runs every

@@ -1,0 +1,93 @@
+#include "core/topology_build.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "rng/seed.h"
+
+namespace mvsim::core {
+
+graph::ContactGraph build_graph_for(const ScenarioConfig& config, rng::Stream& stream) {
+  switch (config.topology.kind) {
+    case TopologyConfig::Kind::kPowerLaw: {
+      graph::PowerLawConfig plc;
+      plc.node_count = config.population;
+      plc.target_mean_degree = config.topology.mean_degree;
+      plc.alpha = config.topology.alpha;
+      plc.locality_jitter = config.topology.locality_jitter;
+      return graph::generate_power_law(plc, stream);
+    }
+    case TopologyConfig::Kind::kErdosRenyi:
+      return graph::generate_erdos_renyi(config.population, config.topology.mean_degree, stream);
+    case TopologyConfig::Kind::kBarabasiAlbert: {
+      auto m = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree / 2.0));
+      return graph::generate_barabasi_albert(config.population, std::max(1u, m), stream);
+    }
+    case TopologyConfig::Kind::kRegularRing: {
+      auto k = static_cast<std::uint32_t>(std::llround(config.topology.mean_degree));
+      if (k % 2 == 1) ++k;  // ring lattice needs an even neighbour count
+      return graph::generate_regular_ring(config.population, k);
+    }
+  }
+  throw std::logic_error("build_graph_for: unknown topology kind");
+}
+
+std::uint64_t topology_params_hash(const ScenarioConfig& config) {
+  std::uint64_t h = graph::kHashSeed;
+  h = graph::hash_combine(h, static_cast<std::uint64_t>(config.topology.kind));
+  h = graph::hash_combine(h, config.population);
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.mean_degree));
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.alpha));
+  h = graph::hash_combine(h, std::bit_cast<std::uint64_t>(config.topology.locality_jitter));
+  return h;
+}
+
+std::uint64_t topology_build_seed(const ScenarioConfig& config, std::uint64_t replication_seed) {
+  return config.topology.shared_seed
+             ? rng::derive_seed(*config.topology.shared_seed, kTopologyStream)
+             : rng::derive_seed(replication_seed, kTopologyStream);
+}
+
+graph::GraphCacheKey topology_cache_key(const ScenarioConfig& config,
+                                        std::uint64_t replication_seed) {
+  return {topology_build_seed(config, replication_seed), topology_params_hash(config)};
+}
+
+std::shared_ptr<const graph::ContactGraph> resolve_topology(const ScenarioConfig& config,
+                                                            std::uint64_t replication_seed,
+                                                            rng::Stream& topology_stream,
+                                                            graph::GraphCache* graph_cache) {
+  const bool shared = config.topology.shared_seed.has_value();
+  if (graph_cache != nullptr) {
+    auto entry = graph_cache->get_or_build(
+        topology_cache_key(config, replication_seed), [&]() -> graph::CachedGraph {
+          rng::Stream build_stream(topology_build_seed(config, replication_seed));
+          auto built = std::make_shared<const graph::ContactGraph>(
+              build_graph_for(config, build_stream));
+          return {std::move(built), build_stream};
+        });
+    if (!shared) {
+      // The per-replication topology stream must continue exactly
+      // where a private build would have left it (susceptible
+      // sampling and patient zero draw from it next); the cached
+      // post-build state is that continuation point, and it also
+      // carries the build's draw count so rng.draws telemetry is
+      // unchanged on a hit.
+      topology_stream = entry->post_build_stream;
+    }
+    return entry->graph;
+  }
+  if (shared) {
+    // Shared topology without a cache: build from the decoupled seed
+    // on a local stream, leaving the replication's topology stream
+    // (which seeds susceptibility and patient zero) untouched.
+    rng::Stream build_stream(topology_build_seed(config, replication_seed));
+    return std::make_shared<const graph::ContactGraph>(build_graph_for(config, build_stream));
+  }
+  return std::make_shared<const graph::ContactGraph>(build_graph_for(config, topology_stream));
+}
+
+}  // namespace mvsim::core

@@ -1,0 +1,88 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvsim::graph {
+
+namespace {
+
+std::uint64_t node_weight(const ContactGraph& graph, PhoneId id) {
+  return 1 + static_cast<std::uint64_t>(graph.degree(id));
+}
+
+}  // namespace
+
+Partition Partition::degree_balanced(const ContactGraph& graph, std::uint32_t shards) {
+  const PhoneId n = graph.node_count();
+  if (shards == 0) throw std::invalid_argument("Partition: shards must be >= 1");
+  if (shards > n) throw std::invalid_argument("Partition: more shards than phones");
+
+  // Total weight = N + 2E (each undirected edge contributes to both
+  // endpoints' degrees).
+  std::uint64_t total = 0;
+  for (PhoneId id = 0; id < n; ++id) total += node_weight(graph, id);
+
+  std::vector<PhoneId> bounds;
+  bounds.reserve(shards + 1);
+  bounds.push_back(0);
+
+  // Greedy sweep: close shard s at the first node where the cumulative
+  // weight reaches the ideal prefix (s+1) * total / shards, while
+  // reserving at least one node for every remaining shard so no shard
+  // ends up empty even when one hub dwarfs the whole budget.
+  std::uint64_t cumulative = 0;
+  PhoneId next = 0;
+  for (std::uint32_t s = 0; s + 1 < shards; ++s) {
+    const std::uint64_t target = total * (s + 1) / shards;
+    const PhoneId last_allowed = n - (shards - 1 - s);  // leave 1 node per later shard
+    PhoneId cut = next;
+    while (cut < last_allowed) {
+      cumulative += node_weight(graph, cut);
+      ++cut;
+      if (cumulative >= target) break;
+    }
+    cut = std::max<PhoneId>(cut, bounds.back() + 1);  // non-empty shard
+    bounds.push_back(cut);
+    next = cut;
+  }
+  bounds.push_back(n);
+  return Partition(std::move(bounds));
+}
+
+Partition Partition::uniform(PhoneId node_count, std::uint32_t shards) {
+  if (shards == 0) throw std::invalid_argument("Partition: shards must be >= 1");
+  if (shards > node_count) throw std::invalid_argument("Partition: more shards than phones");
+  std::vector<PhoneId> bounds;
+  bounds.reserve(shards + 1);
+  for (std::uint32_t s = 0; s <= shards; ++s) {
+    bounds.push_back(static_cast<PhoneId>(
+        static_cast<std::uint64_t>(node_count) * s / shards));
+  }
+  return Partition(std::move(bounds));
+}
+
+std::uint32_t Partition::shard_of(PhoneId id) const {
+  auto it = std::upper_bound(bounds_.begin(), bounds_.end(), id);
+  return static_cast<std::uint32_t>(it - bounds_.begin()) - 1;
+}
+
+double Partition::max_imbalance(const ContactGraph& graph) const {
+  const std::uint32_t k = shard_count();
+  std::uint64_t total = 0;
+  double worst = 0.0;
+  std::vector<std::uint64_t> weights(k, 0);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    for (PhoneId id = bounds_[s]; id < bounds_[s + 1]; ++id) {
+      weights[s] += node_weight(graph, id);
+    }
+    total += weights[s];
+  }
+  const double ideal = static_cast<double>(total) / static_cast<double>(k);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    worst = std::max(worst, static_cast<double>(weights[s]) / ideal);
+  }
+  return worst;
+}
+
+}  // namespace mvsim::graph

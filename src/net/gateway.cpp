@@ -48,6 +48,25 @@ void Gateway::submit(MmsMessage message) {
   counters_.recipients_delivered += valid;
 
   SimTime delay = stream_->exponential(delivery_delay_mean_);
+
+  // Sharded runs: recipients owned by other shards leave through the
+  // router (mailbox + lookahead latency) and are struck from the local
+  // transit event. The delay draw above happens either way, so the RNG
+  // sequence — and with it the shards-1 golden gate — is unchanged.
+  if (router_ != nullptr) {
+    const SimTime remote_at = scheduler_->now() + delay + router_->remote_extra_latency();
+    std::size_t local = 0;
+    for (DialedRecipient& r : message.recipients) {
+      if (!r.valid) continue;
+      if (router_->route_remote(r.phone, message, remote_at)) {
+        r.valid = false;  // claimed; the local event skips it
+      } else {
+        ++local;
+      }
+    }
+    if (local == 0) return;
+  }
+
   // The message moves into the event's inline storage (it fits EventFn's
   // buffer), so the transit event costs no allocation of its own — the
   // recipients vector just changes hands.

@@ -68,6 +68,25 @@ class OutgoingMmsPolicy {
   [[nodiscard]] virtual SimTime forced_min_gap(PhoneId phone, SimTime now) const = 0;
 };
 
+/// Routes recipients that live on another shard of a sharded run (see
+/// docs/parallelism.md). The serial engine never sets one; with no
+/// router the gateway behaves exactly as before.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  /// Extra transit latency every cross-shard recipient pays on top of
+  /// the sampled delivery delay. This is the conservative-lookahead
+  /// floor: it must be >= the synchronization window so a routed
+  /// delivery can never land inside the window that produced it.
+  [[nodiscard]] virtual SimTime remote_extra_latency() const = 0;
+  /// Claims `recipient` if it is owned by another shard: the router
+  /// enqueues the delivery (timestamped `deliver_at`) into that shard's
+  /// mailbox and returns true; returns false for local recipients,
+  /// which the gateway then delivers through its normal transit event.
+  virtual bool route_remote(PhoneId recipient, const MmsMessage& message,
+                            SimTime deliver_at) = 0;
+};
+
 /// Statistics the gateway keeps; exposed to metrics and tests.
 struct GatewayCounters {
   std::uint64_t messages_submitted = 0;
@@ -93,6 +112,11 @@ class Gateway {
 
   void set_delivery_callback(DeliveryCallback callback);
 
+  /// Sharded runs only: recipients the router claims are handed to it
+  /// (bound for another shard's mailbox) instead of the local transit
+  /// event. Null (the default) keeps the classic single-engine path.
+  void set_shard_router(ShardRouter* router) { router_ = router; }
+
   /// A phone hands a message to the network. The gateway notifies
   /// observers, runs the filter chain and schedules delivery to each
   /// valid recipient after a random transit delay.
@@ -107,6 +131,7 @@ class Gateway {
   std::vector<DeliveryFilter*> filters_;
   std::vector<GatewayObserver*> observers_;
   DeliveryCallback deliver_;
+  ShardRouter* router_ = nullptr;
   GatewayCounters counters_;
   std::uint64_t next_sequence_ = 0;
 };

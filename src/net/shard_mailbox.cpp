@@ -1,0 +1,31 @@
+#include "net/shard_mailbox.h"
+
+#include <stdexcept>
+
+namespace mvsim::net {
+
+ShardMailboxGrid::ShardMailboxGrid(std::uint32_t shards) : shards_(shards) {
+  if (shards == 0) throw std::invalid_argument("ShardMailboxGrid: shards must be >= 1");
+  boxes_.resize(static_cast<std::size_t>(shards) * shards);
+  pushed_by_src_.assign(shards, 0);
+}
+
+void ShardMailboxGrid::push(std::uint32_t src, std::uint32_t dst, CrossShardDelivery delivery) {
+  boxes_[index(src, dst)].push_back(delivery);
+  ++pushed_by_src_[src];
+}
+
+std::uint64_t ShardMailboxGrid::pushed_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t n : pushed_by_src_) total += n;
+  return total;
+}
+
+bool ShardMailboxGrid::empty() const {
+  for (const auto& box : boxes_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace mvsim::net

@@ -4,11 +4,37 @@
 
 namespace mvsim::phone {
 
-PhoneTable::PhoneTable(PhoneId population, const PhoneEnvironment* env) : env_(env) {
+namespace {
+
+void check_env(const PhoneEnvironment* env) {
   if (env == nullptr || env->scheduler == nullptr || env->user_stream == nullptr ||
       env->consent == nullptr) {
     throw std::invalid_argument("PhoneTable: environment is incomplete");
   }
+}
+
+}  // namespace
+
+PhoneTable::PhoneTable(PhoneId population, const PhoneEnvironment* env) : env_(env) {
+  check_env(env);
+  flags_.assign(population, 0);
+  received_.assign(population, 0);
+  pending_.assign(population, 0);
+}
+
+PhoneTable::PhoneTable(PhoneId population, std::vector<const PhoneEnvironment*> envs,
+                       std::vector<PhoneId> bounds)
+    : env_(nullptr), envs_(std::move(envs)), env_bounds_(std::move(bounds)) {
+  if (envs_.empty() || env_bounds_.size() != envs_.size() + 1 || env_bounds_.front() != 0 ||
+      env_bounds_.back() != population) {
+    throw std::invalid_argument("PhoneTable: shard bounds do not cover the population");
+  }
+  for (std::size_t s = 0; s + 1 < env_bounds_.size(); ++s) {
+    if (env_bounds_[s] >= env_bounds_[s + 1]) {
+      throw std::invalid_argument("PhoneTable: shard bounds must be strictly increasing");
+    }
+  }
+  for (const PhoneEnvironment* env : envs_) check_env(env);
   flags_.assign(population, 0);
   received_.assign(population, 0);
   pending_.assign(population, 0);
@@ -23,22 +49,23 @@ void PhoneTable::set_susceptible(PhoneId id, bool susceptible) {
 }
 
 void PhoneTable::receive_infected_message(PhoneId id, InfectionSource source) {
+  const PhoneEnvironment* env = env_for(id);
   ++received_[id];
   // Past the cutoff the acceptance probability is ~2^-cutoff: skip the
   // decision event entirely. This keeps long runs of aggressive viruses
   // (which re-spam the same contacts daily) linear in messages, not in
   // scheduled decisions.
-  if (received_[id] > static_cast<std::uint32_t>(env_->decision_cutoff)) return;
+  if (received_[id] > static_cast<std::uint32_t>(env->decision_cutoff)) return;
   ++pending_[id];
   // Bind the message's index now: the consent curve depends on how many
   // infected messages had been received when *this* one arrived.
   const int message_index = static_cast<int>(received_[id]);
-  SimTime read_delay = env_->user_stream->exponential(env_->read_delay_mean);
-  env_->scheduler->schedule_after(read_delay, des::EventType::kPhoneRead,
-                                  [this, id, message_index, source] {
+  SimTime read_delay = env->user_stream->exponential(env->read_delay_mean);
+  env->scheduler->schedule_after(read_delay, des::EventType::kPhoneRead,
+                                 [this, env, id, message_index, source] {
     --pending_[id];
-    double p = env_->consent->acceptance_probability(message_index);
-    if (env_->user_stream->bernoulli(p)) {
+    double p = env->consent->acceptance_probability(message_index);
+    if (env->user_stream->bernoulli(p)) {
       try_infect(id, source);
     }
   });
@@ -53,7 +80,8 @@ bool PhoneTable::try_infect(PhoneId id, const InfectionSource& source) {
   if ((flags & kPatchedBit) != 0) return false;      // defensive; patched implies immunized
   flags_[id] = static_cast<std::uint8_t>((flags & ~kStateMask) |
                                          static_cast<std::uint8_t>(HealthState::kInfected));
-  if (env_->listener != nullptr) env_->listener->on_phone_infected(id, source);
+  const PhoneEnvironment* env = env_for(id);
+  if (env->listener != nullptr) env->listener->on_phone_infected(id, source);
   return true;
 }
 

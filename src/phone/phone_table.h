@@ -37,6 +37,18 @@ class PhoneTable {
   /// table) carries a scheduler, user stream and consent model.
   PhoneTable(PhoneId population, const PhoneEnvironment* env);
 
+  /// Sharded construction: phone ids in [bounds[s], bounds[s+1]) use
+  /// envs[s] — each shard's environment carries that shard's scheduler,
+  /// user stream and listener, so a phone's decision events always run
+  /// on its owner shard (docs/parallelism.md). `bounds` must cover
+  /// [0, population) contiguously (size == envs.size() + 1, front 0,
+  /// back == population); every env is validated like the single-env
+  /// constructor. The table itself stays one global struct-of-arrays:
+  /// ownership partitions *access* (only the owner shard touches an
+  /// id's state), not storage.
+  PhoneTable(PhoneId population, std::vector<const PhoneEnvironment*> envs,
+             std::vector<PhoneId> bounds);
+
   [[nodiscard]] PhoneId size() const { return static_cast<PhoneId>(flags_.size()); }
 
   void set_susceptible(PhoneId id, bool susceptible);
@@ -88,12 +100,26 @@ class PhoneTable {
 
  private:
   bool try_infect(PhoneId id, const InfectionSource& source);
+  /// Owner environment of `id`: the single env in serial runs (the
+  /// overwhelmingly common case, kept branch-cheap), a range lookup
+  /// over the shard bounds otherwise.
+  [[nodiscard]] const PhoneEnvironment* env_for(PhoneId id) const {
+    if (env_ != nullptr) return env_;
+    std::size_t lo = 0, hi = envs_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi + 1) / 2;
+      if (env_bounds_[mid] <= id) lo = mid; else hi = mid - 1;
+    }
+    return envs_[lo];
+  }
 
   static constexpr std::uint8_t kStateMask = 0b0000'0011;
   static constexpr std::uint8_t kSusceptibleBit = 0b0000'0100;
   static constexpr std::uint8_t kPatchedBit = 0b0000'1000;
 
-  const PhoneEnvironment* env_;
+  const PhoneEnvironment* env_;  ///< non-null iff single-environment
+  std::vector<const PhoneEnvironment*> envs_;  ///< sharded mode only
+  std::vector<PhoneId> env_bounds_;            ///< sharded mode only
   std::vector<std::uint8_t> flags_;
   std::vector<std::uint32_t> received_;
   std::vector<std::uint32_t> pending_;

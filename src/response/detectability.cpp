@@ -4,7 +4,8 @@
 
 namespace mvsim::response {
 
-DetectabilityMonitor::DetectabilityMonitor(std::uint64_t threshold) : threshold_(threshold) {
+DetectabilityMonitor::DetectabilityMonitor(std::uint64_t threshold, bool deferred)
+    : threshold_(threshold), deferred_(deferred) {
   if (threshold == 0) {
     throw std::invalid_argument("DetectabilityMonitor: threshold must be >= 1");
   }
@@ -19,10 +20,19 @@ void DetectabilityMonitor::on_detected(Callback callback) {
 
 void DetectabilityMonitor::on_submitted(const net::MmsMessage& message, SimTime now) {
   if (!message.infected || detected_) return;
-  if (++seen_ < threshold_) return;
+  ++seen_;
+  if (deferred_) return;  // the coordinator owns the crossing decision
+  if (seen_ < threshold_) return;
   detected_ = true;
   detected_at_ = now;
   for (auto& cb : callbacks_) cb(now);
+}
+
+void DetectabilityMonitor::force_detect(SimTime at) {
+  if (detected_) return;
+  detected_ = true;
+  detected_at_ = at;
+  for (auto& cb : callbacks_) cb(at);
 }
 
 }  // namespace mvsim::response

@@ -24,7 +24,13 @@ class DetectabilityMonitor final : public net::GatewayObserver {
 
   /// Fires callbacks the moment the `threshold`-th infected message is
   /// submitted. threshold >= 1.
-  explicit DetectabilityMonitor(std::uint64_t threshold);
+  ///
+  /// In `deferred` mode the monitor only counts: it never crosses on
+  /// its own, because the threshold is global while this monitor sees
+  /// one shard's gateway traffic. The sharded engine sums the per-shard
+  /// counts at each window barrier and fires force_detect() on every
+  /// shard when the global total crosses (docs/parallelism.md).
+  explicit DetectabilityMonitor(std::uint64_t threshold, bool deferred = false);
 
   /// Registers an activation callback. Registration is setup-time
   /// only: register every mechanism before the simulation starts
@@ -35,11 +41,17 @@ class DetectabilityMonitor final : public net::GatewayObserver {
   [[nodiscard]] SimTime detected_at() const { return detected_at_; }
   [[nodiscard]] std::uint64_t infected_messages_seen() const { return seen_; }
 
+  /// Externally declares the virus detected at `at` (a deferred
+  /// monitor's coordinator decided the global threshold crossed).
+  /// Stamps detected_at and runs the callbacks; no-op once detected.
+  void force_detect(SimTime at);
+
   // GatewayObserver
   void on_submitted(const net::MmsMessage& message, SimTime now) override;
 
  private:
   std::uint64_t threshold_;
+  bool deferred_;
   std::uint64_t seen_ = 0;
   bool detected_ = false;
   SimTime detected_at_ = SimTime::infinity();

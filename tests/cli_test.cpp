@@ -258,6 +258,66 @@ TEST(Cli, RunThreadsFlagParses) {
   std::remove(path.c_str());
 }
 
+TEST(Cli, RunShardsFlagIsWorkerCountInvariant) {
+  // The sharded engine's determinism contract: for a fixed seed and shard
+  // count, the worker-thread count never changes the curves.
+  std::string path = write_small_scenario();
+  CliResult one = invoke({"run", path, "--reps", "2", "--seed", "9", "--shards", "2",
+                          "--shard-workers", "1", "--quiet", "--summary-json", "-"});
+  CliResult two = invoke({"run", path, "--reps", "2", "--seed", "9", "--shards", "2",
+                          "--shard-workers", "2", "--quiet", "--summary-json", "-"});
+  ASSERT_EQ(one.code, 0) << one.err;
+  ASSERT_EQ(two.code, 0) << two.err;
+  EXPECT_EQ(one.out, two.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunShardsOneMatchesSerialEngine) {
+  // --shards 1 routes to the serial engine, so it must be byte-identical
+  // to omitting the flag entirely.
+  std::string path = write_small_scenario();
+  CliResult serial = invoke({"run", path, "--reps", "2", "--seed", "4", "--quiet",
+                             "--summary-json", "-"});
+  CliResult one = invoke({"run", path, "--reps", "2", "--seed", "4", "--shards", "1",
+                          "--quiet", "--summary-json", "-"});
+  ASSERT_EQ(serial.code, 0) << serial.err;
+  ASSERT_EQ(one.code, 0) << one.err;
+  EXPECT_EQ(serial.out, one.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunRejectsBadShardFlags) {
+  std::string path = write_small_scenario();
+  EXPECT_EQ(invoke({"run", path, "--shards"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shards", "0"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shards", "many"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shards", "9999"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shard-window", "0"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shard-window", "-5"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--shard-workers", "many"}).code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunShardsRejectsTraceAndProfile) {
+  // A trace is a single-scheduler microscope; profiling instruments the
+  // serial hot path. Both are incompatible with sharded execution.
+  std::string path = write_small_scenario();
+  CliResult traced = invoke({"run", path, "--shards", "2", "--trace", "-"});
+  EXPECT_EQ(traced.code, 1);
+  EXPECT_NE(traced.err.find("--shards 1"), std::string::npos);
+  CliResult profiled = invoke({"run", path, "--shards", "2", "--profile", "-"});
+  EXPECT_EQ(profiled.code, 1);
+  EXPECT_NE(profiled.err.find("--shards 1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, UsageMentionsShards) {
+  CliResult r = invoke({"--help"});
+  EXPECT_NE(r.out.find("--shards"), std::string::npos);
+  EXPECT_NE(r.out.find("--shard-window"), std::string::npos);
+  EXPECT_NE(r.out.find("--shard-workers"), std::string::npos);
+}
+
 TEST(Cli, RunEmitsMetricsJsonToStdout) {
   std::string path = write_small_scenario();
   CliResult r = invoke({"run", path, "--reps", "2", "--quiet", "--metrics", "-"});

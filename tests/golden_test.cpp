@@ -158,6 +158,75 @@ std::uint64_t case_hash(const GoldenCase& golden, int threads) {
   return digest;
 }
 
+// ---- Sharded engine goldens ---------------------------------------------
+//
+// Sharded results are a DIFFERENT fixed point than the serial engine's
+// (per-shard RNG streams, cross-shard latency floor — see
+// docs/parallelism.md), so they get their own pinned hashes, at shards
+// 2 and 4. dual-vector is excluded: proximity scenarios are rejected by
+// the sharded engine (covered in shard_test.cpp). Captured with
+// shard_workers = 1; ShardedSimulation's contract (verified in
+// shard_test.cpp) makes any worker count bit-identical to that.
+//
+// To regenerate after an intentional behavior change:
+//   MVSIM_GOLDEN_PRINT=1 ./golden_test --gtest_filter='*Sharded*'
+struct ShardedGoldenCase {
+  const char* name;
+  std::uint64_t expected_at_2;
+  std::uint64_t expected_at_4;
+};
+
+const ShardedGoldenCase kShardedCases[] = {
+    {"fig1-baseline-virus1", 0xc1c3c9f92d0ffbc2ULL, 0xc47f34758a415ae0ULL},
+    {"fig1-baseline-virus2", 0x7fa53405ab4e8459ULL, 0x4d29156f5347048aULL},
+    {"fig1-baseline-virus3", 0x669130dbd92f8ff9ULL, 0xacff26d80392fcf5ULL},
+    {"fig1-baseline-virus4", 0x3a9d010549ef88faULL, 0xd127e13f0dedc02eULL},
+    {"fig2-scan", 0xf91a49f3b9f34b35ULL, 0x89459e6c0bf6ecd2ULL},
+    {"fig3-detection", 0x9d1661f334f97c89ULL, 0xcbf321f1a746139dULL},
+    {"fig4-education", 0x0b021e503c20e0e8ULL, 0xdb1705ad1723c679ULL},
+    {"fig5-immunization", 0xc12b5036d6c30e68ULL, 0x93016afe1f0cbd07ULL},
+    {"fig6-monitoring", 0x636693cec1306755ULL, 0xc1013b15237973ecULL},
+    {"fig7-blacklist", 0x311af2219c5f9bc1ULL, 0x77485775458649beULL},
+    {"defense-in-depth", 0x8326b71dd022bd79ULL, 0xe258cbd3ed06701eULL},
+};
+
+const GoldenCase* find_case(const char* name) {
+  for (const GoldenCase& golden : kCases) {
+    if (std::string(golden.name) == name) return &golden;
+  }
+  return nullptr;
+}
+
+std::uint64_t sharded_case_hash(const GoldenCase& golden, std::uint32_t shards) {
+  RunnerOptions options;
+  options.replications = kReplications;
+  options.master_seed = kMasterSeed;
+  options.keep_replications = true;
+  options.threads = 1;
+  options.shards = shards;
+  options.shard_workers = 1;
+  return hash_result(run_experiment(golden.make(), options));
+}
+
+TEST(GoldenResults, ShardedCurvesBitIdenticalAtTwoAndFourShards) {
+  const bool print = std::getenv("MVSIM_GOLDEN_PRINT") != nullptr;
+  for (const ShardedGoldenCase& sharded : kShardedCases) {
+    const GoldenCase* golden = find_case(sharded.name);
+    ASSERT_NE(golden, nullptr) << sharded.name;
+    std::uint64_t at2 = sharded_case_hash(*golden, 2);
+    std::uint64_t at4 = sharded_case_hash(*golden, 4);
+    if (print) {
+      std::printf("    {\"%s\", 0x%016llxULL, 0x%016llxULL},\n", sharded.name,
+                  static_cast<unsigned long long>(at2), static_cast<unsigned long long>(at4));
+      continue;
+    }
+    EXPECT_EQ(at2, sharded.expected_at_2)
+        << sharded.name << " @2 shards: fixed-seed sharded results diverged";
+    EXPECT_EQ(at4, sharded.expected_at_4)
+        << sharded.name << " @4 shards: fixed-seed sharded results diverged";
+  }
+}
+
 TEST(GoldenResults, PresetCurvesBitIdenticalAtOneThread) {
   const bool print = std::getenv("MVSIM_GOLDEN_PRINT") != nullptr;
   for (const GoldenCase& golden : kCases) {
