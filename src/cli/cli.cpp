@@ -15,6 +15,7 @@
 #include "config/scenario_io.h"
 #include "core/runner.h"
 #include "metrics/report.h"
+#include "obs/stats_stream.h"
 #include "prof/profile_io.h"
 #include "response/registry.h"
 #include "trace/analysis.h"
@@ -51,8 +52,8 @@ usage:
       --shards N           partition the contact graph and run each replication on
                            N cooperating shard schedulers (default 1 = the serial
                            engine; N >= 2 changes results — see docs/parallelism.md;
-                           not combinable with --trace, --profile or proximity
-                           scenarios)
+                           composes with --trace, --profile and --stats-stream;
+                           proximity scenarios are rejected)
       --shard-window MIN   synchronization window in simulated minutes (default:
                            the scenario's delivery_delay_mean; model-relevant,
                            like --shards)
@@ -60,6 +61,13 @@ usage:
                            shard; results identical for any value)
       --progress           live progress on stderr (replications done, events/sec,
                            ETA; with --shards also per-window progress); observation-only
+      --stats-stream PATH  append live time-series telemetry as NDJSON ('-' =
+                           stdout): infected/patched/blocked counts, events/sec,
+                           queue depths, per-shard barrier waits; observation-only
+                           (schema in docs/observability.md)
+      --stats-period MIN   simulated minutes between stats samples (default 30;
+                           sharded runs sample at the first window barrier at or
+                           past each mark)
       --quiet              suppress the human-readable summary
   mvsim compare <a> <b> [...] [--reps N] [--seed N]
                            run several scenarios/presets, print a comparison table
@@ -93,6 +101,8 @@ struct RunOptions {
   double shard_window_minutes = 0.0;  // 0 = scenario delivery_delay_mean
   int shard_workers = 0;
   bool progress = false;
+  std::string stats_stream_path;
+  double stats_period_minutes = 30.0;
   bool quiet = false;
 };
 
@@ -227,6 +237,21 @@ int parse_run_options(const std::vector<std::string>& args, RunOptions& options,
       options.shard_workers = static_cast<int>(workers);
     } else if (arg == "--progress") {
       options.progress = true;
+    } else if (arg == "--stats-stream") {
+      const std::string* v = next("--stats-stream");
+      if (v == nullptr) return 1;
+      options.stats_stream_path = *v;
+    } else if (arg == "--stats-period") {
+      const std::string* v = next("--stats-period");
+      if (v == nullptr) return 1;
+      char* end = nullptr;
+      double minutes = std::strtod(v->c_str(), &end);
+      if (end != v->c_str() + v->size() || v->empty() || !(minutes > 0.0)) {
+        err << "--stats-period: expected a positive number of simulated minutes, got '" << *v
+            << "'\n";
+        return 1;
+      }
+      options.stats_period_minutes = minutes;
     } else if (arg == "--quiet") {
       options.quiet = true;
     } else {
@@ -348,16 +373,6 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
         << options.replications << " replication(s))\n";
     return 1;
   }
-  if (options.shards > 1 && !options.trace_path.empty()) {
-    err << "--trace requires --shards 1 (a trace is a single-scheduler microscope; "
-        << "see docs/parallelism.md)\n";
-    return 1;
-  }
-  if (options.shards > 1 && !options.profile_path.empty()) {
-    err << "--profile requires --shards 1 (see docs/parallelism.md)\n";
-    return 1;
-  }
-
   std::unique_ptr<trace::TraceBuffer> trace_buffer;
   core::RunnerOptions runner;
   runner.replications = options.replications;
@@ -376,6 +391,26 @@ int command_run(const std::vector<std::string>& args, std::ostream& out, std::os
     runner.shard_window = SimTime::minutes(options.shard_window_minutes);
   }
   runner.shard_workers = options.shard_workers;
+  // The stream sink is opened (and its header written) before the run
+  // starts, so an unwritable path fails fast instead of after minutes
+  // of simulation.
+  std::ofstream stats_file;
+  std::unique_ptr<obs::RunStream> stats_stream;
+  if (!options.stats_stream_path.empty()) {
+    std::ostream* sink = &out;
+    if (options.stats_stream_path != "-") {
+      stats_file.open(options.stats_stream_path);
+      if (!stats_file) {
+        err << "cannot write '" << options.stats_stream_path << "'\n";
+        return 2;
+      }
+      sink = &stats_file;
+    }
+    stats_stream = std::make_unique<obs::RunStream>(*sink);
+    stats_stream->write_header(scenario.name, options.replications, options.shards);
+    runner.stats_stream = stats_stream.get();
+    runner.stats_period = SimTime::minutes(options.stats_period_minutes);
+  }
   ProgressTicker ticker(err);
   if (options.progress) {
     runner.progress = [&ticker](const core::ProgressUpdate& update) { ticker(update); };

@@ -14,6 +14,7 @@
 
 #include "core/sharded_simulation.h"
 #include "metrics/registry.h"
+#include "obs/stats_stream.h"
 #include "prof/profiler.h"
 #include "rng/seed.h"
 
@@ -117,22 +118,81 @@ void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int 
     if (rep >= count) return;
     auto started = std::chrono::steady_clock::now();
     if (options.shards > 1) {
-      // Sharded replication (trace/profile are rejected up front for
-      // this mode, so neither is plumbed here).
       ShardingOptions sharding;
       sharding.shards = options.shards;
       sharding.window = options.shard_window;
       sharding.worker_threads = options.shard_workers;
-      ShardedSimulation sim(config,
-                            rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)),
-                            sharding, options.des_impl, cache);
+      // Same single-replication trace contract as the serial path; the
+      // engine fans the buffer out into per-shard slices and merges
+      // them back at collect().
+      sharding.trace = rep == options.trace_replication ? options.trace : nullptr;
+      sharding.profile = options.profile;
+      // The engine profiles per-shard event costs; this profiler adds
+      // the engine-level build/run phases (collect stays zero-count —
+      // it is folded into ShardedSimulation::run()).
+      std::unique_ptr<prof::Profiler> profiler;
+      if (options.profile) profiler = std::make_unique<prof::Profiler>();
+
+      std::optional<ShardedSimulation> sim;
+      {
+        prof::ScopedPhase phase(profiler.get(), prof::Phase::kBuild);
+        sim.emplace(config,
+                    rng::derive_seed(options.master_seed, static_cast<std::uint64_t>(rep)),
+                    sharding, options.des_impl, cache);
+      }
       if (progress != nullptr) {
-        sim.set_window_observer(
+        sim->set_window_observer(
             [progress](SimTime window_end, SimTime horizon, std::uint64_t events) {
               progress->window_tick(window_end, horizon, events);
             });
       }
-      ReplicationResult result = sim.run();
+      if (options.stats_stream != nullptr) {
+        // Sample at the first barrier at or past each period mark (the
+        // barrier grid is the only place the engine pauses).
+        obs::RunStream* stream = options.stats_stream;
+        const SimTime period = options.stats_period;
+        auto next_sample = std::make_shared<SimTime>(period);
+        sim->set_stats_observer(
+            [stream, rep, period, next_sample,
+             started](const ShardedSimulation::ShardWindowSample& w) {
+              // Emit at each period mark, plus always on the final
+              // window (horizon or early quiescence) so every
+              // replication streams at least one sample.
+              if (!w.last && w.window_end < *next_sample) return;
+              while (*next_sample <= w.window_end) *next_sample = *next_sample + period;
+              obs::RunSample sample;
+              sample.replication = rep;
+              sample.time = w.window_end;
+              sample.infected = w.infected;
+              sample.patched = w.patched;
+              sample.messages_blocked = w.messages_blocked;
+              sample.events_executed = w.events_executed;
+              const double elapsed =
+                  std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                      .count();
+              sample.events_per_sec =
+                  elapsed > 0.0 ? static_cast<double>(w.events_executed) / elapsed : 0.0;
+              sample.queue_depth = w.queue_depth;
+              sample.mailbox_sent = w.mailbox_sent;
+              sample.mailbox_received = w.mailbox_received;
+              sample.shards.reserve(w.shards.size());
+              for (std::size_t s = 0; s < w.shards.size(); ++s) {
+                obs::ShardSample per;
+                per.shard = static_cast<std::uint32_t>(s);
+                per.events_executed = w.shards[s].events_executed;
+                per.queue_depth = w.shards[s].queue_depth;
+                per.barrier_wait_ms = w.shards[s].barrier_wait_ms;
+                sample.shards.push_back(per);
+              }
+              stream->write_sample(sample);
+            });
+      }
+      ReplicationResult result;
+      {
+        prof::ScopedPhase phase(profiler.get(), prof::Phase::kRun);
+        result = sim->run();
+      }
+      if (profiler != nullptr) result.metrics.merge(profiler->snapshot());
       result.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
       slots[static_cast<std::size_t>(rep)] = std::move(result);
@@ -152,7 +212,33 @@ void run_worker(const ScenarioConfig& config, const RunnerOptions& options, int 
     }
     {
       prof::ScopedPhase phase(profiler.get(), prof::Phase::kRun);
-      sim->run_until(config.horizon);
+      if (options.stats_stream == nullptr) {
+        sim->run_until(config.horizon);
+      } else {
+        // Stepped run: run_until(a); run_until(b) executes the exact
+        // event sequence of run_until(b), so sampling between steps is
+        // bit-identical to an uninterrupted run (golden-pinned).
+        obs::RunStream* stream = options.stats_stream;
+        SimTime t = SimTime::zero();
+        while (t < config.horizon) {
+          t = min(t + options.stats_period, config.horizon);
+          sim->run_until(t);
+          obs::RunSample sample;
+          sample.replication = rep;
+          sample.time = t;
+          sample.infected = sim->infected_count();
+          sample.patched = sim->patched_infected() + sim->immunized_healthy();
+          sample.messages_blocked = sim->gateway().counters().messages_blocked;
+          sample.events_executed = sim->scheduler().executed_count();
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                  .count();
+          sample.events_per_sec =
+              elapsed > 0.0 ? static_cast<double>(sample.events_executed) / elapsed : 0.0;
+          sample.queue_depth = sim->scheduler().pending_count();
+          stream->write_sample(sample);
+        }
+      }
     }
     ReplicationResult result;
     {
@@ -213,18 +299,12 @@ ExperimentResult run_experiment(const ScenarioConfig& config, const RunnerOption
   if (options.shards == 0) {
     throw std::invalid_argument("run_experiment: shards must be >= 1");
   }
+  if (options.stats_stream != nullptr && !(options.stats_period > SimTime::zero())) {
+    throw std::invalid_argument("run_experiment: stats_period must be positive");
+  }
   if (options.shards > 1) {
     // Checked here, not in the worker: a worker-thread throw cannot be
     // caught by the caller. The sharded engine re-validates anyway.
-    if (options.trace != nullptr) {
-      throw std::invalid_argument(
-          "run_experiment: tracing requires shards == 1 (a trace is a single-scheduler "
-          "microscope; see docs/parallelism.md)");
-    }
-    if (options.profile) {
-      throw std::invalid_argument(
-          "run_experiment: profiling requires shards == 1 (see docs/parallelism.md)");
-    }
     if (config.proximity) {
       throw std::invalid_argument(
           "run_experiment: proximity (Bluetooth) scenarios cannot run sharded — proximity "

@@ -12,6 +12,10 @@
 #include "core/simulation.h"
 #include "stats/aggregate.h"
 
+namespace mvsim::obs {
+class RunStream;
+}
+
 namespace mvsim::core {
 
 struct ExperimentResult {
@@ -129,8 +133,10 @@ struct RunnerOptions {
   /// scheduler and RNG streams, synchronized at window barriers.
   /// Results at >= 2 are a different (equally valid) sample path than
   /// the serial engine's — see docs/parallelism.md for the model and
-  /// the determinism contract. Rejected in combination with `trace`,
-  /// `profile`, and proximity (Bluetooth) scenarios.
+  /// the determinism contract. Composes with `trace` (per-shard buffers
+  /// merged deterministically), `profile` (per-shard profilers merged
+  /// commutatively) and `stats_stream`; only proximity (Bluetooth)
+  /// scenarios are rejected.
   std::uint32_t shards = 1;
   /// Synchronization-window width for sharded runs; zero = the
   /// scenario's delivery_delay_mean. Part of the model (cross-shard
@@ -141,6 +147,17 @@ struct RunnerOptions {
   /// on the worker). Never changes results. Composes multiplicatively
   /// with `threads`: total concurrency ~= threads * shard_workers.
   int shard_workers = 0;
+  /// When non-null, every replication appends time-series telemetry
+  /// samples to this stream (obs::RunStream is thread-safe; records are
+  /// tagged with their replication index). Serial replications sample
+  /// every `stats_period` of simulation time by stepping run_until —
+  /// bit-identical to one uninterrupted run; sharded replications
+  /// sample at the first window barrier at or past each period mark.
+  /// Observation-only. The caller writes the stream header.
+  obs::RunStream* stats_stream = nullptr;
+  /// Simulation-time spacing between stats samples (`mvsim run
+  /// --stats-period MIN`); must be positive when stats_stream is set.
+  SimTime stats_period = SimTime::minutes(30);
   /// When set, called after every completed replication (serialized,
   /// in completion order). Observation-only.
   ProgressReporter progress;

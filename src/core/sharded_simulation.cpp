@@ -9,8 +9,10 @@
 #include <thread>
 
 #include "core/topology_build.h"
+#include "prof/profiler.h"
 #include "response/registry.h"
 #include "rng/seed.h"
+#include "trace/recorder.h"
 
 namespace mvsim::core {
 
@@ -66,12 +68,33 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
     return true;
   }
 
+  /// The shard whose gateway assigned `message`'s sequence number,
+  /// offset into the trace-only id namespace (see kShardMessageStride);
+  /// sentinel ids pass through untouched.
+  [[nodiscard]] std::uint64_t trace_message_id(graph::PhoneId sender,
+                                               std::uint64_t message) const {
+    if (message == net::kInvalidMessageId) return message;
+    return message + owner->partition_->shard_of(sender) * trace::kShardMessageStride;
+  }
+
   // phone::InfectionListener — mirrors Simulation::on_phone_infected
-  // minus the trace/proximity branches the sharded engine rejects.
+  // minus the proximity branch the sharded engine rejects.
   void on_phone_infected(phone::PhoneId id, const phone::InfectionSource& source) override {
-    (void)source;
     ++infected_count;
     infection_times.push_back(scheduler.now());
+    if (trace_buffer) {
+      trace::Event event;
+      event.time = scheduler.now();
+      event.kind = trace::EventKind::kInfection;
+      event.phone = id;
+      event.peer = source.sender;
+      // The carrier message was sequenced by its sender's shard.
+      event.message = source.sender != graph::kInvalidPhoneId
+                          ? trace_message_id(source.sender, source.message)
+                          : source.message;
+      event.detail = phone::to_string(source.channel);
+      trace_buffer->record(std::move(event));
+    }
     context->notify_infection(id, scheduler.now());
 
     const ScenarioConfig& config = owner->config_;
@@ -93,6 +116,13 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
     bool was_patched = owner->phones_->patched(id);
     owner->phones_->apply_patch(id);
     if (was_patched) return;
+    if (trace_buffer) {
+      trace::Event event;
+      event.time = scheduler.now();
+      event.kind = trace::EventKind::kPatchApplied;
+      event.phone = id;
+      trace_buffer->record(std::move(event));
+    }
     context->notify_patch(id, scheduler.now());
     if (was_infected) {
       ++patched_infected;
@@ -123,6 +153,19 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
         msg.infected = d.infected;
         msg.recipients.push_back({d.recipient, true});
         context->on_delivered(d.recipient, msg, scheduler.now());
+        // Cross-shard deliveries bypass this gateway (they arrive via
+        // the mailbox), so the GatewayRecorder never sees them; record
+        // the delivery here, under the ORIGIN shard's message id, so
+        // the merged trace links the hop end-to-end.
+        if (trace_buffer) {
+          trace::Event event;
+          event.time = scheduler.now();
+          event.kind = trace::EventKind::kMessageDelivered;
+          event.phone = d.recipient;
+          event.peer = d.sender;
+          event.message = trace_message_id(d.sender, d.sequence);
+          trace_buffer->record(std::move(event));
+        }
       });
     }
     staged.clear();
@@ -131,6 +174,26 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
       const SimTime at = pending_detect_at;
       scheduler.schedule_at(at, des::EventType::kResponseActivation,
                             [this, at] { context->detector().force_detect(at); });
+    }
+  }
+
+  /// One lockstep window: flush what the coordinator staged, then run
+  /// to the window end. Under --profile the window's wall-clock lands
+  /// in prof.shard.window_us (its spread is the imbalance the barrier
+  /// stalls on).
+  void run_to(SimTime until) {
+    flush_staged();
+    if (profiler) {
+      const auto begin = std::chrono::steady_clock::now();
+      scheduler.run_until(until);
+      window_finished = std::chrono::steady_clock::now();
+      profiler->record_shard_window(
+          std::chrono::duration<double, std::micro>(window_finished - begin).count());
+    } else {
+      scheduler.run_until(until);
+      // The finish stamp feeds the stats stream's per-shard barrier
+      // waits; skip the clock read when nobody consumes it.
+      if (owner->stats_observer_) window_finished = std::chrono::steady_clock::now();
     }
   }
 
@@ -177,6 +240,12 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
   std::unique_ptr<SimulationContext> context;
   std::vector<graph::PhoneId> patch_targets;  ///< owned susceptibles
 
+  // Observability taps, built only when the run asked for them.
+  std::unique_ptr<trace::TraceBuffer> owned_trace;  ///< this shard's slice
+  trace::TraceBuffer* trace_buffer = nullptr;       ///< = owned_trace.get()
+  std::unique_ptr<trace::GatewayRecorder> recorder;
+  std::unique_ptr<prof::Profiler> profiler;
+
   std::vector<SimTime> infection_times;  ///< nondecreasing by construction
   std::uint64_t infected_count = 0;
   std::uint64_t patched_infected = 0;
@@ -188,6 +257,11 @@ struct ShardRuntime final : public net::ShardRouter, public phone::InfectionList
   std::vector<net::CrossShardDelivery> staged;
   bool has_pending_detect = false;
   SimTime pending_detect_at = SimTime::zero();
+
+  /// When this shard finished its last window (written by the owning
+  /// worker inside run_to, read by the coordinator after the barrier —
+  /// the barrier orders the accesses).
+  std::chrono::steady_clock::time_point window_finished{};
 };
 
 }  // namespace detail
@@ -255,6 +329,28 @@ void ShardedSimulation::build_shards(des::QueueImpl des_impl, graph::GraphCache*
               recipient, {msg.sender, msg.sequence, phone::InfectionChannel::kMms});
         });
 
+    if (options_.trace != nullptr) {
+      // Each shard records into a private slice of the requested
+      // capacity; its gateway recorder registers first (before the
+      // context's detector), same ordering contract as the serial
+      // engine, with message ids offset into this shard's namespace.
+      constexpr std::size_t kUnboundedCap = std::numeric_limits<std::size_t>::max();
+      const std::size_t cap =
+          options_.trace->capacity() == kUnboundedCap
+              ? kUnboundedCap
+              : std::max<std::size_t>(1, options_.trace->capacity() / options_.shards);
+      rt->owned_trace = std::make_unique<trace::TraceBuffer>(cap);
+      rt->owned_trace->set_shard(rt->index);
+      rt->trace_buffer = rt->owned_trace.get();
+      rt->recorder = std::make_unique<trace::GatewayRecorder>(
+          *rt->trace_buffer, rt->index * trace::kShardMessageStride);
+      rt->gateway->add_observer(*rt->recorder);
+    }
+    if (options_.profile) {
+      rt->profiler = std::make_unique<prof::Profiler>();
+      rt->scheduler.set_event_timer(rt->profiler.get());
+    }
+
     rt->env.scheduler = &rt->scheduler;
     rt->env.user_stream = &rt->user_stream;
     rt->env.consent = &consent_;
@@ -295,11 +391,13 @@ void ShardedSimulation::build_shards(des::QueueImpl des_impl, graph::GraphCache*
     rt->sending_env.scheduler = &rt->scheduler;
     rt->sending_env.virus_stream = &rt->virus_stream;
     rt->sending_env.gateway = rt->gateway.get();
+    rt->sending_env.trace = rt->trace_buffer;
 
     response::BuildContext build;
     build.scheduler = &rt->scheduler;
     build.response_stream = &rt->response_stream;
     build.patch_targets = &rt->patch_targets;
+    build.trace = rt->trace_buffer;
     build.apply_patch = [rt = rt.get()](net::PhoneId id) { rt->on_patch_applied(id); };
     build.population = config_.population;
     rt->context->attach(*rt->gateway, rt->sending_env, std::move(build));
@@ -338,6 +436,14 @@ void ShardedSimulation::check_detectability(SimTime window_end) {
   if (seen < config_.responses.detectability_threshold) return;
   detectability_dispatched_ = true;
   detected_at_ = window_end;
+  if (options_.trace != nullptr) {
+    // Coordinator-level event: the crossing is a global, barrier-
+    // quantized decision, so it belongs to no shard (kNoShard).
+    trace::Event event;
+    event.time = window_end;
+    event.kind = trace::EventKind::kDetectabilityCrossed;
+    engine_trace_.record(std::move(event));
+  }
   // The crossing executes as an event at the barrier time in every
   // shard, so mechanism reactions (scan activation, immunization
   // development, ...) are ordinary events on the owning scheduler. Like
@@ -353,6 +459,34 @@ std::uint64_t ShardedSimulation::events_executed_total() const {
   std::uint64_t total = 0;
   for (const auto& rt : shards_) total += rt->scheduler.executed_count();
   return total;
+}
+
+ShardedSimulation::ShardWindowSample ShardedSimulation::sample_window(
+    SimTime window_end, double barrier_wait_ms,
+    std::chrono::steady_clock::time_point barrier_release) const {
+  ShardWindowSample sample;
+  sample.window_end = window_end;
+  sample.horizon = config_.horizon;
+  sample.barrier_wait_ms = barrier_wait_ms;
+  sample.mailbox_sent = mailbox_.pushed_total();
+  sample.mailbox_received = mailbox_.drained_total();
+  const bool threaded = barrier_release != std::chrono::steady_clock::time_point{};
+  sample.shards.reserve(shards_.size());
+  for (const auto& rt : shards_) {
+    ShardWindowSample::PerShard per;
+    per.events_executed = rt->scheduler.executed_count();
+    per.queue_depth = rt->scheduler.pending_count();
+    if (threaded) {
+      per.barrier_wait_ms = std::max(0.0, ms_between(rt->window_finished, barrier_release));
+    }
+    sample.events_executed += per.events_executed;
+    sample.queue_depth += per.queue_depth;
+    sample.infected += rt->infected_count;
+    sample.patched += rt->patched_infected + rt->immunized_healthy;
+    sample.messages_blocked += rt->gateway->counters().messages_blocked;
+    sample.shards.push_back(per);
+  }
+  return sample;
 }
 
 bool ShardedSimulation::quiescent() const {
@@ -418,8 +552,7 @@ class WindowPool {
       try {
         for (std::size_t s = static_cast<std::size_t>(j); s < shards_.size();
              s += static_cast<std::size_t>(workers_)) {
-          shards_[s]->flush_staged();
-          shards_[s]->scheduler.run_until(target_);
+          shards_[s]->run_to(target_);
         }
       } catch (...) {
         errors_[static_cast<std::size_t>(j)] = std::current_exception();
@@ -441,10 +574,7 @@ class WindowPool {
 }  // namespace
 
 void ShardedSimulation::advance_shards(SimTime until) {
-  for (auto& rt : shards_) {
-    rt->flush_staged();
-    rt->scheduler.run_until(until);
-  }
+  for (auto& rt : shards_) rt->run_to(until);
 }
 
 ReplicationResult ShardedSimulation::run() {
@@ -458,8 +588,12 @@ ReplicationResult ShardedSimulation::run() {
   SimTime t = SimTime::zero();
   while (t < horizon) {
     const SimTime window_end = min(t + window_, horizon);
+    double waited_ms = 0.0;
+    std::chrono::steady_clock::time_point barrier_release{};
     if (pool) {
-      barrier_wait_ms_.push_back(pool->run_window(window_end));
+      waited_ms = pool->run_window(window_end);
+      barrier_release = std::chrono::steady_clock::now();
+      barrier_wait_ms_.push_back(waited_ms);
     } else {
       advance_shards(window_end);
     }
@@ -470,7 +604,13 @@ ReplicationResult ShardedSimulation::run() {
     if (window_observer_) window_observer_(window_end, horizon, events_executed_total());
     // Dead epidemic: no pending events anywhere and nothing in flight
     // between shards — every later window would be a no-op barrier.
-    if (quiescent()) break;
+    const bool quiet = quiescent();
+    if (stats_observer_) {
+      ShardWindowSample sample = sample_window(window_end, waited_ms, barrier_release);
+      sample.last = quiet || !(window_end < horizon);
+      stats_observer_(sample);
+    }
+    if (quiet) break;
   }
   pool.reset();
 
@@ -559,7 +699,22 @@ ReplicationResult ShardedSimulation::collect() const {
   for (double ms : barrier_wait_ms_) wait_hist.record(ms);
 
   r.metrics = engine.snapshot();
-  for (const auto& rt : shards_) r.metrics.merge(rt->collect_metrics());
+  for (const auto& rt : shards_) {
+    r.metrics.merge(rt->collect_metrics());
+    // Profiler histograms merge commutatively, like any other
+    // instrument — the merged profile is shard-order-independent.
+    if (rt->profiler) r.metrics.merge(rt->profiler->snapshot());
+  }
+
+  if (options_.trace != nullptr) {
+    // Deterministic (time, shard) merge of the per-shard buffers plus
+    // the coordinator's own events; replaces the caller's buffer.
+    std::vector<const trace::TraceBuffer*> buffers;
+    buffers.reserve(shards_.size() + 1);
+    for (const auto& rt : shards_) buffers.push_back(rt->trace_buffer);
+    buffers.push_back(&engine_trace_);
+    *options_.trace = trace::TraceBuffer::merge_shards(buffers);
+  }
   return r;
 }
 

@@ -28,6 +28,7 @@
 // pin sharded curves separately.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -41,6 +42,7 @@
 #include "phone/phone_table.h"
 #include "rng/stream.h"
 #include "stats/time_series.h"
+#include "trace/trace.h"
 
 namespace mvsim::core {
 
@@ -59,6 +61,18 @@ struct ShardingOptions {
   /// OS threads executing the shards (0 = one per shard; 1 = inline
   /// serial execution on the calling thread). Never changes results.
   int worker_threads = 0;
+  /// When non-null, the run records a causal trace into it: each shard
+  /// fills a private buffer (capacity split evenly, trace->capacity()
+  /// / shards each), message ids are namespaced by origin shard
+  /// (trace::kShardMessageStride), and collect() replaces *trace with
+  /// the deterministic (time, shard) merge of all shard buffers.
+  /// Observation-only: results are bit-identical with tracing on or
+  /// off, at any worker count.
+  trace::TraceBuffer* trace = nullptr;
+  /// Attach a prof::Profiler to every shard's scheduler (per-event
+  /// wall-clock, plus the prof.shard.window_us per-window series);
+  /// snapshots merge into the result metrics. Observation-only.
+  bool profile = false;
 };
 
 class ShardedSimulation final {
@@ -68,6 +82,41 @@ class ShardedSimulation final {
   /// events executed so far across all shards.
   using WindowObserver = std::function<void(SimTime window_end, SimTime horizon,
                                             std::uint64_t events)>;
+
+  /// One telemetry sample per window barrier (obs::RunStream feeds on
+  /// these). Counters are cumulative since construction; gauges are
+  /// instantaneous at the barrier.
+  struct ShardWindowSample {
+    SimTime window_end;
+    SimTime horizon;
+    std::uint64_t events_executed = 0;   ///< all shards, cumulative
+    std::uint64_t queue_depth = 0;       ///< pending events, all shards
+    std::uint64_t infected = 0;          ///< phones ever infected (cumulative)
+    std::uint64_t patched = 0;           ///< patched or immunized phones
+    std::uint64_t messages_blocked = 0;  ///< gateway blocks, all shards
+    std::uint64_t mailbox_sent = 0;      ///< cross-shard entries pushed
+    std::uint64_t mailbox_received = 0;  ///< cross-shard entries drained
+    /// Coordinator wait at this window's completion barrier (0 when
+    /// the shards run inline on the calling thread).
+    double barrier_wait_ms = 0.0;
+    /// True on the run's final window — horizon reached or epidemic
+    /// quiescent — so samplers can always emit a closing sample even
+    /// when the run ends before the first period mark.
+    bool last = false;
+    struct PerShard {
+      std::uint64_t events_executed = 0;
+      std::uint64_t queue_depth = 0;
+      /// Wall-clock ms between this shard finishing its window and the
+      /// completion barrier releasing — the shard that waited least is
+      /// the straggler the others stalled on. 0 when shards run inline.
+      double barrier_wait_ms = 0.0;
+    };
+    std::vector<PerShard> shards;  ///< indexed by shard id
+  };
+
+  /// Called at each window barrier, after the mailbox exchange, from
+  /// the coordinating thread. Observation-only by contract.
+  using StatsObserver = std::function<void(const ShardWindowSample&)>;
 
   /// Validates `config` and the sharding options. Scenarios with a
   /// proximity (Bluetooth) channel are rejected: proximity contacts
@@ -83,6 +132,7 @@ class ShardedSimulation final {
   ShardedSimulation& operator=(const ShardedSimulation&) = delete;
 
   void set_window_observer(WindowObserver observer) { window_observer_ = std::move(observer); }
+  void set_stats_observer(StatsObserver observer) { stats_observer_ = std::move(observer); }
 
   /// Runs the window loop to the horizon and returns the merged
   /// result. May be called once.
@@ -108,6 +158,12 @@ class ShardedSimulation final {
   void check_detectability(SimTime window_end);
   [[nodiscard]] std::uint64_t events_executed_total() const;
   [[nodiscard]] bool quiescent() const;
+  /// Builds the barrier-time telemetry sample for the stats observer.
+  /// `barrier_release` is when the completion barrier opened (a default
+  /// time_point in inline mode, zeroing the per-shard waits).
+  [[nodiscard]] ShardWindowSample sample_window(
+      SimTime window_end, double barrier_wait_ms,
+      std::chrono::steady_clock::time_point barrier_release) const;
   /// Runs every shard (inline or via the worker pool) to `until`.
   void advance_shards(SimTime until);
   [[nodiscard]] ReplicationResult collect() const;
@@ -136,6 +192,11 @@ class ShardedSimulation final {
   SimTime detected_at_ = SimTime::infinity();
 
   WindowObserver window_observer_;
+  StatsObserver stats_observer_;
+
+  // Coordinator-level trace events (the detectability crossing); shard
+  // kNoShard, merged after the per-shard buffers at collect().
+  trace::TraceBuffer engine_trace_{1};
 
   // Engine-level telemetry (merged on top of the per-shard registries).
   std::uint64_t windows_stepped_ = 0;

@@ -114,6 +114,10 @@ class Simulation final : private phone::InfectionListener {
 
   [[nodiscard]] SimTime now() const { return scheduler_.now(); }
   [[nodiscard]] std::uint64_t infected_count() const { return infected_count_; }
+  /// Infected phones silenced by a patch so far.
+  [[nodiscard]] std::uint64_t patched_infected() const { return patched_infected_; }
+  /// Healthy phones immunized so far.
+  [[nodiscard]] std::uint64_t immunized_healthy() const { return immunized_healthy_; }
   [[nodiscard]] const graph::ContactGraph& contact_graph() const { return *graph_; }
   /// The struct-of-arrays population state (health, susceptibility,
   /// inbox counts), indexed by PhoneId.

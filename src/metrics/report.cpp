@@ -109,6 +109,9 @@ constexpr MetricDescriptor kSchema[] = {
     {"prof.phase.run_ms", MetricKind::kHistogram, "ms", "prof",
      "Per-replication wall-clock of the event loop (run to horizon). Emitted only under "
      "--profile.", true},
+    {"prof.shard.window_us", MetricKind::kHistogram, "us", "prof",
+     "Per-shard wall-clock of each lockstep window under --shards (window imbalance = "
+     "barrier stall). Emitted only under --profile; zero-count in serial runs.", true},
     {"response.blacklist.phones_blacklisted", MetricKind::kCounter, "phones", "response",
      "Phones whose MMS service the blacklist cut off. Emitted when blacklist is enabled."},
     {"response.gateway_detection.activations", MetricKind::kCounter, "activations", "response",

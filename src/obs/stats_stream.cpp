@@ -1,0 +1,79 @@
+#include "obs/stats_stream.h"
+
+#include <ostream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace mvsim::obs {
+
+const std::vector<std::string>& RunStream::sample_fields() {
+  static const std::vector<std::string> kFields = {
+      "type",   "rep",          "t_min",         "infected", "patched",
+      "blocked", "events",      "events_per_sec", "queue",    "mailbox_sent",
+      "mailbox_received", "shards"};
+  return kFields;
+}
+
+const std::vector<std::string>& RunStream::shard_fields() {
+  static const std::vector<std::string> kFields = {"shard", "events", "queue",
+                                                   "barrier_wait_ms"};
+  return kFields;
+}
+
+void RunStream::write_header(const std::string& scenario, int replications,
+                             std::uint32_t shards) {
+  json::Object header;
+  header.set("type", json::Value("mvsim-stats"));
+  header.set("version", json::Value(kVersion));
+  header.set("scenario", json::Value(scenario));
+  header.set("replications", json::Value(replications));
+  header.set("shards", json::Value(shards));
+  json::Array fields;
+  for (const std::string& field : sample_fields()) fields.push_back(json::Value(field));
+  header.set("fields", json::Value(std::move(fields)));
+  json::Array shard_field_names;
+  for (const std::string& field : shard_fields()) {
+    shard_field_names.push_back(json::Value(field));
+  }
+  header.set("shard_fields", json::Value(std::move(shard_field_names)));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << json::stringify(json::Value(std::move(header)), 0) << '\n';
+  out_->flush();
+}
+
+void RunStream::write_sample(const RunSample& sample) {
+  // Every sample record carries every schema field — serial runs emit
+  // zero mailboxes and an empty shards array rather than omitting the
+  // keys, so consumers parse one shape regardless of engine.
+  json::Object record;
+  record.set("type", json::Value("sample"));
+  record.set("rep", json::Value(sample.replication));
+  record.set("t_min", json::Value(sample.time.to_minutes()));
+  record.set("infected", json::Value(sample.infected));
+  record.set("patched", json::Value(sample.patched));
+  record.set("blocked", json::Value(sample.messages_blocked));
+  record.set("events", json::Value(sample.events_executed));
+  record.set("events_per_sec", json::Value(sample.events_per_sec));
+  record.set("queue", json::Value(sample.queue_depth));
+  record.set("mailbox_sent", json::Value(sample.mailbox_sent));
+  record.set("mailbox_received", json::Value(sample.mailbox_received));
+  json::Array shards;
+  for (const ShardSample& shard : sample.shards) {
+    json::Object entry;
+    entry.set("shard", json::Value(shard.shard));
+    entry.set("events", json::Value(shard.events_executed));
+    entry.set("queue", json::Value(shard.queue_depth));
+    entry.set("barrier_wait_ms", json::Value(shard.barrier_wait_ms));
+    shards.push_back(json::Value(std::move(entry)));
+  }
+  record.set("shards", json::Value(std::move(shards)));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << json::stringify(json::Value(std::move(record)), 0) << '\n';
+  out_->flush();
+  ++samples_written_;
+}
+
+}  // namespace mvsim::obs

@@ -114,6 +114,16 @@ json::Value profile_to_json(const metrics::ReportInfo& info,
   }
   root.set("phases", json::Value(std::move(phases)));
 
+  // Sharded runs only: the per-shard lockstep-window distribution. A
+  // serial profile's histogram exists but is empty — omit it there.
+  if (const metrics::HistogramSample* shard_windows =
+          snapshot.find_histogram("prof.shard.window_us");
+      shard_windows != nullptr && shard_windows->count > 0) {
+    json::Object entry;
+    set_histogram_summary(entry, *shard_windows, "us");
+    root.set("shard_windows", json::Value(std::move(entry)));
+  }
+
   json::Array events;
   for (const EventRow& row : rows) {
     const metrics::HistogramSample& h = *row.histogram;
@@ -168,6 +178,21 @@ void write_profile_report(const json::Value& profile, std::ostream& out, int top
                     number_or_zero(phase, "mean_ms"));
       out << line;
     }
+  }
+
+  if (const json::Value* shard_windows = root.find("shard_windows");
+      shard_windows != nullptr && shard_windows->is_object()) {
+    const json::Object& windows = shard_windows->as_object();
+    const double mean = number_or_zero(windows, "mean_us");
+    const double max = number_or_zero(windows, "max_us");
+    out << "-- shard windows (per-shard lockstep window wall-clock) --\n";
+    char line[200];
+    std::snprintf(line, sizeof line,
+                  "  %10.0f windows, %8.2f us p50, %8.2f us p90, %8.2f us max, "
+                  "imbalance %.2fx\n",
+                  number_or_zero(windows, "count"), number_or_zero(windows, "p50_us"),
+                  number_or_zero(windows, "p90_us"), max, mean > 0.0 ? max / mean : 0.0);
+    out << line;
   }
 
   const json::Array& events = root.at("events").as_array();

@@ -12,6 +12,8 @@
 //     "replication_wall_ms": <sum over replications>,
 //     "event_wall_ms": <sum over event types>,
 //     "phases": { "<name>": {count,total_ms,mean_ms,p50_ms,p90_ms,max_ms} },
+//     "shard_windows": {count,total_us,mean_us,p50_us,p90_us,max_us},
+//        (sharded runs only; omitted when no shard windows were timed)
 //     "events": [ {"name","count","total_ms","mean_us","p50_us",
 //                  "p90_us","max_us","share"} ... sorted by total desc ] }
 #pragma once

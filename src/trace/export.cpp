@@ -62,6 +62,7 @@ json::Object event_fields(const Event& event) {
     fields.set("msg", json::Value(static_cast<double>(event.message)));
   }
   if (event.value != 0) fields.set("value", json::Value(event.value));
+  if (event.shard != kNoShard) fields.set("shard", json::Value(event.shard));
   if (!event.detail.empty()) fields.set("detail", json::Value(event.detail));
   return fields;
 }
@@ -89,6 +90,9 @@ Event event_from_fields(const json::Object& fields, const char* where) {
   }
   if (const json::Value* v = fields.find("value")) {
     event.value = static_cast<std::uint32_t>(v->as_number());
+  }
+  if (const json::Value* v = fields.find("shard")) {
+    event.shard = static_cast<std::uint32_t>(v->as_number());
   }
   if (const json::Value* v = fields.find("detail")) event.detail = v->as_string();
   return event;

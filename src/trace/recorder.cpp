@@ -19,12 +19,15 @@ Event message_event(EventKind kind, const net::MmsMessage& message, SimTime now)
 }  // namespace
 
 void GatewayRecorder::on_submitted(const net::MmsMessage& message, SimTime now) {
-  buffer_->record(message_event(EventKind::kMessageSent, message, now));
+  Event event = message_event(EventKind::kMessageSent, message, now);
+  event.message += message_id_base_;
+  buffer_->record(std::move(event));
 }
 
 void GatewayRecorder::on_blocked(const net::MmsMessage& message, const char* blocked_by,
                                  SimTime now) {
   Event event = message_event(EventKind::kMessageBlocked, message, now);
+  event.message += message_id_base_;
   event.detail = blocked_by;
   buffer_->record(std::move(event));
 }
@@ -36,7 +39,7 @@ void GatewayRecorder::on_delivered(net::PhoneId recipient, const net::MmsMessage
   event.kind = EventKind::kMessageDelivered;
   event.phone = recipient;
   event.peer = message.sender;
-  event.message = message.sequence;
+  event.message = message.sequence + message_id_base_;
   buffer_->record(std::move(event));
 }
 

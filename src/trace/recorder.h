@@ -13,7 +13,12 @@ namespace mvsim::trace {
 
 class GatewayRecorder final : public net::GatewayObserver {
  public:
-  explicit GatewayRecorder(TraceBuffer& buffer) : buffer_(&buffer) {}
+  /// `message_id_base` is added to every recorded message sequence —
+  /// 0 for the serial engine; shard * kShardMessageStride for a shard's
+  /// gateway, so merged sharded traces carry globally unique message
+  /// ids (every message a gateway observes was submitted locally).
+  explicit GatewayRecorder(TraceBuffer& buffer, std::uint64_t message_id_base = 0)
+      : buffer_(&buffer), message_id_base_(message_id_base) {}
 
   void on_submitted(const net::MmsMessage& message, SimTime now) override;
   void on_blocked(const net::MmsMessage& message, const char* blocked_by, SimTime now) override;
@@ -22,6 +27,7 @@ class GatewayRecorder final : public net::GatewayObserver {
 
  private:
   TraceBuffer* buffer_;
+  std::uint64_t message_id_base_;
 };
 
 }  // namespace mvsim::trace

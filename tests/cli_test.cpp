@@ -298,16 +298,64 @@ TEST(Cli, RunRejectsBadShardFlags) {
   std::remove(path.c_str());
 }
 
-TEST(Cli, RunShardsRejectsTraceAndProfile) {
-  // A trace is a single-scheduler microscope; profiling instruments the
-  // serial hot path. Both are incompatible with sharded execution.
+TEST(Cli, RunShardsComposesWithTraceProfileAndStatsStream) {
+  // The full shard observability stack in one invocation: merged
+  // shard-stamped trace, merged profile with the shard-window series,
+  // and an NDJSON stats stream — all from the same run.
+  std::string scenario_path = write_small_scenario();
+  std::string trace_path = ::testing::TempDir() + "/mvsim_cli_shard_trace.jsonl";
+  std::string profile_path = ::testing::TempDir() + "/mvsim_cli_shard_profile.json";
+  std::string stats_path = ::testing::TempDir() + "/mvsim_cli_shard_stats.ndjson";
+  CliResult r = invoke({"run", scenario_path, "--reps", "2", "--quiet", "--shards", "2",
+                        "--trace", trace_path, "--profile", profile_path, "--stats-stream",
+                        stats_path, "--stats-period", "60"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::ifstream trace_file(trace_path);
+  ASSERT_TRUE(trace_file.good());
+  std::ostringstream trace_text;
+  trace_text << trace_file.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"type\":\"mvsim-trace\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("\"shard\":"), std::string::npos)
+      << "sharded trace events must carry their shard";
+  CliResult analyzed = invoke({"trace-analyze", trace_path});
+  ASSERT_EQ(analyzed.code, 0) << analyzed.err;
+  EXPECT_NE(analyzed.out.find("shard 0:"), std::string::npos) << analyzed.out;
+  EXPECT_NE(analyzed.out.find("cross-shard deliveries:"), std::string::npos);
+
+  std::ifstream profile_file(profile_path);
+  ASSERT_TRUE(profile_file.good());
+  std::ostringstream profile_text;
+  profile_text << profile_file.rdbuf();
+  json::Value profile_doc = json::parse(profile_text.str());
+  EXPECT_NE(profile_doc.as_object().find("shard_windows"), nullptr)
+      << "sharded profiles must carry the per-window straggler summary";
+
+  std::ifstream stats_file(stats_path);
+  ASSERT_TRUE(stats_file.good());
+  std::string header_line;
+  std::getline(stats_file, header_line);
+  EXPECT_NE(header_line.find("\"type\":\"mvsim-stats\""), std::string::npos) << header_line;
+  std::string sample_line;
+  std::getline(stats_file, sample_line);
+  EXPECT_NE(sample_line.find("\"barrier_wait_ms\":"), std::string::npos) << sample_line;
+
+  std::remove(scenario_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(profile_path.c_str());
+  std::remove(stats_path.c_str());
+}
+
+TEST(Cli, RunStatsStreamOnStdoutAndBadFlags) {
   std::string path = write_small_scenario();
-  CliResult traced = invoke({"run", path, "--shards", "2", "--trace", "-"});
-  EXPECT_EQ(traced.code, 1);
-  EXPECT_NE(traced.err.find("--shards 1"), std::string::npos);
-  CliResult profiled = invoke({"run", path, "--shards", "2", "--profile", "-"});
-  EXPECT_EQ(profiled.code, 1);
-  EXPECT_NE(profiled.err.find("--shards 1"), std::string::npos);
+  CliResult r = invoke({"run", path, "--reps", "1", "--quiet", "--stats-stream", "-",
+                        "--stats-period", "120"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"type\":\"mvsim-stats\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"type\":\"sample\""), std::string::npos);
+  EXPECT_EQ(invoke({"run", path, "--stats-stream"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--stats-stream", "-", "--stats-period", "0"}).code, 1);
+  EXPECT_EQ(invoke({"run", path, "--stats-stream", "-", "--stats-period", "soon"}).code, 1);
   std::remove(path.c_str());
 }
 
@@ -316,6 +364,10 @@ TEST(Cli, UsageMentionsShards) {
   EXPECT_NE(r.out.find("--shards"), std::string::npos);
   EXPECT_NE(r.out.find("--shard-window"), std::string::npos);
   EXPECT_NE(r.out.find("--shard-workers"), std::string::npos);
+  EXPECT_NE(r.out.find("--stats-stream"), std::string::npos);
+  EXPECT_NE(r.out.find("--stats-period"), std::string::npos);
+  EXPECT_EQ(r.out.find("not combinable with --trace"), std::string::npos)
+      << "usage must not claim --shards rejects the observability flags";
 }
 
 TEST(Cli, RunEmitsMetricsJsonToStdout) {
@@ -492,8 +544,8 @@ TEST(Cli, RunProgressTicksOnStderr) {
 TEST(Cli, RunReportsUnwritableOutputPaths) {
   std::string path = write_small_scenario();
   const char* kUnwritable = "/no/such/dir/mvsim_out.json";
-  for (const char* flag :
-       {"--metrics", "--trace", "--profile", "--curve-csv", "--summary-json"}) {
+  for (const char* flag : {"--metrics", "--trace", "--profile", "--curve-csv", "--summary-json",
+                           "--stats-stream"}) {
     CliResult r = invoke({"run", path, "--reps", "1", "--quiet", flag, kUnwritable});
     EXPECT_EQ(r.code, 2) << flag;
     EXPECT_NE(r.err.find("cannot write"), std::string::npos) << flag << ": " << r.err;

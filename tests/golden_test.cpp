@@ -19,11 +19,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "core/presets.h"
 #include "core/runner.h"
 #include "metrics/registry.h"
+#include "obs/stats_stream.h"
 #include "trace/trace.h"
 
 namespace mvsim::core {
@@ -295,6 +297,60 @@ TEST(GoldenResults, PresetCurvesUnperturbedByProfilingAndProgress) {
           result.metrics.find_histogram("prof.phase.run_ms");
       ASSERT_NE(run_phase, nullptr) << golden.name << ": no profile data in merged metrics";
       EXPECT_EQ(run_phase->count, static_cast<std::uint64_t>(kReplications));
+    }
+  }
+}
+
+// The stats stream and shard-aware trace/profile are observation-only
+// like tracing and profiling: a serial run streaming telemetry samples
+// (which steps run_until instead of running uninterrupted) must match
+// the pinned serial hashes at any thread count, and a sharded run with
+// the full observability stack attached (--trace + --profile +
+// --stats-stream) must still land on the pinned sharded hashes.
+TEST(GoldenResults, PresetCurvesUnperturbedByStreamAndShardTrace) {
+  for (const GoldenCase& golden : kCases) {
+    for (int threads : {1, 4}) {
+      std::ostringstream sink;
+      obs::RunStream stream(sink);
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = threads;
+      options.stats_stream = &stream;
+      options.stats_period = SimTime::hours(6.0);
+      std::uint64_t digest = hash_result(run_experiment(golden.make(), options));
+      EXPECT_EQ(digest, case_hash(golden, 1))
+          << golden.name << " @" << threads << " threads: the stats stream perturbed the results";
+      EXPECT_GT(stream.samples_written(), 0u) << golden.name << ": stream stayed empty";
+    }
+  }
+
+  for (const ShardedGoldenCase& sharded : kShardedCases) {
+    const GoldenCase* golden = find_case(sharded.name);
+    ASSERT_NE(golden, nullptr) << sharded.name;
+    for (std::uint32_t shards : {2u, 4u}) {
+      trace::TraceBuffer buffer;
+      std::ostringstream sink;
+      obs::RunStream stream(sink);
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = 1;
+      options.shards = shards;
+      options.shard_workers = 1;
+      options.trace = &buffer;
+      options.trace_replication = 1;
+      options.profile = true;
+      options.stats_stream = &stream;
+      options.stats_period = SimTime::hours(6.0);
+      std::uint64_t digest = hash_result(run_experiment(golden->make(), options));
+      EXPECT_EQ(digest, shards == 2 ? sharded.expected_at_2 : sharded.expected_at_4)
+          << sharded.name << " @" << shards
+          << " shards: shard-aware observability perturbed the results";
+      EXPECT_GT(buffer.events().size(), 0u) << sharded.name << ": merged shard trace was empty";
+      EXPECT_GT(stream.samples_written(), 0u) << sharded.name << ": stream stayed empty";
     }
   }
 }

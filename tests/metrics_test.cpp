@@ -285,10 +285,11 @@ std::set<std::string> emitted_names(const Snapshot& snapshot) {
 }
 
 TEST(MetricsEndToEnd, FullSuiteRunEmitsExactlyTheSchemaCatalogue) {
-  // No single run can emit the whole catalogue: prof.* requires
-  // --profile, which the sharded engine rejects, and shard.* requires
-  // shards >= 2. The union of a serial-profiled run and a sharded run
-  // covers it, and each run must emit only schema names.
+  // No single run can emit the whole catalogue: shard.* requires
+  // shards >= 2, while the serial engine covers the Bluetooth-capable
+  // paths a sharded run rejects. The union of a serial-profiled run
+  // and a sharded-profiled run covers it, and each run must emit only
+  // schema names.
   core::RunnerOptions options;
   options.replications = 2;
   options.threads = 1;
@@ -301,6 +302,8 @@ TEST(MetricsEndToEnd, FullSuiteRunEmitsExactlyTheSchemaCatalogue) {
   sharded_options.replications = 2;
   sharded_options.threads = 1;
   sharded_options.shards = 2;
+  // Sharded profiling additionally fills prof.shard.window_us.
+  sharded_options.profile = true;
   core::ExperimentResult sharded = core::run_experiment(full_suite_scenario(), sharded_options);
 
   std::set<std::string> expected;

@@ -1,0 +1,188 @@
+// Tests for src/obs: the NDJSON stats stream — header schema, sample
+// records, thread-safety of interleaved writers, and the three-way
+// contract between RunStream::sample_fields(), the keys an emitted
+// record actually carries, and the field table in
+// docs/observability.md.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/stats_stream.h"
+#include "util/json.h"
+
+namespace mvsim::obs {
+namespace {
+
+RunSample sharded_sample() {
+  RunSample sample;
+  sample.replication = 3;
+  sample.time = SimTime::minutes(90.0);
+  sample.infected = 17;
+  sample.patched = 4;
+  sample.messages_blocked = 9;
+  sample.events_executed = 1234;
+  sample.events_per_sec = 5000.5;
+  sample.queue_depth = 42;
+  sample.mailbox_sent = 11;
+  sample.mailbox_received = 10;
+  ShardSample shard0;
+  shard0.shard = 0;
+  shard0.events_executed = 700;
+  shard0.queue_depth = 30;
+  shard0.barrier_wait_ms = 0.25;
+  ShardSample shard1;
+  shard1.shard = 1;
+  shard1.events_executed = 534;
+  shard1.queue_depth = 12;
+  shard1.barrier_wait_ms = 0.0;
+  sample.shards = {shard0, shard1};
+  return sample;
+}
+
+std::vector<std::string> object_keys(const json::Object& object) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : object.entries()) keys.push_back(key);
+  return keys;
+}
+
+TEST(RunStreamTest, HeaderCarriesSchemaVersionAndFieldLists) {
+  std::ostringstream out;
+  RunStream stream(out);
+  stream.write_header("unit-scenario", 8, 4);
+  json::Value doc = json::parse(out.str());
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(root.at("type").as_string(), "mvsim-stats");
+  EXPECT_EQ(root.at("version").as_number(), static_cast<double>(RunStream::kVersion));
+  EXPECT_EQ(root.at("scenario").as_string(), "unit-scenario");
+  EXPECT_EQ(root.at("replications").as_number(), 8.0);
+  EXPECT_EQ(root.at("shards").as_number(), 4.0);
+  const json::Array& fields = root.at("fields").as_array();
+  ASSERT_EQ(fields.size(), RunStream::sample_fields().size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(fields[i].as_string(), RunStream::sample_fields()[i]);
+  }
+  const json::Array& shard_fields = root.at("shard_fields").as_array();
+  ASSERT_EQ(shard_fields.size(), RunStream::shard_fields().size());
+  for (std::size_t i = 0; i < shard_fields.size(); ++i) {
+    EXPECT_EQ(shard_fields[i].as_string(), RunStream::shard_fields()[i]);
+  }
+}
+
+TEST(RunStreamTest, SampleRecordKeysMatchTheDeclaredSchemaExactly) {
+  // The contract's first two legs: every emitted sample carries exactly
+  // sample_fields(), in order, and every shard entry exactly
+  // shard_fields() — serial samples included (empty shards array, zero
+  // mailboxes), so consumers never need per-engine parsing.
+  std::ostringstream out;
+  RunStream stream(out);
+  stream.write_sample(sharded_sample());
+  RunSample serial;
+  serial.replication = 0;
+  serial.time = SimTime::minutes(30.0);
+  stream.write_sample(serial);
+  EXPECT_EQ(stream.samples_written(), 2u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    json::Value doc = json::parse(line);
+    const json::Object& record = doc.as_object();
+    EXPECT_EQ(object_keys(record), RunStream::sample_fields()) << line;
+    EXPECT_EQ(record.at("type").as_string(), "sample");
+    for (const json::Value& entry : record.at("shards").as_array()) {
+      EXPECT_EQ(object_keys(entry.as_object()), RunStream::shard_fields()) << line;
+    }
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, 2);
+}
+
+TEST(RunStreamTest, ShardedSampleValuesRoundTrip) {
+  std::ostringstream out;
+  RunStream stream(out);
+  stream.write_sample(sharded_sample());
+  json::Value doc = json::parse(out.str());
+  const json::Object& record = doc.as_object();
+  EXPECT_EQ(record.at("rep").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(record.at("t_min").as_number(), 90.0);
+  EXPECT_EQ(record.at("infected").as_number(), 17.0);
+  EXPECT_EQ(record.at("patched").as_number(), 4.0);
+  EXPECT_EQ(record.at("blocked").as_number(), 9.0);
+  EXPECT_EQ(record.at("events").as_number(), 1234.0);
+  EXPECT_DOUBLE_EQ(record.at("events_per_sec").as_number(), 5000.5);
+  EXPECT_EQ(record.at("queue").as_number(), 42.0);
+  EXPECT_EQ(record.at("mailbox_sent").as_number(), 11.0);
+  EXPECT_EQ(record.at("mailbox_received").as_number(), 10.0);
+  const json::Array& shards = record.at("shards").as_array();
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].as_object().at("shard").as_number(), 0.0);
+  EXPECT_EQ(shards[0].as_object().at("events").as_number(), 700.0);
+  EXPECT_DOUBLE_EQ(shards[0].as_object().at("barrier_wait_ms").as_number(), 0.25);
+  EXPECT_EQ(shards[1].as_object().at("queue").as_number(), 12.0);
+}
+
+TEST(RunStreamTest, ConcurrentWritersInterleaveWholeLines) {
+  // Replications on parallel workers share one stream; the mutex must
+  // keep every line intact (parseable, correct schema) under load.
+  std::ostringstream out;
+  RunStream stream(out);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&stream, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RunSample sample;
+        sample.replication = t;
+        sample.time = SimTime::minutes(static_cast<double>(i));
+        stream.write_sample(sample);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(stream.samples_written(), static_cast<std::uint64_t>(kThreads * kPerThread));
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int parsed = 0;
+  while (std::getline(lines, line)) {
+    json::Value doc = json::parse(line);
+    EXPECT_EQ(object_keys(doc.as_object()), RunStream::sample_fields());
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, kThreads * kPerThread);
+}
+
+// The contract's third leg: every field the stream emits is documented
+// (backticked) in docs/observability.md, so the docs, the header's
+// "fields" array and the records can never drift apart silently.
+TEST(RunStreamDocs, EveryStreamFieldIsDocumented) {
+#ifndef MVSIM_SOURCE_DIR
+  GTEST_SKIP() << "MVSIM_SOURCE_DIR not defined";
+#else
+  std::ifstream file(std::string(MVSIM_SOURCE_DIR) + "/docs/observability.md");
+  ASSERT_TRUE(file.is_open()) << "docs/observability.md missing";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string doc = buffer.str();
+  for (const std::string& field : RunStream::sample_fields()) {
+    EXPECT_NE(doc.find("`" + field + "`"), std::string::npos)
+        << field << " is in RunStream::sample_fields() but not documented";
+  }
+  for (const std::string& field : RunStream::shard_fields()) {
+    EXPECT_NE(doc.find("`" + field + "`"), std::string::npos)
+        << field << " is in RunStream::shard_fields() but not documented";
+  }
+  EXPECT_NE(doc.find("\"type\":\"mvsim-stats\""), std::string::npos)
+      << "the docs must show the header record";
+#endif
+}
+
+}  // namespace
+}  // namespace mvsim::obs

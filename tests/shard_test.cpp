@@ -8,7 +8,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/presets.h"
@@ -16,8 +18,11 @@
 #include "core/sharded_simulation.h"
 #include "graph/generators.h"
 #include "graph/partition.h"
+#include "metrics/registry.h"
 #include "net/shard_mailbox.h"
+#include "obs/stats_stream.h"
 #include "rng/stream.h"
+#include "trace/export.h"
 #include "trace/trace.h"
 #include "virus/profile.h"
 
@@ -272,20 +277,11 @@ TEST(ShardedRunner, ExperimentMatchesAcrossReplicationThreadCounts) {
   }
 }
 
-TEST(ShardedRunner, RejectsTraceProfileProximityAndBadShardCounts) {
+TEST(ShardedRunner, RejectsProximityAndBadShardCounts) {
   core::ScenarioConfig config = small_scenario();
   core::RunnerOptions options;
   options.replications = 1;
   options.shards = 2;
-
-  trace::TraceBuffer buffer;
-  core::RunnerOptions with_trace = options;
-  with_trace.trace = &buffer;
-  EXPECT_THROW(core::run_experiment(config, with_trace), std::invalid_argument);
-
-  core::RunnerOptions with_profile = options;
-  with_profile.profile = true;
-  EXPECT_THROW(core::run_experiment(config, with_profile), std::invalid_argument);
 
   core::ScenarioConfig proximity_config = config;
   proximity_config.proximity = core::ProximityChannelConfig{};
@@ -298,6 +294,116 @@ TEST(ShardedRunner, RejectsTraceProfileProximityAndBadShardCounts) {
   core::RunnerOptions too_many = options;
   too_many.shards = config.population + 1;
   EXPECT_THROW(core::run_experiment(config, too_many), std::invalid_argument);
+}
+
+// ---- Shard-aware observability ------------------------------------------
+
+std::string sharded_trace_jsonl(const core::ScenarioConfig& config, std::uint32_t shards,
+                                int workers) {
+  trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
+  core::ShardingOptions options;
+  options.shards = shards;
+  options.worker_threads = workers;
+  options.trace = &buffer;
+  core::ShardedSimulation sim(config, 0x5eedULL, options);
+  (void)sim.run();
+  std::ostringstream out;
+  trace::write_jsonl(buffer, out);
+  return out.str();
+}
+
+TEST(ShardedTrace, MergedTraceIsByteIdenticalForAnyWorkerCount) {
+  // The merge contract: per-shard buffers are worker-count-invariant
+  // and the (time, shard) merge is a total order, so the merged JSONL
+  // is byte-identical whether shards run inline, on two workers or one
+  // thread per shard.
+  core::ScenarioConfig config = small_scenario();
+  std::string inline_trace = sharded_trace_jsonl(config, 3, 1);
+  EXPECT_FALSE(inline_trace.empty());
+  EXPECT_EQ(inline_trace, sharded_trace_jsonl(config, 3, 2));
+  EXPECT_EQ(inline_trace, sharded_trace_jsonl(config, 3, 0));
+}
+
+TEST(ShardedTrace, EventsCarryShardsAndNamespacedMessageIds) {
+  core::ScenarioConfig config = small_scenario();
+  trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
+  core::ShardingOptions options;
+  options.shards = 4;
+  options.worker_threads = 1;
+  options.trace = &buffer;
+  core::ShardedSimulation sim(config, 0x5eedULL, options);
+  core::ReplicationResult result = sim.run();
+  ASSERT_GT(result.total_infected, 1u);
+
+  const graph::Partition& partition = sim.partition();
+  std::uint64_t cross_shard_deliveries = 0;
+  SimTime last = SimTime::zero();
+  for (const trace::Event& e : buffer.events()) {
+    ASSERT_GE(e.time, last) << "merged trace must be time-ordered";
+    last = e.time;
+    if (e.phone != trace::kInvalidPhoneId) {
+      ASSERT_NE(e.shard, trace::kNoShard);
+      EXPECT_EQ(e.shard, partition.shard_of(e.phone))
+          << "phone " << e.phone << " recorded by the wrong shard";
+    }
+    if (e.message == trace::kInvalidMessageId) continue;
+    // Message ids are namespaced by origin shard; a delivery recorded
+    // on a different shard than the id's origin is a cross-shard hop.
+    const std::uint64_t origin = e.message / trace::kShardMessageStride;
+    EXPECT_LT(origin, 4u);
+    if (e.kind == trace::EventKind::kMessageSent) {
+      EXPECT_EQ(origin, e.shard) << "senders submit through their own shard's gateway";
+    }
+    if (e.kind == trace::EventKind::kMessageDelivered && origin != e.shard) {
+      ++cross_shard_deliveries;
+    }
+  }
+  // Every executed cross-shard delivery surfaces in the trace; the
+  // mailbox count may run slightly ahead because entries drained at the
+  // last barrier with a delivery time past the horizon never execute.
+  EXPECT_GT(cross_shard_deliveries, 0u);
+  EXPECT_LE(cross_shard_deliveries, result.metrics.counter_value("shard.mailbox.received"));
+}
+
+TEST(ShardedRunner, ComposesTraceProfileAndStatsStreamWithoutPerturbingResults) {
+  // The observability tentpole's composition clause: --shards with
+  // trace + profile + stats stream all at once must run, populate each
+  // sink, and leave the results bit-identical to a bare run.
+  core::ScenarioConfig config = small_scenario();
+  core::RunnerOptions bare;
+  bare.replications = 2;
+  bare.master_seed = 0x90147ULL;
+  bare.shards = 2;
+  bare.shard_workers = 1;
+  core::ExperimentResult plain = core::run_experiment(config, bare);
+
+  trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
+  std::ostringstream stream_text;
+  obs::RunStream stream(stream_text);
+  stream.write_header(config.name, 2, 2);
+  core::RunnerOptions observed = bare;
+  observed.trace = &buffer;
+  observed.trace_replication = 1;
+  observed.profile = true;
+  observed.stats_stream = &stream;
+  observed.stats_period = SimTime::minutes(60.0);
+  core::ExperimentResult instrumented = core::run_experiment(config, observed);
+
+  ASSERT_EQ(plain.replications.size(), instrumented.replications.size());
+  for (std::size_t i = 0; i < plain.replications.size(); ++i) {
+    EXPECT_EQ(fingerprint(plain.replications[i]), fingerprint(instrumented.replications[i]));
+  }
+  EXPECT_GT(buffer.events().size(), 0u);
+  EXPECT_GT(stream.samples_written(), 0u);
+  const metrics::HistogramSample* windows =
+      instrumented.metrics.find_histogram("prof.shard.window_us");
+  ASSERT_NE(windows, nullptr);
+  EXPECT_GT(windows->count, 0u)
+      << "sharded profiling must fill the per-window straggler histogram";
+  const metrics::HistogramSample* delivery =
+      instrumented.metrics.find_histogram("prof.event.message_delivery");
+  ASSERT_NE(delivery, nullptr);
+  EXPECT_GT(delivery->count, 0u);
 }
 
 TEST(ShardedRunner, WindowProgressTicksCarryFractionAndShards) {

@@ -79,9 +79,9 @@ TEST(TraceBufferTest, CsvExport) {
   std::ostringstream out;
   buffer.write_csv(out);
   EXPECT_EQ(out.str(),
-            "hours,kind,phone,peer,message,value,detail\n"
-            "1,infection,7,3,12,0,mms\n"
-            "2,detected,,,,0,\n");
+            "hours,kind,phone,peer,message,value,detail,shard\n"
+            "1,infection,7,3,12,0,mms,\n"
+            "2,detected,,,,0,,\n");
 }
 
 TEST(TraceBufferTest, BoundedCaptureDropsAndCounts) {
@@ -100,6 +100,56 @@ TEST(TraceBufferTest, BoundedCaptureDropsAndCounts) {
   buffer.clear();
   EXPECT_EQ(buffer.dropped(), 0u);
   EXPECT_EQ(buffer.capacity(), 3u) << "clear() keeps the capacity";
+}
+
+TEST(TraceBufferTest, MergeShardsOrdersByTimeThenShardAndConservesCounts) {
+  // Two shard buffers plus a coordinator (kNoShard) buffer. The merge
+  // must interleave by time; at equal times the lower shard id wins and
+  // kNoShard sorts last; within one buffer the recorded order is kept.
+  TraceBuffer shard0(10);
+  shard0.set_shard(0);
+  shard0.record(make_event(1.0, EventKind::kInfection, 1));
+  shard0.record(make_event(3.0, EventKind::kInfection, 2));
+  TraceBuffer shard1(10);
+  shard1.set_shard(1);
+  shard1.record(make_event(1.0, EventKind::kInfection, 3));
+  shard1.record(make_event(2.0, EventKind::kInfection, 4));
+  TraceBuffer engine(10);  // no shard: coordinator events
+  engine.record(make_event(1.0, EventKind::kDetectabilityCrossed, kInvalidPhoneId));
+
+  std::vector<const TraceBuffer*> buffers = {&shard1, &shard0, &engine};
+  TraceBuffer merged = TraceBuffer::merge_shards(buffers);
+  ASSERT_EQ(merged.events().size(), 5u);
+  std::vector<PhoneId> phones;
+  for (const Event& e : merged.events()) phones.push_back(e.phone);
+  // t=1: shard 0, shard 1, then the coordinator; t=2: shard 1; t=3: shard 0.
+  EXPECT_EQ(phones, (std::vector<PhoneId>{1, 3, kInvalidPhoneId, 4, 2}));
+  EXPECT_EQ(merged.events()[0].shard, 0u);
+  EXPECT_EQ(merged.events()[1].shard, 1u);
+  EXPECT_EQ(merged.events()[2].shard, kNoShard);
+  EXPECT_EQ(merged.capacity(), 30u) << "merged capacity = sum of inputs";
+  EXPECT_EQ(merged.recorded(), 5u);
+  EXPECT_EQ(merged.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, MergeShardsSumsDropsAndSaturatesUnboundedCapacity) {
+  TraceBuffer capped(1);
+  capped.set_shard(0);
+  capped.record(make_event(1.0, EventKind::kInfection, 1));
+  capped.record(make_event(2.0, EventKind::kInfection, 2));  // dropped
+  TraceBuffer unbounded = TraceBuffer::unbounded();
+  unbounded.set_shard(1);
+  unbounded.record(make_event(1.5, EventKind::kInfection, 3));
+
+  std::vector<const TraceBuffer*> buffers = {&capped, &unbounded};
+  TraceBuffer merged = TraceBuffer::merge_shards(buffers);
+  EXPECT_EQ(merged.capacity(), TraceBuffer::unbounded().capacity())
+      << "any unbounded input makes the merge unbounded";
+  EXPECT_EQ(merged.dropped(), 1u);
+  EXPECT_EQ(merged.recorded(), 3u) << "recorded() is conserved across the merge";
+  ASSERT_EQ(merged.events().size(), 2u);
+  EXPECT_EQ(merged.events()[0].phone, 1u);
+  EXPECT_EQ(merged.events()[1].phone, 3u);
 }
 
 TEST(TraceBufferTest, RecordActionHelper) {

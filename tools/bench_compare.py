@@ -13,8 +13,13 @@ but never fail the comparison — bench sets are allowed to grow.
 
 Usage:
   python3 tools/bench_compare.py BASELINE.json CURRENT.json
-      [--threshold 0.10] [--warn-only]
+      [--threshold 0.10] [--warn-only] [--json]
   python3 tools/bench_compare.py --self-test
+
+With --json the report is a single machine-readable
+`"type": "mvsim-bench-compare"` document on stdout instead of the
+human table — for CI annotation and artifact pipelines. The exit
+status is the same either way.
 
 Exit status: 0 when no case regresses past the threshold (or
 --warn-only is given), 1 when at least one does, 2 on malformed input.
@@ -59,20 +64,27 @@ def case_metric(case):
 
 
 def compare(baseline, current, threshold):
-    """Returns (lines, regressions) for two parsed bench documents."""
+    """Returns (rows, regressions) for two parsed bench documents.
+
+    Each row is a dict with at least "name" and "verdict"
+    (OK/IMPROVED/REGRESSED/MISSING/NEW/SKIP); compared rows also carry
+    "metric", "baseline", "current" and the normalized "change"
+    (negative = got worse). The same rows drive both the text table
+    and the --json document, so the two outputs cannot disagree.
+    """
     base_cases = {c["name"]: c for c in baseline["cases"]}
     curr_cases = {c["name"]: c for c in current["cases"]}
-    lines = []
+    rows = []
     regressions = 0
 
     for name, base in base_cases.items():
         if name not in curr_cases:
-            lines.append(f"  MISSING   {name} (in baseline only)")
+            rows.append({"name": name, "verdict": "MISSING"})
             continue
         metric, base_value, higher_better = case_metric(base)
         _, curr_value, _ = case_metric(curr_cases[name])
         if base_value <= 0:
-            lines.append(f"  SKIP      {name} (non-positive baseline {metric})")
+            rows.append({"name": name, "verdict": "SKIP", "metric": metric})
             continue
         # Normalize so `change` < 0 always means "got worse".
         if higher_better:
@@ -85,15 +97,48 @@ def compare(baseline, current, threshold):
             regressions += 1
         elif change > threshold:
             verdict = "IMPROVED"
-        lines.append(
-            f"  {verdict:<9} {name}: {metric} {base_value:.6g} -> "
-            f"{curr_value:.6g} ({change:+.1%})")
+        rows.append({"name": name, "verdict": verdict, "metric": metric,
+                     "baseline": base_value, "current": curr_value,
+                     "change": change})
 
     for name in curr_cases:
         if name not in base_cases:
-            lines.append(f"  NEW       {name} (in current only)")
+            rows.append({"name": name, "verdict": "NEW"})
 
-    return lines, regressions
+    return rows, regressions
+
+
+def render_lines(rows):
+    """Formats comparison rows as the human-readable table lines."""
+    lines = []
+    for row in rows:
+        verdict = row["verdict"]
+        if verdict == "MISSING":
+            lines.append(f"  MISSING   {row['name']} (in baseline only)")
+        elif verdict == "NEW":
+            lines.append(f"  NEW       {row['name']} (in current only)")
+        elif verdict == "SKIP":
+            lines.append(f"  SKIP      {row['name']} "
+                         f"(non-positive baseline {row['metric']})")
+        else:
+            lines.append(
+                f"  {verdict:<9} {row['name']}: {row['metric']} "
+                f"{row['baseline']:.6g} -> {row['current']:.6g} "
+                f"({row['change']:+.1%})")
+    return lines
+
+
+def json_report(baseline, current, threshold, rows, regressions):
+    """Builds the --json document from comparison rows."""
+    return {
+        "type": "mvsim-bench-compare",
+        "bench": baseline.get("bench"),
+        "baseline_sha": baseline.get("git_sha"),
+        "current_sha": current.get("git_sha"),
+        "threshold": threshold,
+        "cases": rows,
+        "regressions": regressions,
+    }
 
 
 def self_test():
@@ -125,8 +170,8 @@ def self_test():
         case("brand_new", 1000, 1.0),
     ])
 
-    lines, regressions = compare(baseline, current, threshold=0.10)
-    text = "\n".join(lines)
+    rows, regressions = compare(baseline, current, threshold=0.10)
+    text = "\n".join(render_lines(rows))
     checks = [
         (regressions == 2, f"expected 2 regressions, got {regressions}"),
         ("REGRESSED slows_down" in text.replace("  ", " "),
@@ -142,6 +187,34 @@ def self_test():
     _, loose = compare(baseline, current, threshold=0.60)
     checks.append((loose == 0, f"threshold 0.60 still sees {loose} regressions"))
 
+    # The --json document must round-trip through json.dumps, mirror the
+    # regression count, and carry per-case verdicts and both values for
+    # every compared case.
+    report = json.loads(json.dumps(
+        json_report(baseline, current, 0.10, rows, regressions)))
+    by_name = {row["name"]: row for row in report["cases"]}
+    checks += [
+        (report["type"] == "mvsim-bench-compare",
+         f"json type is {report.get('type')!r}"),
+        (report["regressions"] == regressions,
+         "json regression count disagrees with the table"),
+        (report["threshold"] == 0.10, "json threshold not echoed"),
+        (by_name["slows_down"]["verdict"] == "REGRESSED",
+         "json misses the events/sec regression"),
+        (by_name["wall_only_regression"]["metric"] == "wall_seconds.p50",
+         "json misses the wall-clock fallback metric"),
+        (by_name["speeds_up"]["change"] > 0.5,
+         "json change not normalized (improvement should be positive)"),
+        (by_name["retired"]["verdict"] == "MISSING"
+         and "metric" not in by_name["retired"],
+         "json baseline-only case malformed"),
+        (by_name["brand_new"]["verdict"] == "NEW",
+         "json current-only case not reported"),
+        (by_name["steady"]["baseline"] == 1000.0
+         and abs(by_name["steady"]["current"] - 1000 / 1.02) < 1e-6,
+         "json does not carry both compared values"),
+    ]
+
     failed = [message for ok, message in checks if not ok]
     if failed:
         print("bench_compare self-test FAILED:")
@@ -150,7 +223,7 @@ def self_test():
         print(text)
         return 1
     print("bench_compare self-test passed "
-          f"({len(checks)} checks, sample output below)")
+          f"({len(checks)} checks, sample table below)")
     print(text)
     return 0
 
@@ -163,6 +236,9 @@ def main():
                         help="allowed fractional slowdown (default 0.10)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but always exit 0")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable mvsim-bench-compare "
+                             "document instead of the table")
     parser.add_argument("--self-test", action="store_true",
                         help="run the built-in synthetic comparison checks")
     args = parser.parse_args()
@@ -177,17 +253,24 @@ def main():
 
     baseline = load_bench(args.baseline)
     current = load_bench(args.current)
-    print(f"bench_compare: '{baseline.get('bench')}' "
-          f"{baseline.get('git_sha', '?')} -> {current.get('git_sha', '?')} "
-          f"(threshold {args.threshold:.0%})")
-    lines, regressions = compare(baseline, current, args.threshold)
-    for line in lines:
-        print(line)
-    if regressions:
-        print(f"bench_compare: {regressions} case(s) regressed past "
-              f"{args.threshold:.0%}")
-        return 0 if args.warn_only else 1
-    print("bench_compare: no regressions")
+    rows, regressions = compare(baseline, current, args.threshold)
+    if args.json:
+        print(json.dumps(json_report(baseline, current, args.threshold,
+                                     rows, regressions), indent=2))
+    else:
+        print(f"bench_compare: '{baseline.get('bench')}' "
+              f"{baseline.get('git_sha', '?')} -> "
+              f"{current.get('git_sha', '?')} "
+              f"(threshold {args.threshold:.0%})")
+        for line in render_lines(rows):
+            print(line)
+        if regressions:
+            print(f"bench_compare: {regressions} case(s) regressed past "
+                  f"{args.threshold:.0%}")
+        else:
+            print("bench_compare: no regressions")
+    if regressions and not args.warn_only:
+        return 1
     return 0
 
 
