@@ -9,7 +9,19 @@ namespace mvsim::analysis {
 DiminishingReturnsReport analyze_diminishing_returns(const SweepResult& sweep,
                                                      double baseline_final,
                                                      double knee_fraction) {
-  if (sweep.points.size() < 2) {
+  std::vector<std::pair<double, double>> points;
+  points.reserve(sweep.points.size());
+  for (const SweepPoint& point : sweep.points) {
+    points.emplace_back(point.parameter, point.result.final_infections.mean());
+  }
+  return analyze_diminishing_returns(sweep.parameter_name, points, baseline_final,
+                                     knee_fraction);
+}
+
+DiminishingReturnsReport analyze_diminishing_returns(
+    const std::string& parameter_name, const std::vector<std::pair<double, double>>& points,
+    double baseline_final, double knee_fraction) {
+  if (points.size() < 2) {
     throw std::invalid_argument("analyze_diminishing_returns: need at least two sweep points");
   }
   if (!(knee_fraction > 0.0) || knee_fraction >= 1.0) {
@@ -17,19 +29,19 @@ DiminishingReturnsReport analyze_diminishing_returns(const SweepResult& sweep,
   }
 
   DiminishingReturnsReport report;
-  report.parameter_name = sweep.parameter_name;
+  report.parameter_name = parameter_name;
   report.baseline_final = baseline_final;
-  report.gains.reserve(sweep.points.size() - 1);
-  for (std::size_t i = 0; i + 1 < sweep.points.size(); ++i) {
-    const SweepPoint& weak = sweep.points[i];
-    const SweepPoint& strong = sweep.points[i + 1];
+  report.gains.reserve(points.size() - 1);
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const auto& [weak_parameter, weak_final] = points[i];
+    const auto& [strong_parameter, strong_final] = points[i + 1];
     MarginalGain gain;
-    gain.from_parameter = weak.parameter;
-    gain.to_parameter = strong.parameter;
-    gain.from_final = weak.result.final_infections.mean();
-    gain.to_final = strong.result.final_infections.mean();
+    gain.from_parameter = weak_parameter;
+    gain.to_parameter = strong_parameter;
+    gain.from_final = weak_final;
+    gain.to_final = strong_final;
     gain.infections_avoided = gain.from_final - gain.to_final;
-    double step = std::abs(strong.parameter - weak.parameter);
+    double step = std::abs(strong_parameter - weak_parameter);
     gain.avoided_per_unit = step > 0.0 ? gain.infections_avoided / step : 0.0;
     report.gains.push_back(gain);
   }

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/sweep.h"
@@ -64,6 +65,13 @@ struct DiminishingReturnsReport {
 [[nodiscard]] DiminishingReturnsReport analyze_diminishing_returns(const SweepResult& sweep,
                                                                    double baseline_final,
                                                                    double knee_fraction = 0.2);
+
+/// As above over bare (parameter, mean final infections) pairs — what
+/// an experiment ledger records per sweep point, so `mvsim report` can
+/// locate the knee offline without the full ExperimentResults.
+[[nodiscard]] DiminishingReturnsReport analyze_diminishing_returns(
+    const std::string& parameter_name, const std::vector<std::pair<double, double>>& points,
+    double baseline_final, double knee_fraction = 0.2);
 
 /// Renders the report as an aligned text table (for benches/CLI).
 [[nodiscard]] std::string to_table(const DiminishingReturnsReport& report);

@@ -1,0 +1,36 @@
+// Registry of sweepable scenario parameters.
+//
+// `mvsim sweep --param NAME --values ...` varies one knob of a base
+// scenario across a ladder of values; this registry names the knobs
+// and knows how to apply a value to a ScenarioConfig. Every parameter
+// the paper sweeps (Figs. 2-7: activation delay, detection accuracy,
+// educated acceptance, immunization rollout, forced wait, blacklist
+// threshold) is here, plus the population/behavior knobs sensitivity
+// studies vary. Applying a mechanism parameter enables the mechanism
+// (with defaults for its other knobs) when the base scenario does not
+// already carry it, so `mvsim sweep fig1-baseline --param
+// gateway_scan.activation_delay_h ...` works without a handcrafted
+// scenario file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+
+namespace mvsim::analysis {
+
+struct SweepableParam {
+  const char* name;         ///< e.g. "gateway_scan.activation_delay_h"
+  const char* unit;         ///< e.g. "hours"
+  const char* description;  ///< one line for `mvsim sweep --list-params`
+  void (*apply)(core::ScenarioConfig&, double);
+};
+
+/// All sweepable parameters, in stable listing order.
+[[nodiscard]] const std::vector<SweepableParam>& sweepable_params();
+
+/// nullptr when `name` is not a sweepable parameter.
+[[nodiscard]] const SweepableParam* find_sweepable(const std::string& name);
+
+}  // namespace mvsim::analysis

@@ -1,5 +1,6 @@
 #include "analysis/sweep.h"
 
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 
@@ -8,6 +9,12 @@ namespace mvsim::analysis {
 SweepResult run_sweep(const std::string& parameter_name, const std::vector<double>& values,
                       const std::function<core::ScenarioConfig(double)>& make_scenario,
                       const core::RunnerOptions& options) {
+  return run_sweep(parameter_name, values, make_scenario, options, SweepHooks{});
+}
+
+SweepResult run_sweep(const std::string& parameter_name, const std::vector<double>& values,
+                      const std::function<core::ScenarioConfig(double)>& make_scenario,
+                      const core::RunnerOptions& options, const SweepHooks& hooks) {
   if (values.empty()) throw std::invalid_argument("run_sweep: no parameter values");
   if (!make_scenario) throw std::invalid_argument("run_sweep: empty scenario factory");
   SweepResult sweep;
@@ -29,7 +36,15 @@ SweepResult run_sweep(const std::string& parameter_name, const std::vector<doubl
         point_options.progress_label = label;
       }
     }
-    sweep.points.push_back({value, core::run_experiment(config, point_options)});
+    if (hooks.point_started) hooks.point_started(i, values.size(), value, config);
+    const auto started = std::chrono::steady_clock::now();
+    core::ExperimentResult result = core::run_experiment(config, point_options);
+    const double wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+    if (hooks.point_finished) {
+      hooks.point_finished(i, values.size(), value, config, result, wall_seconds);
+    }
+    sweep.points.push_back({value, std::move(result)});
   }
   return sweep;
 }

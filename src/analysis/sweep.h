@@ -25,6 +25,21 @@ struct SweepResult {
   std::vector<SweepPoint> points;  ///< in the order the values were given
 };
 
+/// Observation hooks fired around each sweep point (both optional).
+/// `point_finished` receives the point's own wall-clock seconds, so a
+/// driver can stream progress/ETA or append per-point manifests to an
+/// experiment ledger (what `mvsim sweep` does) without the sweep loop
+/// knowing about either.
+struct SweepHooks {
+  std::function<void(std::size_t index, std::size_t count, double value,
+                     const core::ScenarioConfig& config)>
+      point_started;
+  std::function<void(std::size_t index, std::size_t count, double value,
+                     const core::ScenarioConfig& config, const core::ExperimentResult& result,
+                     double wall_seconds)>
+      point_finished;
+};
+
 /// Runs `make_scenario(value)` for each value. The factory returns the
 /// full scenario (so a sweep can vary anything — virus, response or
 /// population parameters). Values need not be sorted; they are run and
@@ -33,5 +48,11 @@ struct SweepResult {
                                     const std::vector<double>& values,
                                     const std::function<core::ScenarioConfig(double)>& make_scenario,
                                     const core::RunnerOptions& options = {});
+
+/// As above, with per-point hooks.
+[[nodiscard]] SweepResult run_sweep(const std::string& parameter_name,
+                                    const std::vector<double>& values,
+                                    const std::function<core::ScenarioConfig(double)>& make_scenario,
+                                    const core::RunnerOptions& options, const SweepHooks& hooks);
 
 }  // namespace mvsim::analysis

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <utility>
 
+#include "obs/manifest.h"
 #include "util/json.h"
 
 namespace mvsim::obs {
@@ -21,14 +22,15 @@ const std::vector<std::string>& RunStream::shard_fields() {
   return kFields;
 }
 
-void RunStream::write_header(const std::string& scenario, int replications,
-                             std::uint32_t shards) {
+void RunStream::write_header(const StreamInfo& info) {
   json::Object header;
   header.set("type", json::Value("mvsim-stats"));
   header.set("version", json::Value(kVersion));
-  header.set("scenario", json::Value(scenario));
-  header.set("replications", json::Value(replications));
-  header.set("shards", json::Value(shards));
+  header.set("scenario", json::Value(info.scenario));
+  header.set("scenario_hash", json::Value(info.scenario_hash));
+  header.set("git_sha", json::Value(build_info().git_sha));
+  header.set("replications", json::Value(info.replications));
+  header.set("shards", json::Value(info.shards));
   json::Array fields;
   for (const std::string& field : sample_fields()) fields.push_back(json::Value(field));
   header.set("fields", json::Value(std::move(fields)));

@@ -55,14 +55,28 @@ struct RunSample {
   std::vector<ShardSample> shards;
 };
 
+/// Provenance and shape of one stream, written as the header record.
+/// `scenario_hash` is obs::fnv1a_hex over the canonical scenario JSON
+/// (the same hash run manifests carry), so a stream file is
+/// attributable to its exact model inputs on its own; the git SHA is
+/// stamped from the build automatically.
+struct StreamInfo {
+  std::string scenario;
+  std::string scenario_hash;
+  int replications = 0;
+  std::uint32_t shards = 1;
+};
+
 /// Serializes RunSamples as NDJSON onto one ostream. The first line is
-/// a header record `{"type":"mvsim-stats","version":1,...}` whose
+/// a header record `{"type":"mvsim-stats","version":2,...}` whose
 /// "fields" array is the sample schema; every subsequent line is a
 /// sample record carrying exactly those fields. Lines are flushed as
 /// they are written so `tail -f` (or a dashboard) sees them live.
 class RunStream {
  public:
-  static constexpr int kVersion = 1;
+  /// v2 added the provenance fields (`scenario_hash`, `git_sha`) to
+  /// the header; sample records are unchanged from v1.
+  static constexpr int kVersion = 2;
 
   /// The stream writes to `out` for its whole lifetime; the caller
   /// keeps `out` alive and owns flushing/closing the underlying file.
@@ -72,7 +86,7 @@ class RunStream {
   RunStream& operator=(const RunStream&) = delete;
 
   /// Writes the header record. Call once, before any samples.
-  void write_header(const std::string& scenario, int replications, std::uint32_t shards);
+  void write_header(const StreamInfo& info);
 
   /// Appends one sample record (thread-safe; whole lines interleave).
   void write_sample(const RunSample& sample);

@@ -1,0 +1,55 @@
+#include "obs/sweep_stream.h"
+
+#include <ostream>
+#include <utility>
+
+#include "obs/manifest.h"
+#include "util/json.h"
+
+namespace mvsim::obs {
+
+const std::vector<std::string>& SweepStream::point_fields() {
+  static const std::vector<std::string> kFields = {
+      "type",        "index",       "count",
+      "value",       "wall_seconds", "eta_seconds",
+      "final_infected_mean", "total_events"};
+  return kFields;
+}
+
+void SweepStream::write_header(const SweepStreamHeader& header) {
+  json::Object root;
+  root.set("type", json::Value("mvsim-sweep"));
+  root.set("version", json::Value(kVersion));
+  root.set("parameter", json::Value(header.parameter));
+  root.set("scenario", json::Value(header.scenario));
+  root.set("scenario_hash", json::Value(header.scenario_hash));
+  root.set("git_sha", json::Value(build_info().git_sha));
+  root.set("points", json::Value(header.points));
+  root.set("replications", json::Value(header.replications));
+  json::Array fields;
+  for (const std::string& field : point_fields()) fields.push_back(json::Value(field));
+  root.set("fields", json::Value(std::move(fields)));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << json::stringify(json::Value(std::move(root)), 0) << '\n';
+  out_->flush();
+}
+
+void SweepStream::write_point(const SweepPointRecord& record) {
+  json::Object root;
+  root.set("type", json::Value(record.type));
+  root.set("index", json::Value(record.index));
+  root.set("count", json::Value(record.count));
+  root.set("value", json::Value(record.value));
+  root.set("wall_seconds", json::Value(record.wall_seconds));
+  root.set("eta_seconds", json::Value(record.eta_seconds));
+  root.set("final_infected_mean", json::Value(record.final_infected_mean));
+  root.set("total_events", json::Value(record.total_events));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << json::stringify(json::Value(std::move(root)), 0) << '\n';
+  out_->flush();
+  ++records_written_;
+}
+
+}  // namespace mvsim::obs

@@ -1,0 +1,72 @@
+// Sweep progress stream: schema-versioned NDJSON for `mvsim sweep`.
+//
+// A sweep is a ladder of experiments; while the stats stream narrates
+// one run from the inside, the sweep stream narrates the ladder —
+// one header line declaring the parameter and provenance, then one
+// record when each point starts and one when it finishes (with the
+// point's wall clock, the ladder ETA, and the point's headline
+// outcome). Same discipline as obs::RunStream: whole flushed lines, a
+// fixed record schema declared in the header, observation-only.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mvsim::obs {
+
+/// Header provenance for one sweep.
+struct SweepStreamHeader {
+  std::string parameter;      ///< sweepable parameter name
+  std::string scenario;       ///< base scenario name
+  std::string scenario_hash;  ///< hash of the base scenario JSON
+  int points = 0;             ///< ladder length
+  int replications = 0;       ///< per point
+};
+
+/// One progress record. `type` is "point-started" or "point-finished";
+/// started records carry zeros for the wall/outcome fields (every
+/// record emits every field, like stats-stream samples).
+struct SweepPointRecord {
+  std::string type;
+  int index = 0;  ///< 0-based point index
+  int count = 0;
+  double value = 0.0;  ///< parameter value at this point
+  double wall_seconds = 0.0;
+  double eta_seconds = 0.0;  ///< remaining-ladder estimate
+  double final_infected_mean = 0.0;
+  std::uint64_t total_events = 0;
+};
+
+/// NDJSON writer: `{"type":"mvsim-sweep","version":1,...}` header,
+/// then one SweepPointRecord per line. Thread-safe, flushed per line.
+class SweepStream {
+ public:
+  static constexpr int kVersion = 1;
+
+  explicit SweepStream(std::ostream& out) : out_(&out) {}
+
+  SweepStream(const SweepStream&) = delete;
+  SweepStream& operator=(const SweepStream&) = delete;
+
+  /// Writes the header record (once, before any points). Build
+  /// provenance (git SHA) is stamped from obs::build_info().
+  void write_header(const SweepStreamHeader& header);
+
+  /// Appends one progress record.
+  void write_point(const SweepPointRecord& record);
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_written_; }
+
+  /// Canonical record schema (tested three ways like the stats stream).
+  [[nodiscard]] static const std::vector<std::string>& point_fields();
+
+ private:
+  std::ostream* out_;
+  std::mutex mutex_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace mvsim::obs

@@ -13,6 +13,7 @@
 #include "cli/preset_registry.h"
 #include "config/scenario_io.h"
 #include "metrics/report.h"
+#include "obs/manifest.h"
 #include "util/json.h"
 
 namespace mvsim::cli {
@@ -545,13 +546,241 @@ TEST(Cli, RunReportsUnwritableOutputPaths) {
   std::string path = write_small_scenario();
   const char* kUnwritable = "/no/such/dir/mvsim_out.json";
   for (const char* flag : {"--metrics", "--trace", "--profile", "--curve-csv", "--summary-json",
-                           "--stats-stream"}) {
+                           "--stats-stream", "--manifest", "--ledger"}) {
     CliResult r = invoke({"run", path, "--reps", "1", "--quiet", flag, kUnwritable});
     EXPECT_EQ(r.code, 2) << flag;
     EXPECT_NE(r.err.find("cannot write"), std::string::npos) << flag << ": " << r.err;
     EXPECT_NE(r.err.find(kUnwritable), std::string::npos) << flag << ": " << r.err;
   }
   std::remove(path.c_str());
+}
+
+TEST(Cli, RunManifestRoundTripsThroughReport) {
+  // The headline acceptance path: `mvsim run --manifest --ledger`
+  // produces a record `mvsim report` reads back, with the ledger line
+  // carrying the same outcome as the standalone manifest.
+  std::string scenario_path = write_small_scenario();
+  std::string manifest_path = ::testing::TempDir() + "/mvsim_cli_manifest_" +
+                              std::to_string(static_cast<long long>(::getpid())) + ".json";
+  std::string ledger_path = ::testing::TempDir() + "/mvsim_cli_ledger_" +
+                            std::to_string(static_cast<long long>(::getpid())) + ".ndjson";
+  std::remove(ledger_path.c_str());
+  CliResult r = invoke({"run", scenario_path, "--reps", "2", "--seed", "7", "--quiet",
+                        "--summary-json", "-", "--manifest", manifest_path, "--ledger",
+                        ledger_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  obs::RunManifest manifest = obs::read_manifest_file(manifest_path);
+  EXPECT_EQ(manifest.scenario, "cli-test");
+  EXPECT_EQ(manifest.seed, "7");
+  EXPECT_EQ(manifest.replications, 2);
+  EXPECT_EQ(manifest.scenario_hash.size(), 16u);
+  EXPECT_GT(manifest.outcome.final_infected_mean, 0.0);
+  EXPECT_GT(manifest.outcome.total_events, 0u);
+  EXPECT_GT(manifest.phases.run_seconds, 0.0);
+  EXPECT_GT(manifest.peak_rss, 0u);
+  ASSERT_EQ(manifest.artifacts.size(), 1u);
+  EXPECT_EQ(manifest.artifacts[0].kind, "summary-json");
+  EXPECT_EQ(manifest.artifacts[0].path, "-");
+  EXPECT_FALSE(manifest.sweep.has_value());
+
+  std::vector<obs::RunManifest> ledger = obs::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].scenario_hash, manifest.scenario_hash);
+  EXPECT_DOUBLE_EQ(ledger[0].outcome.final_infected_mean,
+                   manifest.outcome.final_infected_mean);
+
+  CliResult report = invoke({"report", manifest_path});
+  ASSERT_EQ(report.code, 0) << report.err;
+  EXPECT_NE(report.out.find("run: cli-test"), std::string::npos) << report.out;
+  EXPECT_NE(report.out.find(manifest.scenario_hash), std::string::npos);
+  EXPECT_NE(report.out.find("final infected"), std::string::npos);
+
+  CliResult ledger_report = invoke({"report", "--ledger", ledger_path});
+  ASSERT_EQ(ledger_report.code, 0) << ledger_report.err;
+  EXPECT_NE(ledger_report.out.find("1 run(s)"), std::string::npos) << ledger_report.out;
+
+  std::remove(scenario_path.c_str());
+  std::remove(manifest_path.c_str());
+  std::remove(ledger_path.c_str());
+}
+
+TEST(Cli, ManifestIsExecutionOnlyForTheSummary) {
+  // Attaching --manifest must not change what the run computes or
+  // prints — same contract every obs surface keeps.
+  std::string scenario_path = write_small_scenario();
+  std::string manifest_path = ::testing::TempDir() + "/mvsim_cli_manifest_inert_" +
+                              std::to_string(static_cast<long long>(::getpid())) + ".json";
+  CliResult plain = invoke({"run", scenario_path, "--reps", "2", "--seed", "11",
+                            "--summary-json", "-", "--quiet"});
+  CliResult with = invoke({"run", scenario_path, "--reps", "2", "--seed", "11",
+                           "--summary-json", "-", "--quiet", "--manifest", manifest_path});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  ASSERT_EQ(with.code, 0) << with.err;
+  EXPECT_EQ(plain.out, with.out);
+  std::remove(scenario_path.c_str());
+  std::remove(manifest_path.c_str());
+}
+
+TEST(Cli, SweepAppendsLedgerStreamsProgressAndFindsTheKnee) {
+  std::string scenario_path = write_small_scenario();
+  std::string ledger_path = ::testing::TempDir() + "/mvsim_cli_sweep_ledger_" +
+                            std::to_string(static_cast<long long>(::getpid())) + ".ndjson";
+  std::string stream_path = ::testing::TempDir() + "/mvsim_cli_sweep_stream_" +
+                            std::to_string(static_cast<long long>(::getpid())) + ".ndjson";
+  std::remove(ledger_path.c_str());
+  // Weakest -> strongest: a *shorter* activation delay is the stronger
+  // response, so the ladder descends.
+  CliResult r = invoke({"sweep", scenario_path, "--param", "gateway_scan.activation_delay_h",
+                        "--values", "24,12,6,2", "--reps", "1", "--seed", "5", "--ledger",
+                        ledger_path, "--stream", stream_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("sweep: cli-test over gateway_scan.activation_delay_h"),
+            std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("knee:"), std::string::npos) << r.out;
+
+  // One ledger line per point, each tagged with its sweep position.
+  std::vector<obs::RunManifest> ledger = obs::read_ledger_file(ledger_path);
+  ASSERT_EQ(ledger.size(), 4u);
+  for (std::size_t i = 0; i < ledger.size(); ++i) {
+    ASSERT_TRUE(ledger[i].sweep.has_value()) << i;
+    EXPECT_EQ(ledger[i].sweep->parameter, "gateway_scan.activation_delay_h");
+    EXPECT_EQ(ledger[i].sweep->index, static_cast<int>(i));
+    EXPECT_EQ(ledger[i].sweep->count, 4);
+    EXPECT_EQ(ledger[i].replications, 1);
+  }
+  EXPECT_DOUBLE_EQ(ledger[0].sweep->value, 24.0);
+  EXPECT_DOUBLE_EQ(ledger[3].sweep->value, 2.0);
+  // Different parameter values are different model inputs.
+  EXPECT_NE(ledger[0].scenario_hash, ledger[3].scenario_hash);
+
+  // The stream carries a header and a started+finished pair per point.
+  std::ifstream stream_file(stream_path);
+  ASSERT_TRUE(stream_file.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(stream_file, line));
+  EXPECT_NE(line.find("\"type\":\"mvsim-sweep\""), std::string::npos) << line;
+  int started = 0, finished = 0;
+  while (std::getline(stream_file, line)) {
+    if (line.find("\"type\":\"point-started\"") != std::string::npos) ++started;
+    if (line.find("\"type\":\"point-finished\"") != std::string::npos) ++finished;
+  }
+  EXPECT_EQ(started, 4);
+  EXPECT_EQ(finished, 4);
+
+  // The ledger report regroups the ladder and re-finds the knee.
+  CliResult report = invoke({"report", "--ledger", ledger_path});
+  ASSERT_EQ(report.code, 0) << report.err;
+  EXPECT_NE(report.out.find("sweep gateway_scan.activation_delay_h (4 points):"),
+            std::string::npos)
+      << report.out;
+  EXPECT_NE(report.out.find("knee:"), std::string::npos);
+
+  std::remove(scenario_path.c_str());
+  std::remove(ledger_path.c_str());
+  std::remove(stream_path.c_str());
+}
+
+TEST(Cli, SweepListParamsAndBadFlags) {
+  CliResult list = invoke({"sweep", "--list-params"});
+  ASSERT_EQ(list.code, 0) << list.err;
+  EXPECT_NE(list.out.find("gateway_scan.activation_delay_h"), std::string::npos);
+  EXPECT_NE(list.out.find("blacklist.message_threshold"), std::string::npos);
+
+  std::string path = write_small_scenario();
+  EXPECT_EQ(invoke({"sweep"}).code, 1);
+  EXPECT_EQ(invoke({"sweep", path, "--values", "1,2"}).code, 1) << "--param is required";
+  CliResult unknown =
+      invoke({"sweep", path, "--param", "no.such.knob", "--values", "1,2"});
+  EXPECT_EQ(unknown.code, 1);
+  EXPECT_NE(unknown.err.find("unknown parameter"), std::string::npos);
+  EXPECT_NE(unknown.err.find("gateway_scan.activation_delay_h"), std::string::npos)
+      << "the error must list the sweepable names";
+  EXPECT_EQ(invoke({"sweep", path, "--param", "population", "--values", "500"}).code, 1)
+      << "a ladder needs two values";
+  EXPECT_EQ(invoke({"sweep", path, "--param", "population", "--values", "5,many"}).code, 1);
+  EXPECT_EQ(invoke({"sweep", path, "--param", "population", "--values", "5,9", "--knee-fraction",
+                    "1.5"})
+                .code,
+            1);
+  CliResult unwritable = invoke({"sweep", path, "--param", "population", "--values", "100,200",
+                                 "--ledger", "/no/such/dir/ledger.ndjson"});
+  EXPECT_EQ(unwritable.code, 2);
+  EXPECT_NE(unwritable.err.find("cannot write"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ReportCompareVerdictsAndExitCodes) {
+  // Two fixed-seed runs of the same scenario are outcome-identical:
+  // every verdict OK at +0.0%, exit 0.
+  std::string scenario_path = write_small_scenario();
+  std::string a_path = ::testing::TempDir() + "/mvsim_cli_cmp_a_" +
+                       std::to_string(static_cast<long long>(::getpid())) + ".json";
+  std::string b_path = ::testing::TempDir() + "/mvsim_cli_cmp_b_" +
+                       std::to_string(static_cast<long long>(::getpid())) + ".json";
+  ASSERT_EQ(invoke({"run", scenario_path, "--reps", "2", "--seed", "42", "--quiet",
+                    "--manifest", a_path})
+                .code,
+            0);
+  ASSERT_EQ(invoke({"run", scenario_path, "--reps", "2", "--seed", "42", "--quiet",
+                    "--manifest", b_path})
+                .code,
+            0);
+  CliResult same = invoke({"report", "--compare", a_path, b_path});
+  EXPECT_EQ(same.code, 0) << same.out;
+  EXPECT_NE(same.out.find("report-compare: no regressions"), std::string::npos) << same.out;
+  EXPECT_NE(same.out.find("OK        final_infected_mean"), std::string::npos) << same.out;
+  EXPECT_EQ(same.out.find("REGRESSED"), std::string::npos) << same.out;
+
+  // Hand-degrade the outcome: more infections and fewer patches past
+  // any threshold must flip verdicts and the exit code.
+  obs::RunManifest degraded = obs::read_manifest_file(a_path);
+  degraded.outcome.final_infected_mean *= 4.0;
+  degraded.outcome.peak_infected_mean *= 4.0;
+  {
+    std::ofstream file(b_path);
+    file << json::stringify(obs::to_json(degraded), 2) << '\n';
+  }
+  CliResult worse = invoke({"report", "--compare", a_path, b_path});
+  EXPECT_EQ(worse.code, 1) << worse.out;
+  EXPECT_NE(worse.out.find("REGRESSED"), std::string::npos) << worse.out;
+  EXPECT_NE(worse.out.find("regressed past"), std::string::npos) << worse.out;
+
+  // A generous threshold waves the same delta through.
+  CliResult lax = invoke({"report", "--compare", a_path, b_path, "--threshold", "0.99"});
+  EXPECT_EQ(lax.code, 0) << lax.out;
+
+  EXPECT_EQ(invoke({"report", "--compare", a_path}).code, 1);
+  EXPECT_EQ(invoke({"report", "--compare", a_path, "/no/such/manifest.json"}).code, 2);
+  EXPECT_EQ(invoke({"report", "--compare", a_path, b_path, "--threshold", "zero"}).code, 1);
+
+  std::remove(scenario_path.c_str());
+  std::remove(a_path.c_str());
+  std::remove(b_path.c_str());
+}
+
+TEST(Cli, ReportRejectsBadInput) {
+  EXPECT_EQ(invoke({"report"}).code, 1);
+  EXPECT_EQ(invoke({"report", "/no/such/manifest.json"}).code, 2);
+  EXPECT_EQ(invoke({"report", "--ledger"}).code, 1);
+  EXPECT_EQ(invoke({"report", "--ledger", "/no/such/ledger.ndjson"}).code, 2);
+  std::string path = ::testing::TempDir() + "/mvsim_cli_not_a_manifest.json";
+  std::ofstream(path) << R"({"type": "something-else"})";
+  CliResult r = invoke({"report", path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("mvsim-manifest"), std::string::npos) << r.err;
+  std::remove(path.c_str());
+}
+
+TEST(Cli, UsageMentionsManifestSweepAndReport) {
+  CliResult r = invoke({"help"});
+  EXPECT_NE(r.out.find("--manifest"), std::string::npos);
+  EXPECT_NE(r.out.find("--ledger"), std::string::npos);
+  EXPECT_NE(r.out.find("mvsim sweep"), std::string::npos);
+  EXPECT_NE(r.out.find("mvsim report"), std::string::npos);
+  EXPECT_NE(r.out.find("--list-params"), std::string::npos);
+  EXPECT_NE(r.out.find("--compare"), std::string::npos);
 }
 
 TEST(Cli, ValidateAcceptsGoodFile) {

@@ -14,6 +14,8 @@
 // and paste the printed table over kCases.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -21,12 +23,17 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "config/scenario_io.h"
 #include "core/presets.h"
+#include "core/run_manifest.h"
 #include "core/runner.h"
 #include "metrics/registry.h"
+#include "obs/manifest.h"
 #include "obs/stats_stream.h"
 #include "trace/trace.h"
+#include "util/json.h"
 
 namespace mvsim::core {
 namespace {
@@ -353,6 +360,82 @@ TEST(GoldenResults, PresetCurvesUnperturbedByStreamAndShardTrace) {
       EXPECT_GT(stream.samples_written(), 0u) << sharded.name << ": stream stayed empty";
     }
   }
+}
+
+// Manifests and the ledger are built strictly AFTER a run finishes, so
+// attaching them must leave every preset's results bit-identical — the
+// same pinned hashes as a bare run, serial (threads 1 and 4) and
+// sharded (K = 2 and 4) alike — while the manifest's outcome block
+// faithfully mirrors the result it was built from and every ledger
+// line survives a read-back.
+TEST(GoldenResults, PresetCurvesUnperturbedByManifest) {
+  const std::string ledger_path = ::testing::TempDir() + "/mvsim_golden_ledger_" +
+                                  std::to_string(static_cast<long long>(::getpid())) +
+                                  ".ndjson";
+  std::remove(ledger_path.c_str());
+  std::size_t appended = 0;
+  auto attach = [&](const ScenarioConfig& config, const ExperimentResult& result,
+                    std::uint32_t shards) {
+    ManifestInputs inputs;
+    inputs.scenario_hash = obs::fnv1a_hex(json::stringify(config::to_json(config), 0));
+    inputs.seed = kMasterSeed;
+    inputs.shards = shards;
+    obs::RunManifest manifest = build_run_manifest(config, inputs, result);
+    EXPECT_EQ(manifest.scenario, config.name);
+    EXPECT_EQ(manifest.replications, kReplications);
+    EXPECT_DOUBLE_EQ(manifest.outcome.final_infected_mean, result.final_infections.mean());
+    EXPECT_DOUBLE_EQ(manifest.outcome.patched_mean, result.patches_applied.mean());
+    EXPECT_DOUBLE_EQ(manifest.outcome.messages_blocked_mean, result.messages_blocked.mean());
+    EXPECT_EQ(manifest.outcome.total_events,
+              result.metrics.counter_value("des.events_executed"));
+    EXPECT_GE(manifest.outcome.peak_infected_mean, 0.0);
+    ASSERT_TRUE(obs::append_to_ledger(ledger_path, manifest)) << config.name;
+    ++appended;
+  };
+
+  for (const GoldenCase& golden : kCases) {
+    for (int threads : {1, 4}) {
+      ScenarioConfig config = golden.make();
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = threads;
+      ExperimentResult result = run_experiment(config, options);
+      EXPECT_EQ(hash_result(result), case_hash(golden, 1))
+          << golden.name << " @" << threads << " threads: the manifest surface perturbed "
+          << "the results";
+      attach(config, result, 1);
+    }
+  }
+
+  for (const ShardedGoldenCase& sharded : kShardedCases) {
+    const GoldenCase* golden = find_case(sharded.name);
+    ASSERT_NE(golden, nullptr) << sharded.name;
+    for (std::uint32_t shards : {2u, 4u}) {
+      ScenarioConfig config = golden->make();
+      RunnerOptions options;
+      options.replications = kReplications;
+      options.master_seed = kMasterSeed;
+      options.keep_replications = true;
+      options.threads = 1;
+      options.shards = shards;
+      options.shard_workers = 1;
+      ExperimentResult result = run_experiment(config, options);
+      EXPECT_EQ(hash_result(result), shards == 2 ? sharded.expected_at_2 : sharded.expected_at_4)
+          << sharded.name << " @" << shards << " shards: the manifest surface perturbed "
+          << "the results";
+      attach(config, result, shards);
+    }
+  }
+
+  std::vector<obs::RunManifest> ledger = obs::read_ledger_file(ledger_path);
+  EXPECT_EQ(ledger.size(), appended);
+  for (const obs::RunManifest& manifest : ledger) {
+    EXPECT_EQ(manifest.seed, std::to_string(kMasterSeed));
+    EXPECT_EQ(manifest.scenario_hash.size(), 16u) << manifest.scenario;
+  }
+  std::remove(ledger_path.c_str());
 }
 
 }  // namespace

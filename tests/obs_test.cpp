@@ -1,17 +1,24 @@
-// Tests for src/obs: the NDJSON stats stream — header schema, sample
-// records, thread-safety of interleaved writers, and the three-way
-// contract between RunStream::sample_fields(), the keys an emitted
-// record actually carries, and the field table in
+// Tests for src/obs: the NDJSON stats stream, run manifests, the
+// experiment ledger, the sweep stream and the outcome comparison —
+// header/record schemas, thread-safety of interleaved writers, and
+// the three-way contracts between the canonical field lists, the keys
+// emitted records actually carry, and the tables in
 // docs/observability.md.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/manifest.h"
+#include "obs/report.h"
 #include "obs/stats_stream.h"
+#include "obs/sweep_stream.h"
 #include "util/json.h"
 
 namespace mvsim::obs {
@@ -49,15 +56,18 @@ std::vector<std::string> object_keys(const json::Object& object) {
   return keys;
 }
 
-TEST(RunStreamTest, HeaderCarriesSchemaVersionAndFieldLists) {
+TEST(RunStreamTest, HeaderCarriesSchemaVersionProvenanceAndFieldLists) {
   std::ostringstream out;
   RunStream stream(out);
-  stream.write_header("unit-scenario", 8, 4);
+  stream.write_header({"unit-scenario", "00aabbccddeeff11", 8, 4});
   json::Value doc = json::parse(out.str());
   const json::Object& root = doc.as_object();
   EXPECT_EQ(root.at("type").as_string(), "mvsim-stats");
   EXPECT_EQ(root.at("version").as_number(), static_cast<double>(RunStream::kVersion));
+  EXPECT_EQ(RunStream::kVersion, 2) << "bumping the schema version needs a docs update";
   EXPECT_EQ(root.at("scenario").as_string(), "unit-scenario");
+  EXPECT_EQ(root.at("scenario_hash").as_string(), "00aabbccddeeff11");
+  EXPECT_EQ(root.at("git_sha").as_string(), build_info().git_sha);
   EXPECT_EQ(root.at("replications").as_number(), 8.0);
   EXPECT_EQ(root.at("shards").as_number(), 4.0);
   const json::Array& fields = root.at("fields").as_array();
@@ -182,6 +192,359 @@ TEST(RunStreamDocs, EveryStreamFieldIsDocumented) {
   EXPECT_NE(doc.find("\"type\":\"mvsim-stats\""), std::string::npos)
       << "the docs must show the header record";
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Run manifests & the experiment ledger
+// ---------------------------------------------------------------------------
+
+RunManifest sample_manifest() {
+  RunManifest manifest;
+  manifest.scenario = "unit-scenario";
+  manifest.scenario_hash = "00aabbccddeeff11";
+  manifest.seed = "18446744073709551615";  // u64 max: must survive as a string
+  manifest.replications = 8;
+  manifest.threads = 4;
+  manifest.shards = 2;
+  manifest.shard_window_min = 2.5;
+  manifest.build = build_info();
+  manifest.phases.run_seconds = 1.75;
+  manifest.phases.write_seconds = 0.125;
+  manifest.peak_rss = 123456789;
+  manifest.artifacts = {{"metrics", "/tmp/m.json"}, {"stats-stream", "-"}};
+  manifest.outcome.final_infected_mean = 512.5;
+  manifest.outcome.final_infected_ci95 = 12.25;
+  manifest.outcome.peak_infected_mean = 512.5;
+  manifest.outcome.time_to_peak_h = 18.5;
+  manifest.outcome.patched_mean = 100.0;
+  manifest.outcome.messages_blocked_mean = 42.0;
+  manifest.outcome.total_events = 987654;
+  return manifest;
+}
+
+std::string temp_path(const char* tag) {
+  return "/tmp/mvsim_obs_test_" + std::string(tag) + "_" + std::to_string(::getpid());
+}
+
+TEST(ManifestTest, JsonRoundTripPreservesEveryField) {
+  RunManifest original = sample_manifest();
+  SweepInfo sweep;
+  sweep.parameter = "gateway_scan.activation_delay_h";
+  sweep.value = 6.0;
+  sweep.index = 2;
+  sweep.count = 5;
+  original.sweep = sweep;
+
+  RunManifest copy = manifest_from_json(json::parse(json::stringify(to_json(original), 0)));
+  EXPECT_EQ(copy.scenario, original.scenario);
+  EXPECT_EQ(copy.scenario_hash, original.scenario_hash);
+  EXPECT_EQ(copy.seed, "18446744073709551615");
+  EXPECT_EQ(copy.replications, 8);
+  EXPECT_EQ(copy.threads, 4);
+  EXPECT_EQ(copy.shards, 2u);
+  EXPECT_DOUBLE_EQ(copy.shard_window_min, 2.5);
+  EXPECT_EQ(copy.build.git_sha, original.build.git_sha);
+  EXPECT_EQ(copy.build.compiler, original.build.compiler);
+  EXPECT_EQ(copy.build.build_type, original.build.build_type);
+  EXPECT_DOUBLE_EQ(copy.phases.run_seconds, 1.75);
+  EXPECT_DOUBLE_EQ(copy.phases.write_seconds, 0.125);
+  EXPECT_EQ(copy.peak_rss, 123456789u);
+  ASSERT_EQ(copy.artifacts.size(), 2u);
+  EXPECT_EQ(copy.artifacts[0].kind, "metrics");
+  EXPECT_EQ(copy.artifacts[1].path, "-");
+  EXPECT_DOUBLE_EQ(copy.outcome.final_infected_mean, 512.5);
+  EXPECT_DOUBLE_EQ(copy.outcome.final_infected_ci95, 12.25);
+  EXPECT_DOUBLE_EQ(copy.outcome.time_to_peak_h, 18.5);
+  EXPECT_DOUBLE_EQ(copy.outcome.patched_mean, 100.0);
+  EXPECT_DOUBLE_EQ(copy.outcome.messages_blocked_mean, 42.0);
+  EXPECT_EQ(copy.outcome.total_events, 987654u);
+  ASSERT_TRUE(copy.sweep.has_value());
+  EXPECT_EQ(copy.sweep->parameter, sweep.parameter);
+  EXPECT_DOUBLE_EQ(copy.sweep->value, 6.0);
+  EXPECT_EQ(copy.sweep->index, 2);
+  EXPECT_EQ(copy.sweep->count, 5);
+}
+
+TEST(ManifestTest, EmittedKeysMatchTheCataloguesExactly) {
+  // The contract's first leg: a manifest always carries exactly
+  // manifest_fields(), in order, with each nested block carrying its
+  // own catalogue — `sweep` included (null outside sweeps), so ledger
+  // consumers never need conditional parsing.
+  json::Value doc = to_json(sample_manifest());
+  const json::Object& root = doc.as_object();
+  EXPECT_EQ(object_keys(root), manifest_fields());
+  EXPECT_EQ(object_keys(root.at("build").as_object()), build_fields());
+  EXPECT_EQ(object_keys(root.at("phases").as_object()), phase_fields());
+  EXPECT_EQ(object_keys(root.at("outcome").as_object()), outcome_fields());
+  EXPECT_TRUE(root.at("sweep").is_null());
+  for (const json::Value& artifact : root.at("artifacts").as_array()) {
+    EXPECT_EQ(object_keys(artifact.as_object()), artifact_fields());
+  }
+
+  RunManifest swept = sample_manifest();
+  swept.sweep = SweepInfo{"p", 1.0, 0, 2};
+  json::Value swept_doc = to_json(swept);
+  EXPECT_EQ(object_keys(swept_doc.as_object().at("sweep").as_object()), sweep_fields());
+}
+
+TEST(ManifestTest, RejectsMalformedDocuments) {
+  EXPECT_THROW((void)manifest_from_json(json::parse("[1,2]")), std::runtime_error);
+  EXPECT_THROW((void)manifest_from_json(json::parse(R"({"type":"not-a-manifest"})")),
+               std::runtime_error);
+  json::Value doc = to_json(sample_manifest());
+  doc.as_object().set("version", json::Value(999));
+  EXPECT_THROW((void)manifest_from_json(doc), std::runtime_error);
+  json::Value missing = to_json(sample_manifest());
+  missing.as_object().set("outcome", json::Value(nullptr));
+  EXPECT_THROW((void)manifest_from_json(missing), std::runtime_error);
+}
+
+TEST(ManifestTest, BuildInfoIsStamped) {
+  const BuildInfo info = build_info();
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_FALSE(info.build_type.empty());
+}
+
+TEST(ManifestTest, Fnv1aMatchesKnownVectors) {
+  EXPECT_EQ(fnv1a_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(fnv1a_hex("a"), "af63dc4c8601ec8c");
+  EXPECT_EQ(fnv1a_hex("mvsim"), fnv1a_hex("mvsim"));
+  EXPECT_NE(fnv1a_hex("mvsim"), fnv1a_hex("mvsin"));
+}
+
+TEST(LedgerTest, ConcurrentAppendersInterleaveWholeRecords) {
+  // Parallel runs share one ledger file; O_APPEND single-write appends
+  // must keep every NDJSON line intact (parseable, right scenario set)
+  // under concurrency — the file analogue of the stream's mutex.
+  const std::string path = temp_path("ledger");
+  std::remove(path.c_str());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&path, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        RunManifest manifest = sample_manifest();
+        manifest.scenario = "writer-" + std::to_string(t) + "-" + std::to_string(i);
+        ASSERT_TRUE(append_to_ledger(path, manifest));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  std::vector<RunManifest> manifests = read_ledger_file(path);
+  EXPECT_EQ(manifests.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (const RunManifest& manifest : manifests) {
+    EXPECT_EQ(manifest.scenario.rfind("writer-", 0), 0u) << manifest.scenario;
+    EXPECT_EQ(manifest.seed, "18446744073709551615");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LedgerTest, ReadNamesTheOffendingLine) {
+  const std::string path = temp_path("ledger_bad");
+  {
+    std::ofstream file(path);
+    file << json::stringify(to_json(sample_manifest()), 0) << "\n\n{not json}\n";
+  }
+  try {
+    (void)read_ledger_file(path);
+    FAIL() << "expected a parse failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_ledger_file("/no/such/dir/ledger.ndjson"), std::runtime_error);
+}
+
+// The contract's third leg for manifests: every field in the catalogues
+// is documented (backticked) in docs/observability.md.
+TEST(ManifestDocs, EveryManifestFieldIsDocumented) {
+#ifndef MVSIM_SOURCE_DIR
+  GTEST_SKIP() << "MVSIM_SOURCE_DIR not defined";
+#else
+  std::ifstream file(std::string(MVSIM_SOURCE_DIR) + "/docs/observability.md");
+  ASSERT_TRUE(file.is_open()) << "docs/observability.md missing";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string doc = buffer.str();
+  auto expect_documented = [&doc](const std::vector<std::string>& fields, const char* list) {
+    for (const std::string& field : fields) {
+      EXPECT_NE(doc.find("`" + field + "`"), std::string::npos)
+          << field << " is in " << list << " but not documented";
+    }
+  };
+  expect_documented(manifest_fields(), "manifest_fields()");
+  expect_documented(build_fields(), "build_fields()");
+  expect_documented(phase_fields(), "phase_fields()");
+  expect_documented(outcome_fields(), "outcome_fields()");
+  expect_documented(sweep_fields(), "sweep_fields()");
+  expect_documented(artifact_fields(), "artifact_fields()");
+  EXPECT_NE(doc.find("\"type\":\"mvsim-manifest\""), std::string::npos)
+      << "the docs must show the manifest record";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Sweep stream
+// ---------------------------------------------------------------------------
+
+TEST(SweepStreamTest, HeaderAndRecordsCarryTheDeclaredSchema) {
+  std::ostringstream out;
+  SweepStream stream(out);
+  SweepStreamHeader header;
+  header.parameter = "gateway_scan.activation_delay_h";
+  header.scenario = "unit-scenario";
+  header.scenario_hash = "00aabbccddeeff11";
+  header.points = 4;
+  header.replications = 3;
+  stream.write_header(header);
+  SweepPointRecord started;
+  started.type = "point-started";
+  started.index = 0;
+  started.count = 4;
+  started.value = 2.0;
+  stream.write_point(started);
+  SweepPointRecord finished = started;
+  finished.type = "point-finished";
+  finished.wall_seconds = 0.5;
+  finished.eta_seconds = 1.5;
+  finished.final_infected_mean = 321.0;
+  finished.total_events = 4242;
+  stream.write_point(finished);
+  EXPECT_EQ(stream.records_written(), 2u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  json::Value head = json::parse(line);
+  const json::Object& root = head.as_object();
+  EXPECT_EQ(root.at("type").as_string(), "mvsim-sweep");
+  EXPECT_EQ(root.at("version").as_number(), static_cast<double>(SweepStream::kVersion));
+  EXPECT_EQ(root.at("parameter").as_string(), header.parameter);
+  EXPECT_EQ(root.at("scenario").as_string(), "unit-scenario");
+  EXPECT_EQ(root.at("scenario_hash").as_string(), "00aabbccddeeff11");
+  EXPECT_EQ(root.at("git_sha").as_string(), build_info().git_sha);
+  EXPECT_EQ(root.at("points").as_number(), 4.0);
+  EXPECT_EQ(root.at("replications").as_number(), 3.0);
+  const json::Array& fields = root.at("fields").as_array();
+  ASSERT_EQ(fields.size(), SweepStream::point_fields().size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(fields[i].as_string(), SweepStream::point_fields()[i]);
+  }
+
+  int records = 0;
+  while (std::getline(lines, line)) {
+    json::Value doc = json::parse(line);
+    EXPECT_EQ(object_keys(doc.as_object()), SweepStream::point_fields()) << line;
+    ++records;
+  }
+  EXPECT_EQ(records, 2);
+}
+
+TEST(SweepStreamDocs, EverySweepFieldIsDocumented) {
+#ifndef MVSIM_SOURCE_DIR
+  GTEST_SKIP() << "MVSIM_SOURCE_DIR not defined";
+#else
+  std::ifstream file(std::string(MVSIM_SOURCE_DIR) + "/docs/observability.md");
+  ASSERT_TRUE(file.is_open()) << "docs/observability.md missing";
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string doc = buffer.str();
+  for (const std::string& field : SweepStream::point_fields()) {
+    EXPECT_NE(doc.find("`" + field + "`"), std::string::npos)
+        << field << " is in SweepStream::point_fields() but not documented";
+  }
+  EXPECT_NE(doc.find("\"type\":\"mvsim-sweep\""), std::string::npos)
+      << "the docs must show the sweep header record";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Outcome comparison (`mvsim report --compare`)
+// ---------------------------------------------------------------------------
+
+const OutcomeDelta* find_row(const OutcomeComparison& comparison, const std::string& metric) {
+  for (const OutcomeDelta& row : comparison.rows) {
+    if (row.metric == metric) return &row;
+  }
+  return nullptr;
+}
+
+TEST(CompareTest, IdenticalOutcomesAreAllOkWithZeroChange) {
+  RunManifest manifest = sample_manifest();
+  OutcomeComparison comparison = compare_outcomes(manifest, manifest);
+  // Every outcome field is compared except the CI half-width (a
+  // precision figure, not an outcome).
+  ASSERT_EQ(comparison.rows.size(), outcome_fields().size() - 1);
+  EXPECT_EQ(comparison.regressions, 0);
+  for (const OutcomeDelta& row : comparison.rows) {
+    EXPECT_EQ(row.verdict, "OK") << row.metric;
+    EXPECT_DOUBLE_EQ(row.change, 0.0) << row.metric;
+  }
+  const std::string rendered = render_comparison(manifest, manifest, comparison, 0.05);
+  EXPECT_NE(rendered.find("report-compare: no regressions"), std::string::npos);
+  EXPECT_EQ(rendered.find("note: scenario hashes differ"), std::string::npos);
+}
+
+TEST(CompareTest, DirectionsNormalizeSoNegativeMeansWorse) {
+  RunManifest baseline = sample_manifest();
+  RunManifest current = sample_manifest();
+  // Fewer infections and more patches are improvements; an earlier
+  // peak is a regression.
+  current.outcome.final_infected_mean = baseline.outcome.final_infected_mean / 2.0;
+  current.outcome.patched_mean = baseline.outcome.patched_mean * 2.0;
+  current.outcome.time_to_peak_h = baseline.outcome.time_to_peak_h / 2.0;
+  OutcomeComparison comparison = compare_outcomes(baseline, current);
+  EXPECT_EQ(find_row(comparison, "final_infected_mean")->verdict, "IMPROVED");
+  EXPECT_DOUBLE_EQ(find_row(comparison, "final_infected_mean")->change, 1.0);
+  EXPECT_EQ(find_row(comparison, "patched_mean")->verdict, "IMPROVED");
+  EXPECT_EQ(find_row(comparison, "time_to_peak_h")->verdict, "REGRESSED");
+  EXPECT_DOUBLE_EQ(find_row(comparison, "time_to_peak_h")->change, -0.5);
+  EXPECT_EQ(comparison.regressions, 1);
+
+  // The reverse comparison flips the verdicts.
+  OutcomeComparison reversed = compare_outcomes(current, baseline);
+  EXPECT_EQ(find_row(reversed, "final_infected_mean")->verdict, "REGRESSED");
+  EXPECT_EQ(find_row(reversed, "patched_mean")->verdict, "REGRESSED");
+  EXPECT_EQ(find_row(reversed, "time_to_peak_h")->verdict, "IMPROVED");
+}
+
+TEST(CompareTest, ThresholdGatesTheVerdictFlip) {
+  RunManifest baseline = sample_manifest();
+  RunManifest current = sample_manifest();
+  current.outcome.patched_mean = baseline.outcome.patched_mean * 1.04;  // +4%
+  EXPECT_EQ(find_row(compare_outcomes(baseline, current, 0.05), "patched_mean")->verdict, "OK");
+  EXPECT_EQ(find_row(compare_outcomes(baseline, current, 0.02), "patched_mean")->verdict,
+            "IMPROVED");
+  current.outcome.patched_mean = baseline.outcome.patched_mean * 0.90;  // -10%
+  EXPECT_EQ(find_row(compare_outcomes(baseline, current, 0.05), "patched_mean")->verdict,
+            "REGRESSED");
+  EXPECT_EQ(find_row(compare_outcomes(baseline, current, 0.15), "patched_mean")->verdict, "OK");
+}
+
+TEST(CompareTest, NeutralMetricsReportChangeButNeverRegress) {
+  RunManifest baseline = sample_manifest();
+  RunManifest current = sample_manifest();
+  current.outcome.messages_blocked_mean = baseline.outcome.messages_blocked_mean * 10.0;
+  current.outcome.total_events = baseline.outcome.total_events / 10;
+  OutcomeComparison comparison = compare_outcomes(baseline, current);
+  EXPECT_EQ(find_row(comparison, "messages_blocked_mean")->verdict, "OK");
+  EXPECT_GT(find_row(comparison, "messages_blocked_mean")->change, 1.0);
+  EXPECT_EQ(find_row(comparison, "total_events")->verdict, "OK");
+  EXPECT_LT(find_row(comparison, "total_events")->change, 0.0);
+  EXPECT_EQ(comparison.regressions, 0);
+}
+
+TEST(CompareTest, DifferingScenarioHashesAreCalledOut) {
+  RunManifest baseline = sample_manifest();
+  RunManifest current = sample_manifest();
+  current.scenario_hash = "ffffffffffffffff";
+  OutcomeComparison comparison = compare_outcomes(baseline, current);
+  const std::string rendered = render_comparison(baseline, current, comparison, 0.05);
+  EXPECT_NE(rendered.find("note: scenario hashes differ"), std::string::npos);
 }
 
 }  // namespace

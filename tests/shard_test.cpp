@@ -380,7 +380,7 @@ TEST(ShardedRunner, ComposesTraceProfileAndStatsStreamWithoutPerturbingResults) 
   trace::TraceBuffer buffer = trace::TraceBuffer::unbounded();
   std::ostringstream stream_text;
   obs::RunStream stream(stream_text);
-  stream.write_header(config.name, 2, 2);
+  stream.write_header({config.name, "", 2, 2});
   core::RunnerOptions observed = bare;
   observed.trace = &buffer;
   observed.trace_replication = 1;

@@ -26,6 +26,8 @@ Exit status: 0 when no case regresses past the threshold (or
 """
 
 import argparse
+import contextlib
+import io
 import json
 import sys
 
@@ -50,6 +52,10 @@ def check_bench_doc(doc, label):
         fail_input(f"'{label}' is not an mvsim-bench document")
     if not isinstance(doc.get("cases"), list):
         fail_input(f"'{label}' has no cases array")
+    # bench::Harness writes "notes" as a top-level object; anything else
+    # means the file was hand-edited or truncated mid-write.
+    if "notes" in doc and not isinstance(doc["notes"], dict):
+        fail_input(f"'{label}' has a malformed notes block (expected object)")
 
 
 def case_metric(case):
@@ -186,6 +192,24 @@ def self_test():
     # A looser threshold must absorb the events/sec regression entirely.
     _, loose = compare(baseline, current, threshold=0.60)
     checks.append((loose == 0, f"threshold 0.60 still sees {loose} regressions"))
+
+    # A malformed notes block (non-object) must be rejected as bad input.
+    bad_notes = doc([case("steady", 1000, 1.0)])
+    bad_notes["notes"] = "free-form string"
+    try:
+        with contextlib.redirect_stderr(io.StringIO()):
+            check_bench_doc(bad_notes, "<self-test>")
+        checks.append((False, "malformed notes block not rejected"))
+    except SystemExit as error:
+        checks.append((error.code == 2,
+                       f"malformed notes exited {error.code}, expected 2"))
+    good_notes = doc([case("steady", 1000, 1.0)])
+    good_notes["notes"] = {"host": "ci"}
+    try:
+        check_bench_doc(good_notes, "<self-test>")
+        checks.append((True, ""))
+    except SystemExit:
+        checks.append((False, "well-formed notes block rejected"))
 
     # The --json document must round-trip through json.dumps, mirror the
     # regression count, and carry per-case verdicts and both values for

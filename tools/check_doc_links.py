@@ -4,8 +4,9 @@
 Walks every tracked *.md file, extracts inline links, and fails when a
 relative link points at a file or directory that does not exist (so
 docs cannot silently drift as files move). External links (http/https/
-mailto) and pure in-page anchors are skipped; a `#fragment` suffix on a
-relative link is stripped before the existence check.
+mailto) are skipped. `#fragment` anchors — both pure in-page anchors
+and fragments on relative links to other Markdown files — are checked
+against the target file's headings using GitHub's slug rules.
 
 Usage: python3 tools/check_doc_links.py [repo-root]
 Exit status: 0 when every relative link resolves, 1 otherwise.
@@ -18,8 +19,46 @@ import sys
 # Inline Markdown links: [text](target). Deliberately simple — the
 # repo's docs do not use reference-style links or angle brackets.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
 SKIP_DIRS = {".git", "build", ".github"}
+
+
+def github_slug(heading):
+    """Slugify a heading the way GitHub's anchor generator does:
+    lowercase, drop anything that is not alphanumeric/space/hyphen/
+    underscore, then turn spaces into hyphens ("A & B" -> "a--b")."""
+    text = heading.lower()
+    # Strip inline code backticks but keep their contents.
+    text = text.replace("`", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path, cache):
+    """All anchors a Markdown file exposes, with GitHub's -1/-2
+    deduplication for repeated headings."""
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    cache[path] = anchors
+    return anchors
 
 
 def markdown_files(root):
@@ -30,22 +69,26 @@ def markdown_files(root):
                 yield os.path.join(dirpath, name)
 
 
-def check_file(path, root):
+def check_file(path, root, anchor_cache):
     broken = []
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             for target in LINK_RE.findall(line):
                 if target.startswith(SKIP_PREFIXES):
                     continue
-                resolved = target.split("#", 1)[0]
-                if not resolved:
-                    continue
+                resolved, _, fragment = target.partition("#")
                 if resolved.startswith("/"):
                     candidate = os.path.join(root, resolved.lstrip("/"))
-                else:
+                elif resolved:
                     candidate = os.path.join(os.path.dirname(path), resolved)
+                else:
+                    candidate = path  # pure in-page anchor
                 if not os.path.exists(candidate):
-                    broken.append((lineno, target))
+                    broken.append((lineno, target, "broken relative link"))
+                    continue
+                if fragment and candidate.endswith(".md"):
+                    if fragment not in heading_anchors(candidate, anchor_cache):
+                        broken.append((lineno, target, "broken anchor"))
     return broken
 
 
@@ -53,11 +96,12 @@ def main():
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     failures = 0
     checked = 0
+    anchor_cache = {}
     for path in markdown_files(root):
         checked += 1
-        for lineno, target in check_file(path, root):
+        for lineno, target, what in check_file(path, root, anchor_cache):
             rel = os.path.relpath(path, root)
-            print(f"{rel}:{lineno}: broken relative link '{target}'")
+            print(f"{rel}:{lineno}: {what} '{target}'")
             failures += 1
     print(f"checked {checked} markdown file(s), {failures} broken link(s)")
     return 1 if failures else 0
